@@ -1,0 +1,306 @@
+package escudo
+
+// Benchmark harness: one bench (or bench family) per table and figure
+// of the paper's evaluation (§6), plus ablation microbenches for the
+// design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Figure 4  → BenchmarkFigure4/* (parse+render per scenario, both
+//             modes; the cmd/escudo-bench harness prints the paper's
+//             table with overhead percentages)
+// §6.4      → BenchmarkAttack* (attack corpus execution cost)
+// §6.5 "UI events" → BenchmarkUIEventDispatch
+// Tables 3/5 → BenchmarkForumPageLoad / BenchmarkCalendarPageLoad
+//             (full pipeline on the case-study pages, both modes)
+// Ablations → BenchmarkERMAuthorize vs BenchmarkSOPAuthorize (rule
+//             evaluation cost), BenchmarkNonceScopes (markup
+//             randomization), BenchmarkMediatedDOMWrite (per-access
+//             mediation), BenchmarkCookieAttach (use-mediated
+//             attachment).
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"testing"
+
+	"repro/internal/apps/phpbb"
+	"repro/internal/apps/phpcal"
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/nonce"
+	"repro/internal/origin"
+	"repro/internal/scenarios"
+	"repro/internal/web"
+)
+
+// BenchmarkFigure4 regenerates the Figure 4 measurement as testing.B
+// benches: every scenario in both modes.
+func BenchmarkFigure4(b *testing.B) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		b.Run(sc.Name+"/baseline", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scenarios.ParseRender(sc.Markup, false)
+			}
+		})
+		b.Run(sc.Name+"/escudo", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scenarios.ParseRender(sc.Markup, true)
+			}
+		})
+	}
+}
+
+// BenchmarkERMAuthorize measures one ESCUDO rule evaluation — the
+// paper's claim is that the model "primarily does bookkeeping" and
+// adds no significant per-access cost.
+func BenchmarkERMAuthorize(b *testing.B) {
+	site := origin.MustParse("http://bench.example")
+	erm := &core.ERM{}
+	p := core.Principal(site, 2, "p")
+	o := core.Object(site, 3, core.UniformACL(2), "o")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		erm.Authorize(p, core.OpWrite, o)
+	}
+}
+
+// BenchmarkSOPAuthorize is the baseline monitor for comparison.
+func BenchmarkSOPAuthorize(b *testing.B) {
+	site := origin.MustParse("http://bench.example")
+	sop := &core.SOPMonitor{}
+	p := core.Principal(site, 2, "p")
+	o := core.Object(site, 3, core.UniformACL(2), "o")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sop.Authorize(p, core.OpWrite, o)
+	}
+}
+
+// forumFixture builds a populated forum and a logged-in browser.
+func forumFixture(b *testing.B, mode browser.Mode) (*web.Network, *browser.Browser, origin.Origin) {
+	b.Helper()
+	forumOrigin := origin.MustParse("http://forum.example")
+	forum := phpbb.New(phpbb.Config{
+		Origin: forumOrigin, Escudo: true, Nonces: nonce.NewSeqSource(1),
+	})
+	forum.AddUser("alice", "pw")
+	for i := 0; i < 20; i++ {
+		id := forum.SeedTopic("alice", fmt.Sprintf("topic %d", i), "body text for the topic")
+		for j := 0; j < 3; j++ {
+			forum.SeedReply(id, "alice", "a reply with some text in it")
+		}
+	}
+	net := web.NewNetwork()
+	net.Register(forumOrigin, forum)
+	br := browser.New(net, browser.Options{Mode: mode})
+	p, err := br.Navigate(forumOrigin.URL("/"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.SubmitForm(p.Doc.ByID("loginform"), url.Values{
+		"username": {"alice"}, "password": {"pw"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return net, br, forumOrigin
+}
+
+// BenchmarkForumPageLoad measures the full pipeline (fetch → config →
+// labeled parse → subresources → layout → scripts) on the phpBB index
+// with its Table 3 configuration, in both modes.
+func BenchmarkForumPageLoad(b *testing.B) {
+	for _, mode := range []browser.Mode{browser.ModeSOP, browser.ModeEscudo} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			_, br, forumOrigin := forumFixture(b, mode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := br.Navigate(forumOrigin.URL("/")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCalendarPageLoad measures the PHP-Calendar month view with
+// its Table 5 configuration.
+func BenchmarkCalendarPageLoad(b *testing.B) {
+	for _, mode := range []browser.Mode{browser.ModeSOP, browser.ModeEscudo} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			calOrigin := origin.MustParse("http://calendar.example")
+			cal := phpcal.New(phpcal.Config{Origin: calOrigin, Escudo: true, Nonces: nonce.NewSeqSource(1)})
+			cal.AddUser("alice", "pw")
+			for day := 1; day <= 28; day++ {
+				cal.SeedEvent("alice", day, "an event with a description")
+			}
+			net := web.NewNetwork()
+			net.Register(calOrigin, cal)
+			br := browser.New(net, browser.Options{Mode: mode})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := br.Navigate(calOrigin.URL("/")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUIEventDispatch measures event delivery + handler run —
+// the activity §6.5 reports as having no noticeable overhead.
+func BenchmarkUIEventDispatch(b *testing.B) {
+	site := origin.MustParse("http://app.example")
+	net := web.NewNetwork()
+	net.Register(site, web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML(`<div ring=1 r=1 w=1 x=1 id=app>` +
+			`<p id=target onclick="var x = 1 + 1;">click me</p></div>`)
+		resp.Header.Set(core.HeaderMaxRing, "3")
+		return resp
+	}))
+	for _, mode := range []browser.Mode{browser.ModeSOP, browser.ModeEscudo} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			br := browser.New(net, browser.Options{Mode: mode})
+			p, err := br.Navigate(site.URL("/"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			target := p.Doc.ByID("target")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.DispatchEvent(target, "click", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMediatedDOMWrite measures one script-driven DOM write
+// through the full mediation stack.
+func BenchmarkMediatedDOMWrite(b *testing.B) {
+	site := origin.MustParse("http://app.example")
+	net := web.NewNetwork()
+	net.Register(site, web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML(`<div ring=1 r=1 w=1 x=1 id=app><p id=msg>x</p></div>`)
+		resp.Header.Set(core.HeaderMaxRing, "3")
+		return resp
+	}))
+	br := browser.New(net, browser.Options{Mode: browser.ModeEscudo})
+	p, err := br.Navigate(site.URL("/"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.RunScriptRing(1, "bench",
+			`document.getElementById("msg").innerText = "updated";`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCookieAttach measures use-mediated cookie attachment: a
+// same-origin subresource fetch that carries the ring-1 session
+// cookie.
+func BenchmarkCookieAttach(b *testing.B) {
+	_, br, forumOrigin := forumFixture(b, browser.ModeEscudo)
+	p, err := br.Navigate(forumOrigin.URL("/"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.RunScriptRing(1, "bench", `var c = document.cookie;`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNonceScopes isolates the markup-randomization cost: parsing
+// a page of nonce-sealed AC scopes versus the same page without
+// ESCUDO processing.
+func BenchmarkNonceScopes(b *testing.B) {
+	var markup string
+	for i := 0; i < 100; i++ {
+		n := strconv.Itoa(1000 + i)
+		markup += `<div ring=3 r=2 w=2 x=2 nonce=` + n + `>content ` + n + `</div nonce=` + n + `>`
+	}
+	b.Run("baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scenarios.ParseRender(markup, false)
+		}
+	})
+	b.Run("escudo", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scenarios.ParseRender(markup, true)
+		}
+	})
+}
+
+// BenchmarkMashupAuthorize measures the delegation-aware monitor vs
+// the plain ERM (BenchmarkERMAuthorize) — the §7 extension's cost.
+func BenchmarkMashupAuthorize(b *testing.B) {
+	host := origin.MustParse("http://portal.example")
+	guest := origin.MustParse("http://widget.example")
+	pol := NewDelegationPolicy()
+	pol.Delegate(Delegation{Host: host, Guest: guest, Floor: 2})
+	m := &MashupMonitor{Policy: pol}
+	p := core.Principal(guest, 0, "widget")
+	o := core.Object(host, 2, core.UniformACL(2), "slot")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Authorize(p, core.OpWrite, o)
+	}
+}
+
+// BenchmarkAttackXSS measures one full XSS attack trial (environment
+// setup + execution + verdict) under ESCUDO — the §6.4 harness cost.
+func BenchmarkAttackXSS(b *testing.B) {
+	var theft attack.Attack
+	for _, a := range attack.Corpus() {
+		if a.Name == "phpbb-xss-cookie-theft" {
+			theft = a
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := attack.RunOne(theft, browser.ModeEscudo)
+		if r.Err != nil || r.Succeeded {
+			b.Fatalf("unexpected result %+v", r)
+		}
+	}
+}
+
+// BenchmarkAttackCSRF measures one full CSRF attack trial under
+// ESCUDO.
+func BenchmarkAttackCSRF(b *testing.B) {
+	var img attack.Attack
+	for _, a := range attack.Corpus() {
+		if a.Name == "phpbb-csrf-img" {
+			img = a
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := attack.RunOne(img, browser.ModeEscudo)
+		if r.Err != nil || r.Succeeded {
+			b.Fatalf("unexpected result %+v", r)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command escudo-attacks regenerates the paper's §6.4 defense
+// effectiveness evaluation: it runs the full attack corpus (4 XSS + 5
+// CSRF per application, against the unhardened phpBB and PHP-Calendar
+// re-implementations) under a legacy same-origin-policy browser and
+// under the ESCUDO browser, and prints the verdicts.
+//
+// Expected shape (the paper's result): every attack succeeds under
+// SOP; every attack is neutralized under ESCUDO.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "escudo-attacks:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sop := attack.RunAll(browser.ModeSOP)
+	esc := attack.RunAll(browser.ModeEscudo)
+	if len(sop) != len(esc) {
+		return fmt.Errorf("result length mismatch: %d vs %d", len(sop), len(esc))
+	}
+
+	fmt.Println("ESCUDO §6.4 — defense effectiveness (unhardened apps)")
+	fmt.Println()
+	t := metrics.NewTable("Attack", "Kind", "App", "SOP browser", "ESCUDO browser")
+	sopWins, escWins := 0, 0
+	for i := range sop {
+		if sop[i].Err != nil {
+			return fmt.Errorf("%s under SOP: %w", sop[i].Attack.Name, sop[i].Err)
+		}
+		if esc[i].Err != nil {
+			return fmt.Errorf("%s under ESCUDO: %w", esc[i].Attack.Name, esc[i].Err)
+		}
+		sopCell := "neutralized"
+		if sop[i].Succeeded {
+			sopCell = "SUCCEEDED"
+			sopWins++
+		}
+		escCell := "neutralized"
+		if esc[i].Succeeded {
+			escCell = "SUCCEEDED"
+			escWins++
+		}
+		t.AddRow(sop[i].Attack.Name, sop[i].Attack.Kind.String(), sop[i].Attack.App, sopCell, escCell)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nUnder SOP:    %d/%d attacks succeeded\n", sopWins, len(sop))
+	fmt.Printf("Under ESCUDO: %d/%d attacks succeeded (paper: all neutralized)\n", escWins, len(esc))
+	if escWins != 0 {
+		return fmt.Errorf("%d attacks succeeded under ESCUDO", escWins)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun executes the full §6.4 harness; run returns an error if any
+// attack succeeds under ESCUDO, so a nil result is the paper's
+// headline reproduced.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

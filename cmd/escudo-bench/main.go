@@ -1,0 +1,43 @@
+// Command escudo-bench regenerates the paper's Figure 4: parsing and
+// rendering time over eight page scenarios, with and without ESCUDO,
+// averaged over 90 repetitions, plus the average relative overhead
+// (the paper reports 5.09%).
+//
+// Usage:
+//
+//	escudo-bench [-reps N] [-warmup N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/scenarios"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "escudo-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("escudo-bench", flag.ContinueOnError)
+	reps := fs.Int("reps", 90, "timed repetitions per scenario (paper: 90)")
+	warmup := fs.Int("warmup", 10, "untimed warmup repetitions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Println("ESCUDO Figure 4 — parsing and rendering overhead")
+	fmt.Printf("(%d repetitions per scenario after %d warmups)\n\n", *reps, *warmup)
+
+	rows := scenarios.Measure(*reps, *warmup)
+	fmt.Print(scenarios.Table(rows))
+	fmt.Printf("\nAverage overhead: %s (paper: +5.09%% on Lobo)\n",
+		metrics.FormatPercent(scenarios.AverageOverhead(rows)))
+	return nil
+}

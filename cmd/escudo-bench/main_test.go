@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run([]string{"-reps", "2", "-warmup", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag must error")
+	}
+}

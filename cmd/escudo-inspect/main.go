@@ -1,0 +1,170 @@
+// Command escudo-inspect loads an HTML document, labels it under
+// ESCUDO, and dumps the resulting security contexts: the ring and ACL
+// of every element, plus an access-query mode that answers "may a
+// principal in ring R perform OP on element #ID?" — the adoption and
+// debugging tool an application developer configuring rings would use.
+//
+// Usage:
+//
+//	escudo-inspect [-maxring N] [-query ring:op:id] [file]
+//
+// With no file, a built-in demonstration page (the paper's Figure 3
+// blog shape) is inspected. -query may repeat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/html"
+	"repro/internal/layout"
+	"repro/internal/origin"
+)
+
+// demoPage is the paper's Figure 3 blog shape.
+const demoPage = `<html><head><title>blog</title></head><body>
+<div ring=2 r=1 w=0 x=2 nonce=3847 id=post>
+  <p>The original blog post.</p>
+  <script id=post-script>render();</script>
+</div nonce=3847>
+<div ring=3 r=2 w=0 x=2 nonce=9121 id=comment>
+  <p>User comment with a hostile script:</p>
+  <script id=evil>document.getElementById("post").innerHTML = "pwned";</script>
+</div nonce=9121>
+</body></html>`
+
+type queryList []string
+
+func (q *queryList) String() string     { return strings.Join(*q, ",") }
+func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "escudo-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("escudo-inspect", flag.ContinueOnError)
+	maxRing := fs.Int("maxring", 3, "page ring count N")
+	var queries queryList
+	fs.Var(&queries, "query", "access query ring:op:id (repeatable), e.g. 3:write:post")
+	showRender := fs.Bool("render", false, "also print the text rendering")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	markup := demoPage
+	if fs.NArg() > 0 {
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		markup = string(data)
+	}
+
+	pageOrigin := origin.MustParse("http://inspected.example")
+	doc := dom.NewDocument(pageOrigin, markup, html.Options{
+		Escudo:  true,
+		MaxRing: core.Ring(*maxRing),
+		// Top-level unlabeled content takes the fail-safe default.
+		BaseRing: core.Ring(*maxRing),
+		BaseACL:  core.ACL{},
+	})
+
+	fmt.Printf("Labeled DOM (N=%d, origin %s):\n\n", *maxRing, pageOrigin)
+	dumpTree(doc.Root, 0)
+
+	if bad := doc.CheckScopingInvariant(); bad != nil {
+		fmt.Printf("\nWARNING: scoping invariant violated at %s\n", describe(bad))
+	} else {
+		fmt.Printf("\nScoping invariant: OK\n")
+	}
+
+	if len(queries) > 0 {
+		fmt.Println("\nAccess queries:")
+		erm := &core.ERM{}
+		for _, q := range queries {
+			if err := answerQuery(erm, doc, pageOrigin, q); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *showRender {
+		fmt.Println("\nRendering:")
+		fmt.Println(layout.RenderText(layout.Layout(doc.Root, 72), 72))
+	}
+	return nil
+}
+
+// dumpTree prints the labeled tree.
+func dumpTree(n *html.Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch n.Type {
+	case html.ElementNode:
+		ac := ""
+		if n.IsACTag {
+			ac = "  [AC tag]"
+		}
+		fmt.Printf("%s<%s>  ring=%d  acl{%s}%s\n", indent, describe(n), n.Ring, n.ACL, ac)
+	case html.TextNode:
+		text := strings.TrimSpace(n.Data)
+		if text == "" {
+			return
+		}
+		if len(text) > 40 {
+			text = text[:40] + "…"
+		}
+		fmt.Printf("%s%q  ring=%d\n", indent, text, n.Ring)
+	case html.DocumentNode:
+		fmt.Printf("%s#document\n", indent)
+	default:
+		return
+	}
+	for _, k := range n.Kids {
+		dumpTree(k, depth+1)
+	}
+}
+
+func describe(n *html.Node) string {
+	if id, ok := n.Attr("id"); ok {
+		return n.Tag + "#" + id
+	}
+	return n.Tag
+}
+
+// answerQuery evaluates one ring:op:id query.
+func answerQuery(erm *core.ERM, doc *dom.Document, o origin.Origin, q string) error {
+	parts := strings.Split(q, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad query %q (want ring:op:id)", q)
+	}
+	ring, err := core.ParseRing(parts[0], core.MaxSupportedRing)
+	if err != nil {
+		return err
+	}
+	var op core.Op
+	switch parts[1] {
+	case "read":
+		op = core.OpRead
+	case "write":
+		op = core.OpWrite
+	case "use":
+		op = core.OpUse
+	default:
+		return fmt.Errorf("bad op %q", parts[1])
+	}
+	node := doc.ByID(parts[2])
+	if node == nil {
+		return fmt.Errorf("no element with id %q", parts[2])
+	}
+	d := erm.Authorize(core.Principal(o, ring, fmt.Sprintf("ring-%d principal", ring)), op, doc.NodeContext(node))
+	fmt.Printf("  %s\n", d)
+	return nil
+}

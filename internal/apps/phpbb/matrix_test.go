@@ -1,0 +1,96 @@
+package phpbb
+
+import (
+	"net/url"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTable2Matrix executes the paper's Table 2 capability matrix:
+//
+//	Principal              Modify Messages  Access Cookies  Access XHR
+//	Application contents   Yes              Yes             Yes
+//	Topics and replies     No               No              No
+//	Private messages       No               No              No
+//
+// Each cell is a script run at the principal's ring against the live
+// forum page, under the Table 3 configuration.
+func TestTable2Matrix(t *testing.T) {
+	a, _, b := newEnv(false)
+	p := loginAs(t, b, "alice", "pw1")
+	if _, err := p.SubmitForm(p.Doc.ByID("newtopic"), url.Values{
+		"subject": {"S"}, "message": {"M"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	topicID := a.Topics()[0].ID
+	tp, err := b.Navigate(forumOrigin.URL("/viewtopic?t=" + strconv.Itoa(topicID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	principals := []struct {
+		name string
+		ring core.Ring
+		can  bool
+	}{
+		{"application contents", RingApp, true},
+		{"topics and replies", RingUser, false},
+		{"private messages", RingUser, false},
+	}
+	postID := "post-" + strconv.Itoa(topicID)
+
+	for _, pr := range principals {
+		t.Run(pr.name, func(t *testing.T) {
+			// Modify messages (DOM): Table 3 lets rings ≤ 2 write
+			// user messages — ring-1 app content yes, ring-3 no.
+			err := tp.RunScriptRing(pr.ring, pr.name,
+				`document.getElementById("`+postID+`").innerText = "edited";`)
+			if got := err == nil; got != pr.can {
+				t.Errorf("modify messages = %v, want %v (err=%v)", got, pr.can, err)
+			}
+			// Access cookies: ring-1 sees them, ring-3 sees none.
+			if err := tp.RunScriptRing(pr.ring, pr.name, `log(document.cookie);`); err != nil {
+				t.Fatalf("cookie read must never error: %v", err)
+			}
+			lines := b.Console.Lines()
+			sawCookie := len(lines) > 0 && lines[len(lines)-1] != ""
+			if sawCookie != pr.can {
+				t.Errorf("access cookies = %v, want %v", sawCookie, pr.can)
+			}
+			// Access XMLHttpRequest (ring 1 per Table 3).
+			err = tp.RunScriptRing(pr.ring, pr.name,
+				`var x = new XMLHttpRequest(); x.open("GET", "/");`)
+			if got := err == nil; got != pr.can {
+				t.Errorf("access xhr = %v, want %v (err=%v)", got, pr.can, err)
+			}
+		})
+	}
+}
+
+// TestTable3MessageIsolation: "content provided by one user is
+// completely isolated from content provided by another" — a ring-3
+// message's script cannot modify a sibling message, but a moderator
+// tool at ring 2 can.
+func TestTable3MessageIsolation(t *testing.T) {
+	a, _, b := newEnv(false)
+	t1 := a.SeedTopic("alice", "alice topic", "alice body")
+	a.SeedReply(t1, "mallory", "mallory reply")
+	tp, err := b.Navigate(forumOrigin.URL("/viewtopic?t=" + strconv.Itoa(t1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := "post-" + strconv.Itoa(t1)
+	// Ring 3 (another message) cannot touch it.
+	if err := tp.RunScriptRing(3, "other-message",
+		`document.getElementById("`+post+`").innerText = "x";`); err == nil {
+		t.Error("ring-3 principal modified a sibling message")
+	}
+	// Ring 2 can (ACL ≤ 2 per Table 3).
+	if err := tp.RunScriptRing(2, "moderator",
+		`document.getElementById("`+post+`").innerText = "moderated";`); err != nil {
+		t.Errorf("ring-2 edit: %v", err)
+	}
+}

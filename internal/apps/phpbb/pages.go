@@ -1,0 +1,153 @@
+package phpbb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/web"
+)
+
+// Page generation. The layout mirrors §6.2: "The head portion of the
+// page contains style information and some trusted JavaScript
+// programs. These are all assigned to ring 0 ... The body tags are
+// assigned to ring 1 ... Topics, replies, and private messages
+// appearing inside the body are assigned to ring 3, but their ACL is
+// configured so that they can be manipulated only by principals in
+// ring 0, 1, and 2."
+//
+// The ESCUDO configuration lives in the page-assembly code (the
+// "template" of the application); user-influenced strings are plugged
+// into ring-3 AC scopes with fresh nonces.
+
+// wrapHead/wrapBody/wrapUser wrap markup in the Table 3 AC scopes; in
+// legacy mode they emit plain divs so the same app runs on both sides
+// of the §6.3 compatibility matrix.
+func (a *App) wrapHead(inner string) string {
+	if !a.cfg.Escudo {
+		return "<div id=head>" + inner + "</div>"
+	}
+	return a.builder.Wrap(0, ACLHead, "id=head", inner)
+}
+
+func (a *App) wrapBody(inner string) string {
+	if !a.cfg.Escudo {
+		return "<div id=appbody>" + inner + "</div>"
+	}
+	return a.builder.Wrap(RingApp, ACLApp, "id=appbody", inner)
+}
+
+func (a *App) wrapUser(idAttr, inner string) string {
+	if !a.cfg.Escudo {
+		return "<div " + idAttr + ">" + inner + "</div>"
+	}
+	return a.builder.Wrap(RingUser, ACLUser, idAttr, inner)
+}
+
+// chrome assembles a full page around body content.
+func (a *App) chrome(title, bodyInner string) string {
+	head := a.wrapHead(fmt.Sprintf(
+		`<title>%s</title><script id=sitejs>var site = "phpBB";</script>`, title))
+	return "<html>" + head + "<body>" + a.wrapBody(bodyInner) + "</body></html>"
+}
+
+// index renders GET /: announcement, topic list, login and posting
+// forms.
+func (a *App) index(req *web.Request) *web.Response {
+	user, _, loggedIn := a.currentUser(req)
+
+	var b strings.Builder
+	b.WriteString(`<h1 id=announcement>Community Forum</h1>`)
+	if loggedIn {
+		fmt.Fprintf(&b, `<p id=whoami>logged in as %s</p>`, user)
+		b.WriteString(`<form id=newtopic action="/posting" method="post">` +
+			`<input name=subject value=""><textarea name=message></textarea>` +
+			a.tokenField(req) +
+			`<input type=submit value=Post></form>`)
+	} else {
+		b.WriteString(`<form id=loginform action="/login" method="post">` +
+			`<input name=username value=""><input name=password value="">` +
+			`<input type=submit value=Login></form>`)
+	}
+	b.WriteString(`<div id=topiclist>`)
+	for _, t := range a.Topics() {
+		fmt.Fprintf(&b, `<p><a id=topic-link-%d href="/viewtopic?t=%d">%d</a></p>`, t.ID, t.ID, t.ID)
+		// Topic subjects are user content: ring 3, unescaped in
+		// unhardened mode.
+		b.WriteString(a.wrapUser(fmt.Sprintf("id=subject-%d", t.ID), a.sanitize(t.Subject)))
+	}
+	b.WriteString(`</div>`)
+
+	resp := web.HTML(a.chrome("Forum", b.String()))
+	a.decorate(resp)
+	return resp
+}
+
+// viewTopic renders GET /viewtopic?t=N.
+func (a *App) viewTopic(req *web.Request) *web.Response {
+	id := req.Query().Get("t")
+	var topic Topic
+	found := false
+	for _, t := range a.Topics() {
+		if fmt.Sprintf("%d", t.ID) == id {
+			topic, found = t, true
+			break
+		}
+	}
+	if !found {
+		return web.NotFound()
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<h1 id=topichead>Topic %d by %s</h1>`, topic.ID, topic.Author)
+	// The original post and every reply are separate ring-3 scopes:
+	// one user's message cannot manipulate another's (Table 3).
+	b.WriteString(a.wrapUser(fmt.Sprintf("id=post-%d", topic.ID),
+		a.sanitize(topic.Subject)+" "+a.sanitize(topic.Body)))
+	for _, r := range topic.Replies {
+		b.WriteString(a.wrapUser(fmt.Sprintf("id=reply-%d", r.ID), a.sanitize(r.Body)))
+	}
+	fmt.Fprintf(&b, `<form id=replyform action="/reply" method="post">`+
+		`<input name=t value="%d"><textarea name=message></textarea>%s`+
+		`<input type=submit value=Reply></form>`, topic.ID, a.tokenField(req))
+
+	resp := web.HTML(a.chrome(fmt.Sprintf("Topic %d", topic.ID), b.String()))
+	a.decorate(resp)
+	return resp
+}
+
+// pmList renders GET /pm for the logged-in user.
+func (a *App) pmList(req *web.Request) *web.Response {
+	user, _, ok := a.currentUser(req)
+	if !ok {
+		return web.Forbidden("login required")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<h1 id=pmhead>Private messages for %s</h1>`, user)
+	for _, m := range a.Messages(user) {
+		b.WriteString(a.wrapUser(fmt.Sprintf("id=pm-%d", m.ID),
+			fmt.Sprintf("from %s: %s — %s", m.From, a.sanitize(m.Subject), a.sanitize(m.Body))))
+	}
+	b.WriteString(`<form id=pmform action="/pm_send" method="post">` +
+		`<input name=to value=""><input name=subject value="">` +
+		`<textarea name=message></textarea>` + a.tokenField(req) +
+		`<input type=submit value=Send></form>`)
+
+	resp := web.HTML(a.chrome("Private Messages", b.String()))
+	a.decorate(resp)
+	return resp
+}
+
+// tokenField emits the hidden CSRF token input in hardened mode.
+func (a *App) tokenField(req *web.Request) string {
+	if !a.cfg.Hardened {
+		return ""
+	}
+	_, sid, ok := a.currentUser(req)
+	if !ok {
+		return ""
+	}
+	a.mu.Lock()
+	tok := a.tokens[sid]
+	a.mu.Unlock()
+	return fmt.Sprintf(`<input type=hidden name=token value="%s">`, tok)
+}

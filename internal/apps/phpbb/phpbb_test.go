@@ -1,0 +1,299 @@
+package phpbb
+
+import (
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/html"
+	"repro/internal/nonce"
+	"repro/internal/origin"
+	"repro/internal/web"
+)
+
+var forumOrigin = origin.MustParse("http://forum.example")
+
+func newApp(hardened bool) *App {
+	a := New(Config{
+		Origin:   forumOrigin,
+		Hardened: hardened,
+		Escudo:   true,
+		Nonces:   nonce.NewSeqSource(1),
+	})
+	a.AddUser("alice", "pw1")
+	a.AddUser("bob", "pw2")
+	return a
+}
+
+func newEnv(hardened bool) (*App, *web.Network, *browser.Browser) {
+	a := newApp(hardened)
+	net := web.NewNetwork()
+	net.Register(forumOrigin, a)
+	b := browser.New(net, browser.Options{Mode: browser.ModeEscudo})
+	return a, net, b
+}
+
+// loginAs drives the login form through the browser.
+func loginAs(t *testing.T, b *browser.Browser, user, pass string) *browser.Page {
+	t.Helper()
+	p, err := b.Navigate(forumOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	form := p.Doc.ByID("loginform")
+	if form == nil {
+		t.Fatal("login form missing")
+	}
+	if _, err := p.SubmitForm(form, url.Values{"username": {user}, "password": {pass}}); err != nil {
+		t.Fatal(err)
+	}
+	// Reload the index as a logged-in user.
+	p, err = b.Navigate(forumOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoginSetsRing1Cookies(t *testing.T) {
+	_, _, b := newEnv(false)
+	p := loginAs(t, b, "alice", "pw1")
+	if who := p.Doc.ByID("whoami"); who == nil || !strings.Contains(html.InnerText(who), "alice") {
+		t.Fatalf("not logged in: %v", who)
+	}
+	for _, name := range []string{CookieSID, CookieData} {
+		c, ok := b.Jar().Get(forumOrigin, name)
+		if !ok {
+			t.Fatalf("cookie %s missing", name)
+		}
+		if c.Ring != 1 || c.ACL != core.UniformACL(1) {
+			t.Errorf("cookie %s = ring %d acl %v, want Table 3 ring 1", name, c.Ring, c.ACL)
+		}
+	}
+}
+
+func TestBadLoginRejected(t *testing.T) {
+	a, _, _ := newEnv(false)
+	if _, _, err := a.Login("alice", "wrong"); err == nil {
+		t.Error("bad password accepted")
+	}
+}
+
+func TestPostAndViewTopic(t *testing.T) {
+	a, _, b := newEnv(false)
+	p := loginAs(t, b, "alice", "pw1")
+	if _, err := p.SubmitForm(p.Doc.ByID("newtopic"), url.Values{
+		"subject": {"Hello"}, "message": {"First post"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	topics := a.Topics()
+	if len(topics) != 1 || topics[0].Author != "alice" || topics[0].Subject != "Hello" {
+		t.Fatalf("topics = %+v", topics)
+	}
+	// The topic page labels per Table 3.
+	tp, err := b.Navigate(forumOrigin.URL("/viewtopic?t=" + itoa(topics[0].ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := tp.Doc.ByID("post-" + itoa(topics[0].ID))
+	if post == nil || post.Ring != RingUser || post.ACL != ACLUser {
+		t.Errorf("post node = %+v", post)
+	}
+	body := tp.Doc.ByID("appbody")
+	if body == nil || body.Ring != RingApp || body.ACL != ACLApp {
+		t.Errorf("appbody = %+v", body)
+	}
+	head := tp.Doc.ByID("head")
+	if head == nil || head.Ring != 0 || head.ACL != ACLHead {
+		t.Errorf("head = %+v", head)
+	}
+}
+
+func TestReplyFlow(t *testing.T) {
+	a, _, b := newEnv(false)
+	p := loginAs(t, b, "alice", "pw1")
+	if _, err := p.SubmitForm(p.Doc.ByID("newtopic"), url.Values{
+		"subject": {"T"}, "message": {"body"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id := a.Topics()[0].ID
+	tp, err := b.Navigate(forumOrigin.URL("/viewtopic?t=" + itoa(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.SubmitForm(tp.Doc.ByID("replyform"), url.Values{"message": {"a reply"}}); err != nil {
+		t.Fatal(err)
+	}
+	topic, _ := a.TopicByID(id)
+	if len(topic.Replies) != 1 || topic.Replies[0].Body != "a reply" || topic.Replies[0].Author != "alice" {
+		t.Fatalf("replies = %+v", topic.Replies)
+	}
+}
+
+func TestPrivateMessages(t *testing.T) {
+	a, _, b := newEnv(false)
+	loginAs(t, b, "alice", "pw1")
+	pm, err := b.Navigate(forumOrigin.URL("/pm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.SubmitForm(pm.Doc.ByID("pmform"), url.Values{
+		"to": {"bob"}, "subject": {"hi"}, "message": {"secret"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	msgs := a.Messages("bob")
+	if len(msgs) != 1 || msgs[0].From != "alice" || msgs[0].Body != "secret" {
+		t.Fatalf("msgs = %+v", msgs)
+	}
+	// Each PM renders in its own ring-3 scope for the recipient.
+	b2 := browser.New(mustNet(a), browser.Options{Mode: browser.ModeEscudo})
+	loginAs(t, b2, "bob", "pw2")
+	pmPage, err := b2.Navigate(forumOrigin.URL("/pm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := pmPage.Doc.ByID("pm-" + itoa(msgs[0].ID))
+	if node == nil || node.Ring != RingUser {
+		t.Errorf("pm node = %+v", node)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	_, net, _ := newEnv(false)
+	req := web.NewRequest("POST", forumOrigin.URL("/posting"))
+	req.Form = url.Values{"subject": {"x"}, "message": {"y"}}
+	resp, err := net.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 403 {
+		t.Errorf("unauthenticated post: status %d, want 403", resp.Status)
+	}
+}
+
+func TestHardenedSanitizesInput(t *testing.T) {
+	a, _, b := newEnv(true)
+	p := loginAs(t, b, "alice", "pw1")
+	payload := `<script>evil()</script>`
+	extra := url.Values{"subject": {"s"}, "message": {payload}}
+	// Hardened mode needs the token, which the form carries.
+	if _, err := p.SubmitForm(p.Doc.ByID("newtopic"), extra); err != nil {
+		t.Fatal(err)
+	}
+	id := a.Topics()[0].ID
+	tp, err := b.Navigate(forumOrigin.URL("/viewtopic?t=" + itoa(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The payload is inert text, not an element.
+	if scripts := tp.Doc.ByTag("script"); len(scripts) != 1 { // only the head sitejs
+		t.Errorf("scripts = %d, want 1 (payload must be escaped)", len(scripts))
+	}
+}
+
+func TestHardenedRequiresToken(t *testing.T) {
+	a, net, b := newEnv(true)
+	loginAs(t, b, "alice", "pw1")
+	sid, _ := b.Jar().Get(forumOrigin, CookieSID)
+	// A forged POST without the token is refused.
+	req := web.NewRequest("POST", forumOrigin.URL("/posting"))
+	req.Header.Set("Cookie", CookieSID+"="+sid.Value)
+	req.Form = url.Values{"subject": {"forged"}, "message": {"m"}}
+	resp, err := net.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 403 {
+		t.Errorf("tokenless post: status %d, want 403", resp.Status)
+	}
+	if len(a.Topics()) != 0 {
+		t.Error("forged post stored")
+	}
+}
+
+func TestUnhardenedAllowsRawMarkup(t *testing.T) {
+	// §6.4's precondition: with validation removed, user markup
+	// reaches the page raw — but lands inside a ring-3 AC scope.
+	a, _, b := newEnv(false)
+	p := loginAs(t, b, "alice", "pw1")
+	if _, err := p.SubmitForm(p.Doc.ByID("newtopic"), url.Values{
+		"subject": {"s"}, "message": {`<b id=bold>markup</b>`},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id := a.Topics()[0].ID
+	tp, err := b.Navigate(forumOrigin.URL("/viewtopic?t=" + itoa(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bold := tp.Doc.ByID("bold")
+	if bold == nil {
+		t.Fatal("raw markup must become elements in unhardened mode")
+	}
+	if bold.Ring != RingUser {
+		t.Errorf("injected element ring = %d, want %d", bold.Ring, RingUser)
+	}
+}
+
+func TestQuickpostGETEndpoint(t *testing.T) {
+	a, net, b := newEnv(false)
+	loginAs(t, b, "alice", "pw1")
+	sid, _ := b.Jar().Get(forumOrigin, CookieSID)
+	req := web.NewRequest("GET", forumOrigin.URL("/quickpost?subject=q&message=m"))
+	req.Header.Set("Cookie", CookieSID+"="+sid.Value)
+	if _, err := net.RoundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+	if topics := a.Topics(); len(topics) != 1 || topics[0].Subject != "q" {
+		t.Errorf("topics = %+v", topics)
+	}
+}
+
+func TestLegacyModeOmitsConfiguration(t *testing.T) {
+	a := New(Config{Origin: forumOrigin, Escudo: false, Nonces: nonce.NewSeqSource(1)})
+	a.AddUser("alice", "pw1")
+	net := web.NewNetwork()
+	net.Register(forumOrigin, a)
+	b := browser.New(net, browser.Options{Mode: browser.ModeEscudo})
+	p, err := b.Navigate(forumOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config.Configured() {
+		t.Error("legacy app must not send ESCUDO headers")
+	}
+	if body := p.Doc.ByID("appbody"); body == nil || body.Ring != 0 {
+		t.Errorf("legacy labels = %+v", body)
+	}
+}
+
+func TestLogout(t *testing.T) {
+	a, net, b := newEnv(false)
+	loginAs(t, b, "alice", "pw1")
+	sid, _ := b.Jar().Get(forumOrigin, CookieSID)
+	if _, ok := a.SessionUser(sid.Value); !ok {
+		t.Fatal("session missing after login")
+	}
+	req := web.NewRequest("GET", forumOrigin.URL("/logout"))
+	req.Header.Set("Cookie", CookieSID+"="+sid.Value)
+	if _, err := net.RoundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.SessionUser(sid.Value); ok {
+		t.Error("session survives logout")
+	}
+}
+
+func mustNet(a *App) *web.Network {
+	net := web.NewNetwork()
+	net.Register(forumOrigin, a)
+	return net
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

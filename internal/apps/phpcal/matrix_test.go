@@ -1,0 +1,57 @@
+package phpcal
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTable4Matrix executes the paper's Table 4 capability matrix:
+//
+//	Principal            Modify Messages  Access Cookies  Access XHR
+//	Application content  Yes              Yes             Yes
+//	Calendar events      No               No              No
+//
+// under the Table 5 configuration.
+func TestTable4Matrix(t *testing.T) {
+	a, _, b := newEnv(false)
+	loginAs(t, b, "alice", "pw1")
+	evID := a.SeedEvent("alice", 10, "standup")
+	p, err := b.Navigate(calOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventID := "event-" + strconv.Itoa(evID)
+
+	principals := []struct {
+		name string
+		ring core.Ring
+		can  bool
+	}{
+		{"application content", RingApp, true},
+		{"calendar events", RingEvent, false},
+	}
+	for _, pr := range principals {
+		t.Run(pr.name, func(t *testing.T) {
+			err := p.RunScriptRing(pr.ring, pr.name,
+				`document.getElementById("`+eventID+`").innerText = "edited";`)
+			if got := err == nil; got != pr.can {
+				t.Errorf("modify events = %v, want %v (err=%v)", got, pr.can, err)
+			}
+			if err := p.RunScriptRing(pr.ring, pr.name, `log(document.cookie);`); err != nil {
+				t.Fatalf("cookie read errored: %v", err)
+			}
+			lines := b.Console.Lines()
+			sawCookie := len(lines) > 0 && lines[len(lines)-1] != ""
+			if sawCookie != pr.can {
+				t.Errorf("access cookies = %v, want %v", sawCookie, pr.can)
+			}
+			err = p.RunScriptRing(pr.ring, pr.name,
+				`var x = new XMLHttpRequest(); x.open("GET", "/");`)
+			if got := err == nil; got != pr.can {
+				t.Errorf("access xhr = %v, want %v (err=%v)", got, pr.can, err)
+			}
+		})
+	}
+}

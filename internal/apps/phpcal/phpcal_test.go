@@ -1,0 +1,260 @@
+package phpcal
+
+import (
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/html"
+	"repro/internal/nonce"
+	"repro/internal/origin"
+	"repro/internal/web"
+)
+
+var calOrigin = origin.MustParse("http://calendar.example")
+
+func newEnv(hardened bool) (*App, *web.Network, *browser.Browser) {
+	a := New(Config{Origin: calOrigin, Hardened: hardened, Escudo: true, Nonces: nonce.NewSeqSource(1)})
+	a.AddUser("alice", "pw1")
+	a.AddUser("bob", "pw2")
+	net := web.NewNetwork()
+	net.Register(calOrigin, a)
+	b := browser.New(net, browser.Options{Mode: browser.ModeEscudo})
+	return a, net, b
+}
+
+func loginAs(t *testing.T, b *browser.Browser, user, pass string) *browser.Page {
+	t.Helper()
+	p, err := b.Navigate(calOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SubmitForm(p.Doc.ByID("loginform"), url.Values{
+		"username": {user}, "password": {pass},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p, err = b.Navigate(calOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoginAndSessionCookie(t *testing.T) {
+	_, _, b := newEnv(false)
+	p := loginAs(t, b, "alice", "pw1")
+	if who := p.Doc.ByID("whoami"); who == nil || !strings.Contains(html.InnerText(who), "alice") {
+		t.Fatal("not logged in")
+	}
+	c, ok := b.Jar().Get(calOrigin, CookieSession)
+	if !ok || c.Ring != 1 || c.ACL != core.UniformACL(1) {
+		t.Errorf("session cookie = %+v, %v (want Table 5 ring 1)", c, ok)
+	}
+}
+
+func TestCreateEventAndLabels(t *testing.T) {
+	a, _, b := newEnv(false)
+	p := loginAs(t, b, "alice", "pw1")
+	if _, err := p.SubmitForm(p.Doc.ByID("newevent"), url.Values{
+		"day": {"14"}, "text": {"team meeting"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events := a.Events()
+	if len(events) != 1 || events[0].Day != 14 || events[0].Author != "alice" {
+		t.Fatalf("events = %+v", events)
+	}
+	p2, err := b.Navigate(calOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := p2.Doc.ByID("event-" + strconv.Itoa(events[0].ID))
+	if ev == nil || ev.Ring != RingEvent || ev.ACL != ACLEvent {
+		t.Errorf("event node = %+v, want Table 5 ring 3 ACL ≤2", ev)
+	}
+	if body := p2.Doc.ByID("appbody"); body.Ring != RingApp || body.ACL != ACLApp {
+		t.Errorf("appbody = %+v", body)
+	}
+	if head := p2.Doc.ByID("head"); head.Ring != 0 {
+		t.Errorf("head = %+v", head)
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	a, net, b := newEnv(false)
+	loginAs(t, b, "alice", "pw1")
+	sid, _ := b.Jar().Get(calOrigin, CookieSession)
+	for _, bad := range []url.Values{
+		{"day": {"0"}, "text": {"x"}},
+		{"day": {"32"}, "text": {"x"}},
+		{"day": {"abc"}, "text": {"x"}},
+		{"day": {"5"}, "text": {""}},
+	} {
+		req := web.NewRequest("POST", calOrigin.URL("/event"))
+		req.Header.Set("Cookie", CookieSession+"="+sid.Value)
+		req.Form = bad
+		resp, err := net.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != 403 {
+			t.Errorf("bad event %v: status %d", bad, resp.Status)
+		}
+	}
+	if len(a.Events()) != 0 {
+		t.Error("invalid events stored")
+	}
+}
+
+func TestUpdateOwnEventOnly(t *testing.T) {
+	a, net, b := newEnv(false)
+	loginAs(t, b, "alice", "pw1")
+	aliceSid, _ := b.Jar().Get(calOrigin, CookieSession)
+	req := web.NewRequest("POST", calOrigin.URL("/event"))
+	req.Header.Set("Cookie", CookieSession+"="+aliceSid.Value)
+	req.Form = url.Values{"day": {"3"}, "text": {"alice event"}}
+	if _, err := net.RoundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+	id := a.Events()[0].ID
+
+	bobSid, err := a.Login("bob", "pw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req = web.NewRequest("POST", calOrigin.URL("/update"))
+	req.Header.Set("Cookie", CookieSession+"="+bobSid)
+	req.Form = url.Values{"id": {strconv.Itoa(id)}, "text": {"bob was here"}}
+	resp, err := net.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 403 {
+		t.Errorf("bob updating alice's event: status %d", resp.Status)
+	}
+	ev, _ := a.EventByID(id)
+	if ev.Text != "alice event" {
+		t.Errorf("event modified: %q", ev.Text)
+	}
+	// Alice can update her own.
+	req = web.NewRequest("POST", calOrigin.URL("/update"))
+	req.Header.Set("Cookie", CookieSession+"="+aliceSid.Value)
+	req.Form = url.Values{"id": {strconv.Itoa(id)}, "text": {"rescheduled"}}
+	if resp, err = net.RoundTrip(req); err != nil || resp.Status != 303 {
+		t.Fatalf("alice update: %v %v", resp, err)
+	}
+	ev, _ = a.EventByID(id)
+	if ev.Text != "rescheduled" {
+		t.Errorf("event = %q", ev.Text)
+	}
+}
+
+func TestQuickeventGET(t *testing.T) {
+	a, net, b := newEnv(false)
+	loginAs(t, b, "alice", "pw1")
+	sid, _ := b.Jar().Get(calOrigin, CookieSession)
+	req := web.NewRequest("GET", calOrigin.URL("/quickevent?day=7&text=injected"))
+	req.Header.Set("Cookie", CookieSession+"="+sid.Value)
+	if _, err := net.RoundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+	if events := a.Events(); len(events) != 1 || events[0].Text != "injected" {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestHardenedEscapesEventText(t *testing.T) {
+	a, _, b := newEnv(true)
+	p := loginAs(t, b, "alice", "pw1")
+	if _, err := p.SubmitForm(p.Doc.ByID("newevent"), url.Values{
+		"day": {"2"}, "text": {`<script>evil()</script>`},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events()) != 1 {
+		t.Fatal("event missing")
+	}
+	p2, err := b.Navigate(calOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scripts := p2.Doc.ByTag("script"); len(scripts) != 1 { // head caljs only
+		t.Errorf("scripts = %d, want 1", len(scripts))
+	}
+}
+
+func TestUnhardenedEventScriptRunsAtRing3(t *testing.T) {
+	a, _, b := newEnv(false)
+	p := loginAs(t, b, "alice", "pw1")
+	if _, err := p.SubmitForm(p.Doc.ByID("newevent"), url.Values{
+		"day": {"2"}, "text": {`<script>document.getElementById("caltitle").innerText = "pwned";</script>`},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events()) != 1 {
+		t.Fatal("event missing")
+	}
+	p2, err := b.Navigate(calOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injected script executed but was denied by the ring rule.
+	if len(p2.ScriptErrors) != 1 {
+		t.Fatalf("ScriptErrors = %v", p2.ScriptErrors)
+	}
+	if got := html.InnerText(p2.Doc.ByID("caltitle")); got != "Group Calendar" {
+		t.Errorf("title = %q", got)
+	}
+}
+
+func TestEventsIsolatedFromEachOther(t *testing.T) {
+	// Table 5: one event's script cannot modify another event
+	// (events are ring 3; event ACL admits only rings ≤ 2).
+	a, _, b := newEnv(false)
+	p := loginAs(t, b, "alice", "pw1")
+	if _, err := p.SubmitForm(p.Doc.ByID("newevent"), url.Values{
+		"day": {"1"}, "text": {"victim event"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	victimID := a.Events()[0].ID
+	p, err := b.Navigate(calOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := `<script>document.getElementById("event-` + strconv.Itoa(victimID) + `").innerText = "defaced";</script>`
+	if _, err := p.SubmitForm(p.Doc.ByID("newevent"), url.Values{
+		"day": {"1"}, "text": {payload},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.Navigate(calOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.ScriptErrors) != 1 {
+		t.Fatalf("ScriptErrors = %v", p2.ScriptErrors)
+	}
+	if got := html.InnerText(p2.Doc.ByID("event-" + strconv.Itoa(victimID))); got != "victim event" {
+		t.Errorf("victim event = %q", got)
+	}
+}
+
+func TestLegacyMode(t *testing.T) {
+	a := New(Config{Origin: calOrigin, Escudo: false, Nonces: nonce.NewSeqSource(1)})
+	a.AddUser("alice", "pw1")
+	net := web.NewNetwork()
+	net.Register(calOrigin, a)
+	b := browser.New(net, browser.Options{Mode: browser.ModeEscudo})
+	p, err := b.Navigate(calOrigin.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config.Configured() {
+		t.Error("legacy app must not be configured")
+	}
+}

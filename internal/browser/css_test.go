@@ -1,0 +1,126 @@
+package browser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/css"
+	"repro/internal/dom"
+	"repro/internal/web"
+)
+
+// cssNetwork serves a configured page with a trusted (ring-0) style
+// sheet and a user-content region where attackers may smuggle styles.
+func cssNetwork(userContent string) *web.Network {
+	net := web.NewNetwork()
+	net.Register(site, web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML(`<html><head>` +
+			`<div ring=0 r=0 w=0 x=0 id=headwrap><style id=appcss>` +
+			`.secret { display: none } h1 { color: navy }` +
+			`</style></div>` +
+			`</head><body>` +
+			`<div ring=1 r=1 w=1 x=1 id=app>` +
+			`<h1 id=title>Styled App</h1>` +
+			`<p id=visible>public text</p>` +
+			`<p id=hidden class=secret>internal note</p>` +
+			`</div>` +
+			`<div ring=3 r=2 w=2 x=2 id=user>` + userContent + `</div>` +
+			`</body></html>`)
+		resp.Header.Set(core.HeaderMaxRing, "3")
+		resp.Header.Add("Set-Cookie", "sid=v; Path=/")
+		resp.Header.Add(core.HeaderCookie, "sid; ring=1; r=1; w=1; x=1")
+		return resp
+	}))
+	return net
+}
+
+func TestCSSHidesDisplayNone(t *testing.T) {
+	b := New(cssNetwork(`plain user text`), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.RenderText()
+	if !strings.Contains(out, "public text") {
+		t.Errorf("visible text missing: %q", out)
+	}
+	if strings.Contains(out, "internal note") {
+		t.Errorf("display:none text rendered: %q", out)
+	}
+}
+
+func TestCSSStyleResolution(t *testing.T) {
+	b := New(cssNetwork(`x`), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Styles == nil {
+		t.Fatal("no resolver")
+	}
+	st := p.Styles.StyleFor(p.Doc.ByID("title"), css.Style{})
+	if st.Color != "navy" {
+		t.Errorf("title color = %q", st.Color)
+	}
+}
+
+func TestCSSExpressionRunsAtStyleRing(t *testing.T) {
+	// A hostile stylesheet smuggled into ring-3 user content: its
+	// expression() runs as a ring-3 principal and is denied the
+	// ring-1 app content — the Table 1 script-invoking principal,
+	// mediated like any other.
+	b := New(cssNetwork(`<style id=evilcss>`+
+		`#x { width: expression(document.getElementById("title").innerText = "PWNED-BY-CSS") }`+
+		`</style>`), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ScriptErrors) != 1 {
+		t.Fatalf("ScriptErrors = %v", p.ScriptErrors)
+	}
+	var denied *dom.DeniedError
+	if !errors.As(p.ScriptErrors[0], &denied) {
+		t.Fatalf("err = %v", p.ScriptErrors[0])
+	}
+	if denied.Decision.Principal.Ring != 3 {
+		t.Errorf("expression principal ring = %d, want 3", denied.Decision.Principal.Ring)
+	}
+	// The same attack under SOP succeeds.
+	bsop := New(cssNetwork(`<style id=evilcss>`+
+		`#x { width: expression(document.getElementById("title").innerText = "PWNED-BY-CSS") }`+
+		`</style>`), Options{Mode: ModeSOP})
+	psop, err := bsop.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psop.ScriptErrors) != 0 {
+		t.Errorf("SOP errors = %v", psop.ScriptErrors)
+	}
+}
+
+func TestCSSTrustedExpressionAllowed(t *testing.T) {
+	// An expression in the ring-0 trusted sheet runs with ring-0
+	// authority: the model constrains by context, not by construct.
+	net := web.NewNetwork()
+	net.Register(site, web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML(`<div ring=0 r=0 w=0 x=0 id=headwrap>` +
+			`<style>#banner { width: expression(log("expr ran")) }</style></div>` +
+			`<div ring=1 r=1 w=1 x=1 id=app><p id=banner>b</p></div>`)
+		resp.Header.Set(core.HeaderMaxRing, "3")
+		return resp
+	}))
+	b := New(net, Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ScriptErrors) != 0 {
+		t.Fatalf("errors = %v", p.ScriptErrors)
+	}
+	if lines := b.Console.Lines(); len(lines) != 1 || lines[0] != "expr ran" {
+		t.Errorf("lines = %v", lines)
+	}
+}

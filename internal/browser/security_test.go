@@ -1,0 +1,246 @@
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/html"
+	"repro/internal/nonce"
+	"repro/internal/template"
+	"repro/internal/web"
+)
+
+// This file is the §5 "Security Analysis of Escudo" of the paper as an
+// executable test suite: every tampering method the paper enumerates
+// for illegally elevating privilege, exercised end to end through the
+// browser pipeline.
+
+// securityPage builds a configured page with a nonce-sealed ring-3
+// region, simulating a server that hosts attacker-influenced content.
+func securityNetwork(userContent string) *web.Network {
+	net := web.NewNetwork()
+	builder := template.NewACBuilder(nonce.NewSeqSource(424242))
+	net.Register(site, web.HandlerFunc(func(req *web.Request) *web.Response {
+		page := `<html><body>` +
+			builder.Wrap(1, core.UniformACL(1), "id=app", `<p id=appmsg>trusted</p>`) +
+			builder.Wrap(3, core.UniformACL(2), "id=user", userContent) +
+			`</body></html>`
+		resp := web.HTML(page)
+		resp.Header.Set(core.HeaderMaxRing, "3")
+		resp.Header.Add("Set-Cookie", "sid=tok; Path=/")
+		resp.Header.Add(core.HeaderCookie, "sid; ring=1; r=1; w=1; x=1")
+		return resp
+	}))
+	return net
+}
+
+// TestSecurityAnalysisSetAttribute is §5(1): "A JavaScript program may
+// attempt to remap an AC tag to a higher privileged ring using the DOM
+// API function setAttribute. ... such attempts to modify the
+// attributes cannot succeed."
+func TestSecurityAnalysisSetAttribute(t *testing.T) {
+	b := New(securityNetwork(`inert`), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even a principal privileged enough to write the element (ring
+	// 2 satisfies the user scope's ACL ≤ 2) cannot touch the
+	// configuration attributes.
+	err = p.RunScriptRing(2, "remap", `
+var el = document.getElementById("user");
+el.setAttribute("ring", "0");`)
+	if !errors.Is(err, dom.ErrConfigAttribute) {
+		t.Errorf("err = %v, want config-attribute rejection", err)
+	}
+	if p.Doc.ByID("user").Ring != 3 {
+		t.Error("ring was remapped")
+	}
+}
+
+// TestSecurityAnalysisConfigOpacity is the §5 premise: "the
+// configuration information is not exposed to JavaScript programs."
+func TestSecurityAnalysisConfigOpacity(t *testing.T) {
+	b := New(securityNetwork(`inert`), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even a ring-0 principal sees nothing: opacity is unconditional.
+	err = p.RunScriptRing(0, "peek", `
+var el = document.getElementById("user");
+log("ring:" + el.getAttribute("ring"));
+log("nonce:" + el.getAttribute("nonce"));
+log("html:" + document.body.innerHTML.indexOf("nonce"));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := b.Console.Lines()
+	if lines[0] != "ring:" || lines[1] != "nonce:" {
+		t.Errorf("config visible: %v", lines)
+	}
+	if lines[2] != "html:-1" {
+		t.Errorf("nonce leaked through innerHTML: %v", lines)
+	}
+}
+
+// TestSecurityAnalysisNodeSplitting is §5(2): a premature </div>
+// without the nonce is ignored, so injected content cannot escape its
+// scope.
+func TestSecurityAnalysisNodeSplitting(t *testing.T) {
+	payloads := []string{
+		`</div><div ring=0 id=forged1><script>document.getElementById("appmsg").innerText = "x";</script></div>`,
+		`</div nonce=1><div ring=0 id=forged1><script>document.getElementById("appmsg").innerText = "x";</script></div>`,
+		`</div nonce=999999></div nonce=0><div ring=0 id=forged1></div>`,
+	}
+	for i, payload := range payloads {
+		t.Run(fmt.Sprintf("payload%d", i), func(t *testing.T) {
+			b := New(securityNetwork(payload), Options{Mode: ModeEscudo})
+			p, err := b.Navigate(site.URL("/"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if forged := p.Doc.ByID("forged1"); forged != nil && forged.Ring != 3 {
+				t.Errorf("forged div escaped to ring %d", forged.Ring)
+			}
+			if got := html.InnerText(p.Doc.ByID("appmsg")); got != "trusted" {
+				t.Errorf("app content modified: %q", got)
+			}
+		})
+	}
+}
+
+// TestSecurityAnalysisCreatedPrincipalBounded is §5's closing
+// argument: "a malicious principal cannot create a new principal that
+// has higher privileges than itself. All the DOM modifications done
+// using the DOM API are subject to the scoping rule."
+func TestSecurityAnalysisCreatedPrincipalBounded(t *testing.T) {
+	b := New(securityNetwork(`<div id=mine>my area</div>`), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ring-3 principal writes into ring-3 territory (ACL on #user
+	// is ≤2, but #mine inherits r/w from the scope... the inner div
+	// carries the scope ACL ≤2, so use a ring-2 principal writing
+	// claimed-ring-0 markup instead: still must clamp to 3).
+	err = p.RunScriptRing(2, "writer", `
+document.getElementById("mine").innerHTML = "<div ring=0 id=minted><script id=ms>x()</scr" + "ipt></div>";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minted := p.Doc.ByID("minted")
+	if minted == nil {
+		t.Fatal("minted div missing")
+	}
+	if minted.Ring != 3 {
+		t.Errorf("minted ring = %d, want clamped 3", minted.Ring)
+	}
+	if bad := p.Doc.CheckScopingInvariant(); bad != nil {
+		t.Errorf("scoping invariant violated at %v", bad)
+	}
+}
+
+// TestSecurityAnalysisRingReassignmentOnce: "Escudo reads the
+// configuration information provided by the application and performs
+// the ring mapping exactly once." Reloading a page re-derives labels
+// from fresh markup; nothing a script did earlier persists.
+func TestSecurityAnalysisRingReassignmentOnce(t *testing.T) {
+	b := New(securityNetwork(`inert`), Options{Mode: ModeEscudo})
+	p1, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the DOM as far as allowed.
+	if err := p1.RunScriptRing(0, "m", `document.getElementById("user").innerText = "gone";`); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := html.InnerText(p2.Doc.ByID("user")); got != "inert" {
+		t.Errorf("reloaded page = %q, want fresh mapping", got)
+	}
+}
+
+// TestSecurityAnalysisCookieInvisibleNotError: inner-ring cookies are
+// invisible to outer-ring reads rather than an error channel —
+// document.cookie filters silently, leaking nothing, not even the
+// cookie's existence.
+func TestSecurityAnalysisCookieInvisibleNotError(t *testing.T) {
+	b := New(securityNetwork(`<script>log("seen:" + document.cookie);</script>`), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ScriptErrors) != 0 {
+		t.Fatalf("cookie read must not error: %v", p.ScriptErrors)
+	}
+	lines := b.Console.Lines()
+	if len(lines) != 1 || lines[0] != "seen:" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+// TestSecurityAnalysisMalformedConfigFailsSafe: a tampered or
+// corrupted configuration degrades to less privilege, never more.
+func TestSecurityAnalysisMalformedConfigFailsSafe(t *testing.T) {
+	net := web.NewNetwork()
+	net.Register(site, web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML(`<div ring=banana r=9 w=-3 x=zz id=x>content</div>`)
+		resp.Header.Set(core.HeaderMaxRing, "3")
+		resp.Header.Add(core.HeaderCookie, "sid; ring=99")      // out of range
+		resp.Header.Add(core.HeaderAPI, "xmlhttprequest; ring") // malformed
+		resp.Header.Add("Set-Cookie", "sid=v; Path=/")
+		return resp
+	}))
+	b := New(net, Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ConfigErrors) == 0 {
+		t.Error("malformed headers must be reported")
+	}
+	// The div's bogus ring degrades to the least privileged ring.
+	if x := p.Doc.ByID("x"); x.Ring != 3 {
+		t.Errorf("bogus ring = %d, want fail-safe 3", x.Ring)
+	}
+	// The malformed cookie config is dropped: ring-0 default, which
+	// only ring-0 principals can use.
+	c, ok := b.Jar().Get(site, "sid")
+	if !ok || c.Ring != 0 {
+		t.Errorf("cookie = %+v, want fail-safe ring 0", c)
+	}
+	// The malformed API config is dropped: ring-0 default denies
+	// outer scripts.
+	err = p.RunScriptRing(2, "x2", `var x = new XMLHttpRequest(); x.open("GET", "/");`)
+	var denied *dom.DeniedError
+	if !errors.As(err, &denied) {
+		t.Errorf("err = %v, want xhr denial under fail-safe ring 0", err)
+	}
+}
+
+// TestSecurityAnalysisScriptCannotForgeMonitor: script values cannot
+// reach or replace the page monitor — there is no binding that exposes
+// it. This is a structural test: the environment only contains the
+// expected host objects.
+func TestSecurityAnalysisScriptCannotForgeMonitor(t *testing.T) {
+	b := New(securityNetwork(`inert`), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.RunScriptRing(3, "probe", `log(typeof monitor); log(typeof erm); log(typeof page);`)
+	if err == nil {
+		t.Fatal("undefined globals must error")
+	}
+	if !strings.Contains(err.Error(), "undefined variable") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+package cookie
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestJarConcurrent exercises the jar's locking under parallel
+// set/get/match/delete (run with -race to verify).
+func TestJarConcurrent(t *testing.T) {
+	var j Jar
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("c%d", w)
+			for i := 0; i < 100; i++ {
+				j.Set(Cookie{Name: name, Value: fmt.Sprint(i), Origin: forum, Domain: forum.Host, Path: "/"})
+				j.Get(forum, name)
+				j.Matching(forum, "/any")
+				j.All()
+				j.Len()
+			}
+			j.Delete(forum, name)
+		}()
+	}
+	wg.Wait()
+	if j.Len() != 0 {
+		t.Errorf("Len = %d after all deletes", j.Len())
+	}
+}

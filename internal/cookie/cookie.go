@@ -1,0 +1,218 @@
+// Package cookie implements the browser cookie store with ESCUDO
+// labels. Cookies are the paper's canonical implicitly-used objects:
+// "whenever an HTTP request is generated for a target URL, web
+// browsers automatically attach the cookies belonging to the target
+// site to the HTTP request. However, the principal who initiated the
+// request did not explicitly reference the cookies" (§4.1). ESCUDO
+// models that attachment as the use operation and mediates it through
+// the reference monitor, which is what neutralizes CSRF (§6.4).
+package cookie
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/origin"
+)
+
+// Cookie is one stored cookie with its ESCUDO label.
+type Cookie struct {
+	Name  string
+	Value string
+	// Origin is the origin that set the cookie; the Origin rule
+	// compares principals against it.
+	Origin origin.Origin
+	// Domain and Path scope attachment, as in RFC 6265 (simplified).
+	Domain string
+	Path   string
+	// Ring and ACL are the ESCUDO label from the X-Escudo-Cookie
+	// header; unconfigured cookies sit in ring 0 (§4.1).
+	Ring core.Ring
+	ACL  core.ACL
+	// HTTPOnly hides the cookie from script reads (defense in depth;
+	// orthogonal to ESCUDO but present in real deployments).
+	HTTPOnly bool
+}
+
+// Context returns the cookie's object security context.
+func (c *Cookie) Context() core.Context {
+	return core.Object(c.Origin, c.Ring, c.ACL, "cookie "+c.Name)
+}
+
+// ErrBadSetCookie reports an unparsable Set-Cookie header value.
+var ErrBadSetCookie = errors.New("cookie: malformed Set-Cookie")
+
+// ParseSetCookie parses a Set-Cookie header value ("name=value; Path=/;
+// Domain=x; HttpOnly"). The setting origin supplies defaults for
+// domain and path.
+func ParseSetCookie(value string, setter origin.Origin) (Cookie, error) {
+	parts := strings.Split(value, ";")
+	name, val, ok := strings.Cut(strings.TrimSpace(parts[0]), "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return Cookie{}, fmt.Errorf("%w: %q", ErrBadSetCookie, value)
+	}
+	c := Cookie{
+		Name:   name,
+		Value:  strings.TrimSpace(val),
+		Origin: setter,
+		Domain: setter.Host,
+		Path:   "/",
+	}
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		k, v, _ := strings.Cut(p, "=")
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "path":
+			if v != "" {
+				c.Path = v
+			}
+		case "domain":
+			c.Domain = strings.ToLower(strings.TrimPrefix(v, "."))
+		case "httponly":
+			c.HTTPOnly = true
+		}
+	}
+	return c, nil
+}
+
+// DomainMatch reports whether a cookie scoped to domain attaches to
+// requests for host: exact match or a dot-boundary suffix match.
+func DomainMatch(host, domain string) bool {
+	host = strings.ToLower(host)
+	domain = strings.ToLower(domain)
+	if host == domain {
+		return true
+	}
+	return strings.HasSuffix(host, "."+domain)
+}
+
+// PathMatch reports whether a cookie scoped to cookiePath attaches to
+// requests for reqPath, per RFC 6265 §5.1.4 (simplified).
+func PathMatch(reqPath, cookiePath string) bool {
+	if reqPath == "" {
+		reqPath = "/"
+	}
+	if reqPath == cookiePath {
+		return true
+	}
+	if strings.HasPrefix(reqPath, cookiePath) {
+		return strings.HasSuffix(cookiePath, "/") || reqPath[len(cookiePath)] == '/'
+	}
+	return false
+}
+
+// Jar stores cookies for the whole browser, keyed by origin. The zero
+// value is ready to use; it is safe for concurrent use.
+type Jar struct {
+	mu      sync.Mutex
+	cookies []*Cookie
+}
+
+// Set inserts or replaces a cookie (same origin, name, domain, path).
+func (j *Jar) Set(c Cookie) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, old := range j.cookies {
+		if old.Origin == c.Origin && old.Name == c.Name && old.Domain == c.Domain && old.Path == c.Path {
+			clone := c
+			j.cookies[i] = &clone
+			return
+		}
+	}
+	clone := c
+	j.cookies = append(j.cookies, &clone)
+}
+
+// Delete removes the named cookie set by the given origin.
+func (j *Jar) Delete(o origin.Origin, name string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	kept := j.cookies[:0]
+	for _, c := range j.cookies {
+		if !(c.Origin == o && c.Name == name) {
+			kept = append(kept, c)
+		}
+	}
+	j.cookies = kept
+}
+
+// Matching returns copies of the cookies that would attach to a
+// request for the target origin and path, before any access-control
+// decision. Sorted by name for determinism.
+func (j *Jar) Matching(target origin.Origin, path string) []Cookie {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Cookie
+	for _, c := range j.cookies {
+		if c.Origin.Scheme == target.Scheme && DomainMatch(target.Host, c.Domain) &&
+			c.Origin.Port == target.Port && PathMatch(path, c.Path) {
+			out = append(out, *c)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Get returns a copy of the named cookie set by origin o, if present.
+func (j *Jar) Get(o origin.Origin, name string) (Cookie, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, c := range j.cookies {
+		if c.Origin == o && c.Name == name {
+			return *c, true
+		}
+	}
+	return Cookie{}, false
+}
+
+// All returns copies of every stored cookie, sorted by origin then
+// name.
+func (j *Jar) All() []Cookie {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Cookie, 0, len(j.cookies))
+	for _, c := range j.cookies {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Origin != out[b].Origin {
+			return out[a].Origin.String() < out[b].Origin.String()
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// Len returns the number of stored cookies.
+func (j *Jar) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cookies)
+}
+
+// Header serializes cookies into a Cookie request header value.
+func Header(cookies []Cookie) string {
+	parts := make([]string, 0, len(cookies))
+	for _, c := range cookies {
+		parts = append(parts, c.Name+"="+c.Value)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ParseCookieHeader parses a Cookie request header value into
+// name→value pairs, the server-side view.
+func ParseCookieHeader(value string) map[string]string {
+	out := map[string]string{}
+	for _, part := range strings.Split(value, ";") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if ok && name != "" {
+			out[name] = val
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package cookie
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/origin"
+)
+
+var (
+	forum = origin.MustParse("http://forum.example")
+	evil  = origin.MustParse("http://evil.example")
+)
+
+func TestParseSetCookie(t *testing.T) {
+	c, err := ParseSetCookie("phpbb2mysql_sid=abc123; Path=/; HttpOnly", forum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "phpbb2mysql_sid" || c.Value != "abc123" || c.Path != "/" || !c.HTTPOnly {
+		t.Errorf("c = %+v", c)
+	}
+	if c.Domain != "forum.example" || c.Origin != forum {
+		t.Errorf("defaults: %+v", c)
+	}
+	c, err = ParseSetCookie("a=b; Domain=.example; Path=/sub", forum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Domain != "example" || c.Path != "/sub" {
+		t.Errorf("c = %+v", c)
+	}
+}
+
+func TestParseSetCookieErrors(t *testing.T) {
+	for _, v := range []string{"", "noequals", "=value", "  ;Path=/"} {
+		if _, err := ParseSetCookie(v, forum); !errors.Is(err, ErrBadSetCookie) {
+			t.Errorf("ParseSetCookie(%q) err = %v, want ErrBadSetCookie", v, err)
+		}
+	}
+}
+
+func TestDomainMatch(t *testing.T) {
+	tests := []struct {
+		host, domain string
+		want         bool
+	}{
+		{"forum.example", "forum.example", true},
+		{"sub.forum.example", "forum.example", true},
+		{"forum.example", "sub.forum.example", false},
+		{"evilforum.example", "forum.example", false},
+		{"FORUM.example", "forum.EXAMPLE", true},
+	}
+	for _, tt := range tests {
+		if got := DomainMatch(tt.host, tt.domain); got != tt.want {
+			t.Errorf("DomainMatch(%q, %q) = %v, want %v", tt.host, tt.domain, got, tt.want)
+		}
+	}
+}
+
+func TestPathMatch(t *testing.T) {
+	tests := []struct {
+		req, cookie string
+		want        bool
+	}{
+		{"/", "/", true},
+		{"/forum/view", "/", true},
+		{"/forum/view", "/forum", true},
+		{"/forum/view", "/forum/", true},
+		{"/forumx", "/forum", false},
+		{"/other", "/forum", false},
+		{"", "/", true},
+	}
+	for _, tt := range tests {
+		if got := PathMatch(tt.req, tt.cookie); got != tt.want {
+			t.Errorf("PathMatch(%q, %q) = %v, want %v", tt.req, tt.cookie, got, tt.want)
+		}
+	}
+}
+
+func TestJarSetGetReplace(t *testing.T) {
+	var j Jar
+	j.Set(Cookie{Name: "sid", Value: "1", Origin: forum, Domain: forum.Host, Path: "/", Ring: 1})
+	j.Set(Cookie{Name: "sid", Value: "2", Origin: forum, Domain: forum.Host, Path: "/", Ring: 1})
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (replace)", j.Len())
+	}
+	c, ok := j.Get(forum, "sid")
+	if !ok || c.Value != "2" {
+		t.Errorf("Get = %+v, %v", c, ok)
+	}
+	if _, ok := j.Get(evil, "sid"); ok {
+		t.Error("cookie visible to wrong origin")
+	}
+}
+
+func TestJarMatching(t *testing.T) {
+	var j Jar
+	j.Set(Cookie{Name: "sid", Value: "s", Origin: forum, Domain: "forum.example", Path: "/"})
+	j.Set(Cookie{Name: "adm", Value: "a", Origin: forum, Domain: "forum.example", Path: "/admin"})
+	j.Set(Cookie{Name: "other", Value: "o", Origin: evil, Domain: "evil.example", Path: "/"})
+
+	got := j.Matching(forum, "/viewtopic.php")
+	if len(got) != 1 || got[0].Name != "sid" {
+		t.Errorf("Matching(/viewtopic.php) = %v", got)
+	}
+	got = j.Matching(forum, "/admin/panel")
+	if len(got) != 2 {
+		t.Errorf("Matching(/admin/panel) = %v", got)
+	}
+	// Different scheme: no match.
+	tls := origin.MustParse("https://forum.example")
+	if got := j.Matching(tls, "/"); len(got) != 0 {
+		t.Errorf("https must not receive http cookies: %v", got)
+	}
+	// Different port: no match.
+	alt := origin.MustParse("http://forum.example:8080")
+	if got := j.Matching(alt, "/"); len(got) != 0 {
+		t.Errorf("different port must not match: %v", got)
+	}
+}
+
+func TestJarDelete(t *testing.T) {
+	var j Jar
+	j.Set(Cookie{Name: "a", Origin: forum, Domain: forum.Host, Path: "/"})
+	j.Set(Cookie{Name: "b", Origin: forum, Domain: forum.Host, Path: "/"})
+	j.Delete(forum, "a")
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	if _, ok := j.Get(forum, "a"); ok {
+		t.Error("deleted cookie still present")
+	}
+}
+
+func TestJarAllSorted(t *testing.T) {
+	var j Jar
+	j.Set(Cookie{Name: "z", Origin: forum, Domain: forum.Host, Path: "/"})
+	j.Set(Cookie{Name: "a", Origin: forum, Domain: forum.Host, Path: "/"})
+	all := j.All()
+	if len(all) != 2 || all[0].Name != "a" || all[1].Name != "z" {
+		t.Errorf("All = %v", all)
+	}
+}
+
+func TestCookieContext(t *testing.T) {
+	c := Cookie{Name: "sid", Origin: forum, Ring: 1, ACL: core.UniformACL(1)}
+	ctx := c.Context()
+	if ctx.Ring != 1 || ctx.Origin != forum || !strings.Contains(ctx.Label, "sid") {
+		t.Errorf("ctx = %v", ctx)
+	}
+}
+
+func TestHeaderSerialization(t *testing.T) {
+	h := Header([]Cookie{{Name: "a", Value: "1"}, {Name: "b", Value: "2"}})
+	if h != "a=1; b=2" {
+		t.Errorf("Header = %q", h)
+	}
+	if Header(nil) != "" {
+		t.Error("empty header must be empty string")
+	}
+}
+
+func TestParseCookieHeader(t *testing.T) {
+	m := ParseCookieHeader("a=1; b=2; malformed; c=x=y")
+	if m["a"] != "1" || m["b"] != "2" || m["c"] != "x=y" {
+		t.Errorf("m = %v", m)
+	}
+	if _, ok := m["malformed"]; ok {
+		t.Error("entry without = must be dropped")
+	}
+}
+
+// Property: Header then ParseCookieHeader round-trips name→value for
+// cookies with token-safe names and values.
+func TestHeaderRoundTrip(t *testing.T) {
+	clean := func(s string) string {
+		s = strings.Map(func(r rune) rune {
+			if r == ';' || r == '=' || r == ' ' || r < 32 || r > 126 {
+				return -1
+			}
+			return r
+		}, s)
+		if s == "" {
+			return "x"
+		}
+		return s
+	}
+	f := func(names, values []string) bool {
+		if len(names) > len(values) {
+			names = names[:len(values)]
+		}
+		seen := map[string]string{}
+		var cookies []Cookie
+		for i, n := range names {
+			name := clean(n)
+			if _, dup := seen[name]; dup {
+				continue
+			}
+			val := clean(values[i])
+			seen[name] = val
+			cookies = append(cookies, Cookie{Name: name, Value: val})
+		}
+		got := ParseCookieHeader(Header(cookies))
+		for n, v := range seen {
+			if got[n] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a cookie never matches a host that is neither its domain
+// nor a subdomain of it.
+func TestDomainMatchNoConfusion(t *testing.T) {
+	f := func(a, b uint8) bool {
+		hosts := []string{"forum.example", "evil.example", "forum.example.evil", "sub.forum.example", "xforum.example"}
+		host := hosts[int(a)%len(hosts)]
+		domain := hosts[int(b)%len(hosts)]
+		got := DomainMatch(host, domain)
+		want := host == domain || strings.HasSuffix(host, "."+domain)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ACL is a per-object access-control list: for each operation it
+// records the outermost (least privileged) ring still permitted to
+// perform that operation (§4.1). The ACL rule admits ⟨P ⊳ O⟩ only when
+// R(P) ≤ ⊓(O, ⊳), where ⊓ is exactly the lookup Ceiling below.
+//
+// The zero ACL is the paper's fail-safe default "r=0, w=0, x=0":
+// only ring-0 principals may access the object (§4.3).
+type ACL struct {
+	// Read is the outermost ring allowed to read the object.
+	Read Ring
+	// Write is the outermost ring allowed to write the object.
+	Write Ring
+	// Use is the outermost ring allowed to implicitly use the
+	// object (cookie attachment, event delivery).
+	Use Ring
+}
+
+// PermissiveACL returns the ACL that delegates entirely to the ring
+// rule: every operation is open to the page's least privileged ring.
+// Useful for objects whose protection comes from their ring alone.
+func PermissiveACL(maxRing Ring) ACL {
+	return ACL{Read: maxRing, Write: maxRing, Use: maxRing}
+}
+
+// UniformACL returns an ACL granting all three operations to rings
+// 0..r, the common case in the paper's case-study tables.
+func UniformACL(r Ring) ACL {
+	return ACL{Read: r, Write: r, Use: r}
+}
+
+// Ceiling returns ⊓(O, op): the outermost ring allowed to perform op.
+// Unknown operations fall back to ring 0 (fail-safe).
+func (a ACL) Ceiling(op Op) Ring {
+	switch op {
+	case OpRead:
+		return a.Read
+	case OpWrite:
+		return a.Write
+	case OpUse:
+		return a.Use
+	default:
+		return RingKernel
+	}
+}
+
+// Permits reports whether a principal in ring r may perform op under
+// this ACL alone (the ACL rule, §4.2 rule 3).
+func (a ACL) Permits(r Ring, op Op) bool {
+	return r.AtLeastAsPrivileged(a.Ceiling(op))
+}
+
+// Clamp confines every ceiling to [0, maxRing].
+func (a ACL) Clamp(maxRing Ring) ACL {
+	return ACL{
+		Read:  a.Read.Clamp(maxRing),
+		Write: a.Write.Clamp(maxRing),
+		Use:   a.Use.Clamp(maxRing),
+	}
+}
+
+// TightenTo returns the ACL with every ceiling made at least as
+// restrictive as ring r. The paper notes an ACL can never be less
+// restrictive than the object's ring — the ring rule masks it anyway
+// (§4.2) — but tightening keeps the stored configuration honest.
+func (a ACL) TightenTo(r Ring) ACL {
+	min := func(x, y Ring) Ring {
+		if x < y {
+			return x
+		}
+		return y
+	}
+	// Smaller ceiling = more restrictive, so take the minimum of the
+	// declared ceiling and the object ring.
+	return ACL{Read: min(a.Read, r), Write: min(a.Write, r), Use: min(a.Use, r)}
+}
+
+// String renders the ACL in AC-tag attribute form, e.g. "r=1 w=0 x=2".
+func (a ACL) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "r=%d w=%d x=%d", a.Read, a.Write, a.Use)
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestACLZeroValueIsFailSafe(t *testing.T) {
+	// §4.3: "the ACL will be set to r=0, w=0, x=0, allowing only the
+	// principals in ring 0 to access it."
+	var a ACL
+	for _, op := range []Op{OpRead, OpWrite, OpUse} {
+		if !a.Permits(RingKernel, op) {
+			t.Errorf("zero ACL must permit ring 0 %v", op)
+		}
+		if a.Permits(1, op) {
+			t.Errorf("zero ACL must deny ring 1 %v", op)
+		}
+	}
+}
+
+func TestACLCeiling(t *testing.T) {
+	a := ACL{Read: 1, Write: 0, Use: 2}
+	tests := []struct {
+		op   Op
+		want Ring
+	}{
+		{OpRead, 1},
+		{OpWrite, 0},
+		{OpUse, 2},
+		{Op(99), 0}, // unknown ops fail safe to ring 0
+	}
+	for _, tt := range tests {
+		if got := a.Ceiling(tt.op); got != tt.want {
+			t.Errorf("Ceiling(%v) = %d, want %d", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestACLPermitsFigure2(t *testing.T) {
+	// Figure 2's outer AC tag: ring=2 r=1 w=0 x=2.
+	a := ACL{Read: 1, Write: 0, Use: 2}
+	if !a.Permits(1, OpRead) || a.Permits(2, OpRead) {
+		t.Error("read ceiling 1: rings 0-1 read, ring 2 does not")
+	}
+	if !a.Permits(0, OpWrite) || a.Permits(1, OpWrite) {
+		t.Error("write ceiling 0: only ring 0 writes")
+	}
+	if !a.Permits(2, OpUse) || a.Permits(3, OpUse) {
+		t.Error("use ceiling 2: rings 0-2 use, ring 3 does not")
+	}
+}
+
+func TestUniformAndPermissiveACL(t *testing.T) {
+	u := UniformACL(2)
+	if u.Read != 2 || u.Write != 2 || u.Use != 2 {
+		t.Errorf("UniformACL(2) = %v", u)
+	}
+	p := PermissiveACL(3)
+	for _, op := range []Op{OpRead, OpWrite, OpUse} {
+		if !p.Permits(3, op) {
+			t.Errorf("PermissiveACL(3) must permit ring 3 %v", op)
+		}
+	}
+}
+
+func TestACLClamp(t *testing.T) {
+	a := ACL{Read: 9, Write: -1, Use: 2}.Clamp(3)
+	if a.Read != 3 || a.Write != 0 || a.Use != 2 {
+		t.Errorf("Clamp = %v, want {3 0 2}", a)
+	}
+}
+
+func TestACLTightenTo(t *testing.T) {
+	// An object in ring 1 with a declared ACL admitting ring 3 must
+	// end up no laxer than ring 1.
+	a := UniformACL(3).TightenTo(1)
+	if a.Read != 1 || a.Write != 1 || a.Use != 1 {
+		t.Errorf("TightenTo(1) = %v, want uniform 1", a)
+	}
+	// Already-tighter ceilings are preserved.
+	b := ACL{Read: 0, Write: 2, Use: 1}.TightenTo(1)
+	if b.Read != 0 || b.Write != 1 || b.Use != 1 {
+		t.Errorf("TightenTo(1) = %v, want {0 1 1}", b)
+	}
+}
+
+func TestACLString(t *testing.T) {
+	if got, want := (ACL{Read: 1, Write: 0, Use: 2}).String(), "r=1 w=0 x=2"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: tightening never widens access; for any principal ring and
+// op, TightenTo(r).Permits ⇒ original.Permits.
+func TestTightenToNeverWidens(t *testing.T) {
+	f := func(r, w, x, to, p uint8, opSel uint8) bool {
+		a := ACL{Read: Ring(r % 8), Write: Ring(w % 8), Use: Ring(x % 8)}
+		tt := a.TightenTo(Ring(to % 8))
+		op := []Op{OpRead, OpWrite, OpUse}[opSel%3]
+		pr := Ring(p % 8)
+		if tt.Permits(pr, op) && !a.Permits(pr, op) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

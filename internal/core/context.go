@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/origin"
+)
+
+// PrincipalKind classifies the action-inducing entities of Table 1.
+type PrincipalKind int
+
+// Principal kinds (Table 1, left column). HTTP-request-issuing
+// principals are HTML constructs that make the browser issue a
+// request; script-invoking principals reach the JavaScript
+// interpreter; plugins are out of scope for web-application control
+// but are represented so the taxonomy is complete.
+const (
+	PrincipalHTTPRequest  PrincipalKind = iota + 1 // a, img, form, embed, iframe
+	PrincipalScript                                // script tags, CSS expressions
+	PrincipalEventHandler                          // onload, onmouseover, ...
+	PrincipalPlugin                                // Flash, Silverlight, PDF (uncontrolled)
+	PrincipalBrowser                               // the browser itself (ring 0 actor)
+)
+
+// String returns the taxonomy name of the principal kind.
+func (k PrincipalKind) String() string {
+	switch k {
+	case PrincipalHTTPRequest:
+		return "http-request-issuing"
+	case PrincipalScript:
+		return "script-invoking"
+	case PrincipalEventHandler:
+		return "ui-event-handler"
+	case PrincipalPlugin:
+		return "plugin"
+	case PrincipalBrowser:
+		return "browser"
+	default:
+		return fmt.Sprintf("principal(%d)", int(k))
+	}
+}
+
+// ObjectKind classifies the resources of Table 1.
+type ObjectKind int
+
+// Object kinds (Table 1, right column).
+const (
+	ObjectDOM ObjectKind = iota + 1 // DOM elements and their content
+	ObjectCookie
+	ObjectNativeAPI    // XMLHttpRequest API, DOM API
+	ObjectBrowserState // history, visited-link information
+)
+
+// String returns the taxonomy name of the object kind.
+func (k ObjectKind) String() string {
+	switch k {
+	case ObjectDOM:
+		return "dom"
+	case ObjectCookie:
+		return "cookie"
+	case ObjectNativeAPI:
+		return "native-api"
+	case ObjectBrowserState:
+		return "browser-state"
+	default:
+		return fmt.Sprintf("object(%d)", int(k))
+	}
+}
+
+// Context is the security context ESCUDO maintains for every principal
+// and object inside the browser (§6.1: "internally maintained data
+// such as the ring assignments, domain, and ACL"). DOM elements act as
+// both principals and objects, so one context type serves both roles.
+type Context struct {
+	// Origin is the web application the entity belongs to.
+	Origin origin.Origin
+	// Ring is the entity's protection ring within its page.
+	Ring Ring
+	// ACL further restricts access when the entity is an object.
+	ACL ACL
+	// Label is a human-readable description used in decision traces,
+	// e.g. "script#ad" or "cookie phpbb2mysql_sid".
+	Label string
+}
+
+// Principal builds a principal context (no meaningful ACL).
+func Principal(o origin.Origin, r Ring, label string) Context {
+	return Context{Origin: o, Ring: r, ACL: UniformACL(r), Label: label}
+}
+
+// Object builds an object context with an explicit ACL.
+func Object(o origin.Origin, r Ring, acl ACL, label string) Context {
+	return Context{Origin: o, Ring: r, ACL: acl, Label: label}
+}
+
+// String renders the context compactly for traces.
+func (c Context) String() string {
+	label := c.Label
+	if label == "" {
+		label = "?"
+	}
+	return fmt.Sprintf("%s@%s ring=%d [%s]", label, c.Origin, c.Ring, c.ACL)
+}

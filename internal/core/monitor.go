@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RuleID identifies which of the model's rules produced a decision.
+type RuleID int
+
+// The rules of the ESCUDO MAC policy (§4.2), plus the synthetic
+// "allowed" outcome when all rules pass.
+const (
+	RuleAllowed   RuleID = iota + 1 // every applicable rule passed
+	RuleOrigin                      // O(P) = O(O) failed
+	RuleRing                        // R(P) ≤ R(O) failed
+	RuleACL                         // R(P) ≤ ⊓(O, op) failed
+	RuleInvalidOp                   // the operation itself was malformed
+)
+
+// String names the rule for traces and test failures.
+func (r RuleID) String() string {
+	switch r {
+	case RuleAllowed:
+		return "allowed"
+	case RuleOrigin:
+		return "origin-rule"
+	case RuleRing:
+		return "ring-rule"
+	case RuleACL:
+		return "acl-rule"
+	case RuleInvalidOp:
+		return "invalid-op"
+	default:
+		return fmt.Sprintf("rule(%d)", int(r))
+	}
+}
+
+// Decision is the outcome of a single authorization query.
+type Decision struct {
+	// Allowed reports whether the access is permitted.
+	Allowed bool
+	// Rule identifies the first rule that denied the access, or
+	// RuleAllowed when it is permitted.
+	Rule RuleID
+	// Principal, Op, Object echo the query for audit trails.
+	Principal Context
+	Op        Op
+	Object    Context
+}
+
+// String renders the decision in the paper's ⟨P ⊳ O⟩ notation.
+func (d Decision) String() string {
+	verdict := "DENY"
+	if d.Allowed {
+		verdict = "ALLOW"
+	}
+	return fmt.Sprintf("%s ⟨%s %s %s⟩ (%s)", verdict, d.Principal, d.Op, d.Object, d.Rule)
+}
+
+// Monitor is the single chokepoint through which every mediated access
+// in the browser flows: the DOM API, the cookie jar, XHR, event
+// delivery and the request pipeline all consult a Monitor. ERM
+// implements the ESCUDO policy; SOPMonitor implements the legacy
+// same-origin policy.
+type Monitor interface {
+	// Authorize decides whether principal p may perform op on object o.
+	Authorize(p Context, op Op, o Context) Decision
+}
+
+// ERM is the ESCUDO Reference Monitor (§6.1). An access ⟨P ⊳ O⟩ is
+// permitted iff the Origin rule, the Ring rule, and the ACL rule all
+// permit it (§4.2). The zero value is ready to use.
+type ERM struct {
+	// Trace, when non-nil, receives every decision made. It is used
+	// by the attack harness and the inspect tool; nil disables
+	// tracing with no overhead beyond the nil check.
+	Trace func(Decision)
+}
+
+var _ Monitor = (*ERM)(nil)
+
+// Authorize implements Monitor with the three ESCUDO rules, evaluated
+// in the paper's order: Origin, Ring, ACL. The first failing rule is
+// reported in the decision.
+func (m *ERM) Authorize(p Context, op Op, o Context) Decision {
+	d := Decision{Principal: p, Op: op, Object: o}
+	switch {
+	case !op.Valid():
+		d.Rule = RuleInvalidOp
+	case !p.Origin.SameOrigin(o.Origin):
+		d.Rule = RuleOrigin
+	case !p.Ring.AtLeastAsPrivileged(o.Ring):
+		d.Rule = RuleRing
+	case !o.ACL.Permits(p.Ring, op):
+		d.Rule = RuleACL
+	default:
+		d.Rule = RuleAllowed
+		d.Allowed = true
+	}
+	if m.Trace != nil {
+		m.Trace(d)
+	}
+	return d
+}
+
+// SOPMonitor is the baseline same-origin policy: the only check is the
+// Origin rule. Under it, "all principals inside the web application
+// are associated with a single principal identified by the origin and
+// are associated with all the privileges irrespective of their
+// trustworthiness" (§2.3). The zero value is ready to use.
+type SOPMonitor struct {
+	// Trace, when non-nil, receives every decision made.
+	Trace func(Decision)
+}
+
+var _ Monitor = (*SOPMonitor)(nil)
+
+// Authorize implements Monitor with only the origin test.
+func (m *SOPMonitor) Authorize(p Context, op Op, o Context) Decision {
+	d := Decision{Principal: p, Op: op, Object: o}
+	switch {
+	case !op.Valid():
+		d.Rule = RuleInvalidOp
+	case !p.Origin.SameOrigin(o.Origin):
+		d.Rule = RuleOrigin
+	default:
+		d.Rule = RuleAllowed
+		d.Allowed = true
+	}
+	if m.Trace != nil {
+		m.Trace(d)
+	}
+	return d
+}
+
+// AuditLog is a concurrency-safe decision recorder that can be plugged
+// into a monitor's Trace hook. The attack harness uses it to explain
+// which rule neutralized each attack.
+type AuditLog struct {
+	mu        sync.Mutex
+	decisions []Decision
+}
+
+// Record appends a decision; it is safe for concurrent use and has the
+// signature required by the Trace hooks.
+func (l *AuditLog) Record(d Decision) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.decisions = append(l.decisions, d)
+}
+
+// Denials returns a copy of all denied decisions recorded so far.
+func (l *AuditLog) Denials() []Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Decision
+	for _, d := range l.decisions {
+		if !d.Allowed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// All returns a copy of every recorded decision.
+func (l *AuditLog) All() []Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Decision, len(l.decisions))
+	copy(out, l.decisions)
+	return out
+}
+
+// Reset clears the log.
+func (l *AuditLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.decisions = nil
+}
+
+// Len returns the number of recorded decisions.
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.decisions)
+}

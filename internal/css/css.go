@@ -1,0 +1,416 @@
+// Package css implements the style substrate the reproduction needs:
+// a CSS-subset parser (rule sets with tag/#id/.class/descendant
+// selectors and specificity), cascade/inheritance-lite style
+// resolution for layout (display, color, font-weight), and — the part
+// ESCUDO cares about — IE-style expression() values, which Table 1
+// lists among the script-invoking principals: "Script-invoking
+// principals are HTML constructs such as script and the CSS expression
+// that can invoke the JavaScript interpreter."
+//
+// The browser runs each expression() under the security context of the
+// style element that declared it, so a stylesheet smuggled into
+// outer-ring user content yields only an outer-ring principal.
+package css
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/html"
+)
+
+// Declaration is one property: value pair.
+type Declaration struct {
+	Property string
+	Value    string
+}
+
+// IsExpression reports whether the value is an expression(...) script
+// invocation, and returns the script body.
+func (d Declaration) IsExpression() (string, bool) {
+	v := strings.TrimSpace(d.Value)
+	low := strings.ToLower(v)
+	if !strings.HasPrefix(low, "expression(") || !strings.HasSuffix(v, ")") {
+		return "", false
+	}
+	return v[len("expression(") : len(v)-1], true
+}
+
+// Selector is one simple selector chain (descendant combinator only).
+type Selector struct {
+	// Parts are matched right to left against the node and its
+	// ancestors. Each part is a compound simple selector.
+	Parts []SimpleSelector
+}
+
+// SimpleSelector matches one element.
+type SimpleSelector struct {
+	// Tag is the required tag name ("" or "*" for any).
+	Tag string
+	// ID is the required id attribute ("" for any).
+	ID string
+	// Classes are required class-attribute entries.
+	Classes []string
+}
+
+// Rule is one selector group with declarations.
+type Rule struct {
+	Selectors    []Selector
+	Declarations []Declaration
+}
+
+// Stylesheet is a parsed sheet.
+type Stylesheet struct {
+	Rules []Rule
+}
+
+// Parse parses a stylesheet. It is tolerant: malformed rules are
+// skipped, as in browsers.
+func Parse(src string) *Stylesheet {
+	sheet := &Stylesheet{}
+	src = stripComments(src)
+	for {
+		open := strings.IndexByte(src, '{')
+		if open < 0 {
+			break
+		}
+		selText := src[:open]
+		rest := src[open+1:]
+		closeIdx := strings.IndexByte(rest, '}')
+		if closeIdx < 0 {
+			break
+		}
+		body := rest[:closeIdx]
+		src = rest[closeIdx+1:]
+
+		rule := Rule{
+			Selectors:    parseSelectors(selText),
+			Declarations: ParseDeclarations(body),
+		}
+		if len(rule.Selectors) > 0 && len(rule.Declarations) > 0 {
+			sheet.Rules = append(sheet.Rules, rule)
+		}
+	}
+	return sheet
+}
+
+// stripComments removes /* */ comments.
+func stripComments(s string) string {
+	var b strings.Builder
+	for {
+		i := strings.Index(s, "/*")
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		b.WriteString(s[:i])
+		j := strings.Index(s[i+2:], "*/")
+		if j < 0 {
+			return b.String()
+		}
+		s = s[i+2+j+2:]
+	}
+}
+
+// parseSelectors parses a comma-separated selector group.
+func parseSelectors(s string) []Selector {
+	var out []Selector
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Fields(part)
+		if len(fields) == 0 {
+			continue
+		}
+		sel := Selector{}
+		ok := true
+		for _, f := range fields {
+			ss, err := parseSimple(f)
+			if err != nil {
+				ok = false
+				break
+			}
+			sel.Parts = append(sel.Parts, ss)
+		}
+		if ok {
+			out = append(out, sel)
+		}
+	}
+	return out
+}
+
+// parseSimple parses one compound simple selector like p#id.cls1.cls2.
+func parseSimple(s string) (SimpleSelector, error) {
+	var ss SimpleSelector
+	cur := &ss.Tag
+	var classBuf *string
+	flushClass := func() {
+		if classBuf != nil && *classBuf != "" {
+			ss.Classes = append(ss.Classes, *classBuf)
+		}
+		classBuf = nil
+	}
+	for _, r := range s {
+		switch r {
+		case '#':
+			flushClass()
+			cur = &ss.ID
+		case '.':
+			flushClass()
+			var buf string
+			classBuf = &buf
+			cur = classBuf
+		default:
+			if !isSelChar(r) {
+				return SimpleSelector{}, fmt.Errorf("css: bad selector char %q", r)
+			}
+			*cur += strings.ToLower(string(r))
+		}
+	}
+	flushClass()
+	if ss.Tag == "*" {
+		ss.Tag = ""
+	}
+	return ss, nil
+}
+
+func isSelChar(r rune) bool {
+	return r == '-' || r == '_' || r == '*' ||
+		(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+}
+
+// ParseDeclarations parses "prop: value; prop: value" — also used for
+// style="" attributes.
+func ParseDeclarations(s string) []Declaration {
+	var out []Declaration
+	for _, decl := range splitDecls(s) {
+		prop, val, ok := strings.Cut(decl, ":")
+		prop = strings.ToLower(strings.TrimSpace(prop))
+		val = strings.TrimSpace(val)
+		if !ok || prop == "" || val == "" {
+			continue
+		}
+		out = append(out, Declaration{Property: prop, Value: val})
+	}
+	return out
+}
+
+// splitDecls splits on ';' but not inside parentheses (so
+// expression(a; b) stays whole).
+func splitDecls(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ';':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// Matches reports whether the selector matches the node (checking
+// ancestors for descendant parts).
+func (sel Selector) Matches(n *html.Node) bool {
+	if len(sel.Parts) == 0 || n == nil || n.Type != html.ElementNode {
+		return false
+	}
+	if !sel.Parts[len(sel.Parts)-1].Matches(n) {
+		return false
+	}
+	// Remaining parts must match some chain of ancestors.
+	parts := sel.Parts[:len(sel.Parts)-1]
+	anc := n.Parent
+	for i := len(parts) - 1; i >= 0; i-- {
+		for {
+			if anc == nil {
+				return false
+			}
+			if parts[i].Matches(anc) {
+				anc = anc.Parent
+				break
+			}
+			anc = anc.Parent
+		}
+	}
+	return true
+}
+
+// Matches reports whether the simple selector matches one element.
+func (ss SimpleSelector) Matches(n *html.Node) bool {
+	if n == nil || n.Type != html.ElementNode {
+		return false
+	}
+	if ss.Tag != "" && n.Tag != ss.Tag {
+		return false
+	}
+	if ss.ID != "" {
+		id, ok := n.Attr("id")
+		if !ok || id != ss.ID {
+			return false
+		}
+	}
+	if len(ss.Classes) > 0 {
+		classAttr, _ := n.Attr("class")
+		have := map[string]bool{}
+		for _, c := range strings.Fields(classAttr) {
+			have[c] = true
+		}
+		for _, want := range ss.Classes {
+			if !have[want] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Specificity returns (ids, classes, tags) packed into a comparable
+// int: higher wins.
+func (sel Selector) Specificity() int {
+	ids, classes, tags := 0, 0, 0
+	for _, p := range sel.Parts {
+		if p.ID != "" {
+			ids++
+		}
+		classes += len(p.Classes)
+		if p.Tag != "" {
+			tags++
+		}
+	}
+	return ids*10000 + classes*100 + tags
+}
+
+// Style is the resolved style set the layout consults.
+type Style struct {
+	// Display is "", "none", "block", or "inline".
+	Display string
+	// Color and FontWeight ride along to make the cascade
+	// observable in tests.
+	Color      string
+	FontWeight string
+}
+
+// inheritedProps are properties children inherit.
+var inheritedProps = map[string]bool{"color": true, "font-weight": true}
+
+// Resolver computes styles for a document from its sheets and style
+// attributes.
+type Resolver struct {
+	sheets []*Stylesheet
+}
+
+// NewResolver builds a resolver over the given sheets, in source
+// order (later sheets win ties).
+func NewResolver(sheets ...*Stylesheet) *Resolver {
+	return &Resolver{sheets: sheets}
+}
+
+// match is one applicable declaration with its precedence.
+type match struct {
+	spec  int
+	order int
+	decl  Declaration
+}
+
+// StyleFor resolves the node's style given its parent's resolved
+// style (for inheritance).
+func (r *Resolver) StyleFor(n *html.Node, parent Style) Style {
+	out := Style{Color: parent.Color, FontWeight: parent.FontWeight}
+	if n.Type != html.ElementNode {
+		return out
+	}
+	var matches []match
+	order := 0
+	for _, sheet := range r.sheets {
+		for _, rule := range sheet.Rules {
+			best := -1
+			for _, sel := range rule.Selectors {
+				if sel.Matches(n) && sel.Specificity() > best {
+					best = sel.Specificity()
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			for _, d := range rule.Declarations {
+				matches = append(matches, match{spec: best, order: order, decl: d})
+				order++
+			}
+		}
+	}
+	// Style attributes beat sheet rules.
+	if styleAttr, ok := n.Attr("style"); ok {
+		for _, d := range ParseDeclarations(styleAttr) {
+			matches = append(matches, match{spec: 1 << 20, order: order, decl: d})
+			order++
+		}
+	}
+	// Apply in (specificity, order) order so the winner lands last.
+	for i := 0; i < len(matches); i++ {
+		for j := i + 1; j < len(matches); j++ {
+			if matches[j].spec < matches[i].spec ||
+				(matches[j].spec == matches[i].spec && matches[j].order < matches[i].order) {
+				matches[i], matches[j] = matches[j], matches[i]
+			}
+		}
+	}
+	for _, m := range matches {
+		if _, isExpr := m.decl.IsExpression(); isExpr {
+			continue // expressions are principals, not styles
+		}
+		switch m.decl.Property {
+		case "display":
+			out.Display = strings.ToLower(m.decl.Value)
+		case "color":
+			out.Color = m.decl.Value
+		case "font-weight":
+			out.FontWeight = m.decl.Value
+		}
+	}
+	return out
+}
+
+// Expressions returns every expression() declaration in the sheet
+// with its property, in source order — the script-invoking principals
+// the browser must execute under the style element's context.
+func (s *Stylesheet) Expressions() []Declaration {
+	var out []Declaration
+	for _, rule := range s.Rules {
+		for _, d := range rule.Declarations {
+			if _, ok := d.IsExpression(); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// HiddenSet walks the document computing resolved styles and returns
+// the set of nodes with display:none (including their subtrees'
+// roots), which the layout engine skips.
+func (r *Resolver) HiddenSet(root *html.Node) map[*html.Node]bool {
+	hidden := map[*html.Node]bool{}
+	var walk func(n *html.Node, parent Style)
+	walk = func(n *html.Node, parent Style) {
+		st := r.StyleFor(n, parent)
+		if st.Display == "none" {
+			hidden[n] = true
+			return // children are hidden with it; no need to recurse
+		}
+		for _, k := range n.Kids {
+			walk(k, st)
+		}
+	}
+	walk(root, Style{})
+	return hidden
+}

@@ -1,0 +1,197 @@
+package css
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/html"
+)
+
+func doc(src string) *html.Node {
+	return html.Parse(src, html.LegacyOptions())
+}
+
+func findByID(n *html.Node, id string) *html.Node {
+	var found *html.Node
+	html.Walk(n, func(m *html.Node) bool {
+		if v, ok := m.Attr("id"); ok && v == id {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func TestParseBasics(t *testing.T) {
+	sheet := Parse(`
+/* comment { ignored } */
+p { color: red; display: block }
+#main, .hero { font-weight: bold; }
+div p.note { color: blue }
+`)
+	if len(sheet.Rules) != 3 {
+		t.Fatalf("rules = %d", len(sheet.Rules))
+	}
+	if len(sheet.Rules[1].Selectors) != 2 {
+		t.Errorf("selector group = %d", len(sheet.Rules[1].Selectors))
+	}
+	if sheet.Rules[2].Selectors[0].Parts[1].Classes[0] != "note" {
+		t.Errorf("compound selector parsed wrong: %+v", sheet.Rules[2].Selectors[0])
+	}
+}
+
+func TestParseTolerant(t *testing.T) {
+	sheet := Parse(`p { color: red } } garbage { { broken`)
+	if len(sheet.Rules) != 1 {
+		t.Errorf("rules = %d, want 1 (tolerant)", len(sheet.Rules))
+	}
+	if got := Parse(``); len(got.Rules) != 0 {
+		t.Error("empty sheet")
+	}
+}
+
+func TestSelectorMatching(t *testing.T) {
+	d := doc(`<div id=outer class="a b"><p id=inner class=note>x</p></div><p id=free>y</p>`)
+	inner := findByID(d, "inner")
+	free := findByID(d, "free")
+
+	cases := []struct {
+		sel    string
+		node   *html.Node
+		expect bool
+	}{
+		{"p", inner, true},
+		{"p.note", inner, true},
+		{"p.missing", inner, false},
+		{"#inner", inner, true},
+		{"div p", inner, true},
+		{"div p", free, false},
+		{"#outer p", inner, true},
+		{".a p", inner, true},
+		{".a.b p", inner, true},
+		{".a.c p", inner, false},
+		{"*", inner, true},
+		{"span p", inner, false},
+	}
+	for _, tt := range cases {
+		sheet := Parse(tt.sel + `{ color: x }`)
+		if len(sheet.Rules) != 1 {
+			t.Fatalf("%s: did not parse", tt.sel)
+		}
+		got := sheet.Rules[0].Selectors[0].Matches(tt.node)
+		if got != tt.expect {
+			t.Errorf("%q matches %v = %v, want %v", tt.sel, tt.node.Tag, got, tt.expect)
+		}
+	}
+}
+
+func TestSpecificityCascade(t *testing.T) {
+	d := doc(`<p id=x class=c>text</p>`)
+	n := findByID(d, "x")
+	r := NewResolver(Parse(`
+p { color: red }
+.c { color: green }
+#x { color: blue }
+`))
+	st := r.StyleFor(n, Style{})
+	if st.Color != "blue" {
+		t.Errorf("color = %q, want id to win", st.Color)
+	}
+	// Later rule wins ties.
+	r = NewResolver(Parse(`p { color: red } p { color: purple }`))
+	if st := r.StyleFor(n, Style{}); st.Color != "purple" {
+		t.Errorf("tie-break color = %q", st.Color)
+	}
+	// Style attribute beats everything.
+	d2 := doc(`<p id=y style="color: black">t</p>`)
+	r2 := NewResolver(Parse(`#y { color: blue }`))
+	if st := r2.StyleFor(findByID(d2, "y"), Style{}); st.Color != "black" {
+		t.Errorf("style attr color = %q", st.Color)
+	}
+}
+
+func TestInheritance(t *testing.T) {
+	d := doc(`<div id=parent><p id=child>t</p></div>`)
+	r := NewResolver(Parse(`#parent { color: red; display: block }`))
+	parentStyle := r.StyleFor(findByID(d, "parent"), Style{})
+	childStyle := r.StyleFor(findByID(d, "child"), parentStyle)
+	if childStyle.Color != "red" {
+		t.Errorf("color must inherit, got %q", childStyle.Color)
+	}
+	if childStyle.Display == "block" {
+		t.Error("display must not inherit")
+	}
+}
+
+func TestHiddenSet(t *testing.T) {
+	d := doc(`<div id=a><p id=b>shown</p><p id=c class=hide>hidden</p></div>`)
+	r := NewResolver(Parse(`.hide { display: none }`))
+	hidden := r.HiddenSet(d)
+	if hidden[findByID(d, "b")] {
+		t.Error("b must be visible")
+	}
+	if !hidden[findByID(d, "c")] {
+		t.Error("c must be hidden")
+	}
+}
+
+func TestExpressionDetection(t *testing.T) {
+	sheet := Parse(`#evil { width: expression(doAttack(1; 2)); color: red }`)
+	exprs := sheet.Expressions()
+	if len(exprs) != 1 {
+		t.Fatalf("exprs = %v", exprs)
+	}
+	body, ok := exprs[0].IsExpression()
+	if !ok || body != "doAttack(1; 2)" {
+		t.Errorf("body = %q, %v", body, ok)
+	}
+	// Expressions never become styles.
+	d := doc(`<p id=evil>x</p>`)
+	r := NewResolver(sheet)
+	st := r.StyleFor(findByID(d, "evil"), Style{})
+	if st.Color != "red" {
+		t.Errorf("non-expression declarations still apply: %+v", st)
+	}
+}
+
+func TestParseDeclarationsStandalone(t *testing.T) {
+	decls := ParseDeclarations(`color: red; display: none; broken; : nope; width: expression(f(";"))`)
+	if len(decls) != 3 {
+		t.Fatalf("decls = %+v", decls)
+	}
+	if decls[2].Property != "width" {
+		t.Errorf("decl 2 = %+v", decls[2])
+	}
+	if _, ok := decls[2].IsExpression(); !ok {
+		t.Error("expression with inner semicolon must survive splitting")
+	}
+}
+
+// Property: the parser never panics and always terminates.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Parse(s)
+		ParseDeclarations(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: specificity ordering — an id selector always beats any
+// class-only selector, which beats any tag-only selector.
+func TestSpecificityOrdering(t *testing.T) {
+	id := Selector{Parts: []SimpleSelector{{ID: "x"}}}
+	cls := Selector{Parts: []SimpleSelector{{Classes: []string{"a", "b", "c"}}}}
+	tag := Selector{Parts: []SimpleSelector{{Tag: "p"}, {Tag: "div"}, {Tag: "b"}}}
+	if !(id.Specificity() > cls.Specificity() && cls.Specificity() > tag.Specificity()) {
+		t.Errorf("specificity: id=%d cls=%d tag=%d", id.Specificity(), cls.Specificity(), tag.Specificity())
+	}
+}

@@ -1,0 +1,376 @@
+// Package dom wraps the parse tree in a document abstraction and
+// provides the mediated DOM API: every read, write, and implicit use
+// of a DOM element flows through a core.Monitor, which is where the
+// ESCUDO Reference Monitor interposes (paper §6.1: "the places to
+// embed the checks is specific to the object type").
+//
+// DOM elements act as both principals and objects (Table 1); the API
+// object carries the calling principal's security context, so the same
+// document can be manipulated concurrently by principals of different
+// rings with different outcomes.
+package dom
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/html"
+	"repro/internal/origin"
+)
+
+// Document is one loaded web page's DOM plus its security metadata.
+type Document struct {
+	// Origin is the page's web origin.
+	Origin origin.Origin
+	// Root is the document node of the parse tree.
+	Root *html.Node
+	// MaxRing is the page's least privileged ring.
+	MaxRing core.Ring
+	// Escudo records whether the page was parsed with ESCUDO
+	// labeling (false for legacy mode).
+	Escudo bool
+}
+
+// NewDocument parses markup into a labeled document. opts selects
+// ESCUDO or legacy labeling; the document remembers both the origin
+// and the ring bound for later fragment parses.
+func NewDocument(o origin.Origin, markup string, opts html.Options) *Document {
+	return &Document{
+		Origin:  o,
+		Root:    html.Parse(markup, opts),
+		MaxRing: opts.MaxRing,
+		Escudo:  opts.Escudo,
+	}
+}
+
+// NodeContext builds the object security context of a node within the
+// document.
+func (d *Document) NodeContext(n *html.Node) core.Context {
+	return core.Object(d.Origin, n.Ring, n.ACL, nodeLabel(n))
+}
+
+// nodeLabel renders a human-readable node identifier for traces.
+func nodeLabel(n *html.Node) string {
+	switch n.Type {
+	case html.DocumentNode:
+		return "#document"
+	case html.TextNode:
+		return "#text"
+	case html.CommentNode:
+		return "#comment"
+	case html.DoctypeNode:
+		return "#doctype"
+	default:
+		if id, ok := n.Attr("id"); ok {
+			return n.Tag + "#" + id
+		}
+		return n.Tag
+	}
+}
+
+// Find returns the first node satisfying pred in document order,
+// without any access check. It is the browser-internal (ring 0)
+// lookup primitive.
+func (d *Document) Find(pred func(*html.Node) bool) *html.Node {
+	var found *html.Node
+	html.Walk(d.Root, func(n *html.Node) bool {
+		if pred(n) {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ByID returns the element with the given id, unchecked.
+func (d *Document) ByID(id string) *html.Node {
+	return d.Find(func(n *html.Node) bool {
+		v, ok := n.Attr("id")
+		return ok && v == id
+	})
+}
+
+// ByTag returns all elements with the given tag, unchecked.
+func (d *Document) ByTag(tag string) []*html.Node {
+	var out []*html.Node
+	html.Walk(d.Root, func(n *html.Node) bool {
+		if n.Type == html.ElementNode && n.Tag == tag {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// DeniedError is returned by mediated API calls whose access the
+// monitor refused; it carries the full decision for auditability.
+type DeniedError struct {
+	Decision core.Decision
+}
+
+// Error implements error.
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("dom: access denied: %s", e.Decision)
+}
+
+// ErrConfigAttribute is returned when a script touches an ESCUDO
+// configuration attribute; §5: configuration "is not exposed to
+// JavaScript programs for modification. ... such attempts to modify
+// the attributes cannot succeed."
+var ErrConfigAttribute = errors.New("dom: escudo configuration attributes are not exposed")
+
+// ErrDetached is returned when an operation needs an attached node but
+// got a detached one.
+var ErrDetached = errors.New("dom: node is not attached to the document")
+
+// API is the DOM API as seen by one principal: the paper's "Native
+// Code API" object binding. All methods authorize against the
+// document's monitor before touching the tree.
+type API struct {
+	doc       *Document
+	principal core.Context
+	monitor   core.Monitor
+}
+
+// NewAPI binds the DOM API to a principal. The monitor decides every
+// access; principal is the security context of the JavaScript program
+// (or other principal) driving the API.
+func NewAPI(doc *Document, principal core.Context, monitor core.Monitor) *API {
+	return &API{doc: doc, principal: principal, monitor: monitor}
+}
+
+// Principal returns the bound principal context.
+func (a *API) Principal() core.Context { return a.principal }
+
+// Document returns the underlying document.
+func (a *API) Document() *Document { return a.doc }
+
+// authorize runs one access decision and converts a denial to an
+// error.
+func (a *API) authorize(op core.Op, obj core.Context) error {
+	d := a.monitor.Authorize(a.principal, op, obj)
+	if !d.Allowed {
+		return &DeniedError{Decision: d}
+	}
+	return nil
+}
+
+// GetElementByID returns the element with the given id if the
+// principal may read it.
+func (a *API) GetElementByID(id string) (*html.Node, error) {
+	n := a.doc.ByID(id)
+	if n == nil {
+		return nil, nil
+	}
+	if err := a.authorize(core.OpRead, a.doc.NodeContext(n)); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// GetElementsByTagName returns the elements with the given tag that
+// the principal may read. Unreadable elements are silently omitted,
+// the way a real ESCUDO browser would hide inner-ring content.
+func (a *API) GetElementsByTagName(tag string) []*html.Node {
+	var out []*html.Node
+	for _, n := range a.doc.ByTag(tag) {
+		if a.authorize(core.OpRead, a.doc.NodeContext(n)) == nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// InnerText returns the subtree's text if the principal may read the
+// node.
+func (a *API) InnerText(n *html.Node) (string, error) {
+	if err := a.authorize(core.OpRead, a.doc.NodeContext(n)); err != nil {
+		return "", err
+	}
+	return html.InnerText(n), nil
+}
+
+// InnerHTML serializes the node's children if the principal may read
+// the node.
+func (a *API) InnerHTML(n *html.Node) (string, error) {
+	if err := a.authorize(core.OpRead, a.doc.NodeContext(n)); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, k := range n.Kids {
+		b.WriteString(html.Render(k))
+	}
+	return b.String(), nil
+}
+
+// SetInnerHTML replaces the node's children with freshly parsed
+// markup. The write is authorized against the node, and the fragment
+// parse applies the scoping rule with the node's ring as the bound, so
+// "a malicious principal cannot create a new principal that has higher
+// privileges than itself" (§5).
+func (a *API) SetInnerHTML(n *html.Node, markup string) error {
+	if err := a.authorize(core.OpWrite, a.doc.NodeContext(n)); err != nil {
+		return err
+	}
+	base := n.Ring.Outermost(a.principal.Ring)
+	kids := html.ParseFragment(markup, html.Options{Escudo: a.doc.Escudo, MaxRing: a.doc.MaxRing}, base, n.ACL)
+	n.Kids = nil
+	for _, k := range kids {
+		n.AppendChild(k)
+	}
+	return nil
+}
+
+// AppendHTML parses markup and appends the resulting nodes as
+// children of n (document.write's post-parse semantics). The write is
+// authorized against n and the fragment is bounded by both n's ring
+// and the principal's ring under the scoping rule.
+func (a *API) AppendHTML(n *html.Node, markup string) error {
+	if err := a.authorize(core.OpWrite, a.doc.NodeContext(n)); err != nil {
+		return err
+	}
+	base := n.Ring.Outermost(a.principal.Ring)
+	kids := html.ParseFragment(markup, html.Options{Escudo: a.doc.Escudo, MaxRing: a.doc.MaxRing}, base, n.ACL)
+	for _, k := range kids {
+		n.AppendChild(k)
+	}
+	return nil
+}
+
+// CreateElement returns a detached element labeled at the principal's
+// own ring — a principal creates content at its own privilege, never
+// above it.
+func (a *API) CreateElement(tag string) *html.Node {
+	return &html.Node{
+		Type: html.ElementNode,
+		Tag:  strings.ToLower(tag),
+		Ring: a.principal.Ring,
+		ACL:  core.PermissiveACL(a.doc.MaxRing),
+	}
+}
+
+// CreateTextNode returns a detached text node at the principal's ring.
+func (a *API) CreateTextNode(text string) *html.Node {
+	return &html.Node{
+		Type: html.TextNode,
+		Data: text,
+		Ring: a.principal.Ring,
+		ACL:  core.PermissiveACL(a.doc.MaxRing),
+	}
+}
+
+// AppendChild attaches child under parent. The principal needs write
+// on the parent; the scoping rule then clamps the whole inserted
+// subtree to rings no more privileged than the parent's.
+func (a *API) AppendChild(parent, child *html.Node) error {
+	if err := a.authorize(core.OpWrite, a.doc.NodeContext(parent)); err != nil {
+		return err
+	}
+	clampSubtree(child, parent.Ring.Outermost(a.principal.Ring))
+	parent.AppendChild(child)
+	return nil
+}
+
+// RemoveChild detaches child from parent; the principal needs write on
+// the parent.
+func (a *API) RemoveChild(parent, child *html.Node) error {
+	if err := a.authorize(core.OpWrite, a.doc.NodeContext(parent)); err != nil {
+		return err
+	}
+	for i, k := range parent.Kids {
+		if k == child {
+			parent.Kids = append(parent.Kids[:i], parent.Kids[i+1:]...)
+			child.Parent = nil
+			return nil
+		}
+	}
+	return ErrDetached
+}
+
+// GetAttribute reads an attribute. ESCUDO configuration attributes
+// are invisible: they were stripped at parse time and remain
+// unobservable here regardless of privileges (§5).
+func (a *API) GetAttribute(n *html.Node, name string) (string, error) {
+	name = strings.ToLower(name)
+	if a.doc.Escudo && core.IsConfigAttr(name) {
+		return "", nil
+	}
+	if err := a.authorize(core.OpRead, a.doc.NodeContext(n)); err != nil {
+		return "", err
+	}
+	v, _ := n.Attr(name)
+	return v, nil
+}
+
+// SetAttribute writes an attribute; configuration attributes are
+// rejected outright, the §5(1) defense against privilege remapping via
+// setAttribute.
+func (a *API) SetAttribute(n *html.Node, name, value string) error {
+	name = strings.ToLower(name)
+	if a.doc.Escudo && core.IsConfigAttr(name) {
+		return ErrConfigAttribute
+	}
+	if err := a.authorize(core.OpWrite, a.doc.NodeContext(n)); err != nil {
+		return err
+	}
+	for i, attr := range n.Attrs {
+		if attr.Name == name {
+			n.Attrs[i].Value = value
+			return nil
+		}
+	}
+	n.Attrs = append(n.Attrs, html.Attr{Name: name, Value: value})
+	return nil
+}
+
+// SetText replaces the node's children with a single text node; the
+// principal needs write on the node.
+func (a *API) SetText(n *html.Node, text string) error {
+	if err := a.authorize(core.OpWrite, a.doc.NodeContext(n)); err != nil {
+		return err
+	}
+	n.Kids = nil
+	n.AppendChild(&html.Node{Type: html.TextNode, Data: text, Ring: n.Ring, ACL: n.ACL})
+	return nil
+}
+
+// clampSubtree applies the scoping rule to an inserted subtree: every
+// node's ring becomes at least bound, propagating the bound downward.
+func clampSubtree(n *html.Node, bound core.Ring) {
+	n.Ring = n.Ring.Outermost(bound)
+	for _, k := range n.Kids {
+		clampSubtree(k, n.Ring)
+	}
+}
+
+// CheckScopingInvariant verifies the §5 scoping rule over the whole
+// document: no node inside an AC scope is more privileged than the
+// scope. (Unlabeled top-level regions carry the fail-safe
+// least-privileged *label* without bounding server-authored AC tags,
+// so the check follows AC-scope nesting, not raw parent links.) It
+// returns the first violating node, or nil.
+func (d *Document) CheckScopingInvariant() *html.Node {
+	var bad *html.Node
+	var walk func(n *html.Node, bound core.Ring)
+	walk = func(n *html.Node, bound core.Ring) {
+		if bad != nil {
+			return
+		}
+		if n.Ring < bound {
+			bad = n
+			return
+		}
+		next := bound
+		if n.IsACTag {
+			next = n.Ring
+		}
+		for _, k := range n.Kids {
+			walk(k, next)
+		}
+	}
+	walk(d.Root, core.RingKernel)
+	return bad
+}

@@ -1,0 +1,63 @@
+package html
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Ablation experiments: each §5 defense, when individually disabled,
+// re-admits the attack it exists to stop. DESIGN.md calls these out
+// as the evidence that the defenses are load-bearing, not decorative.
+
+// nodeSplitPayload tries to close the nonce-sealed ring-3 scope and
+// open a ring-0 scope.
+const nodeSplitPage = `<div ring=3 r=2 w=2 x=2 nonce=777 id=user>` +
+	`</div><div ring=0 id=forged>evil</div>` +
+	`</div nonce=777>`
+
+func TestAblationNonceDefense(t *testing.T) {
+	withDefense := Options{Escudo: true, MaxRing: 3}
+	doc := Parse(nodeSplitPage, withDefense)
+	forged := findByID(doc, "forged")
+	if forged == nil || forged.Ring != 3 {
+		t.Fatalf("with defense: forged = %+v, want clamped ring 3", forged)
+	}
+
+	ablated := withDefense
+	ablated.AblateNonceDefense = true
+	doc = Parse(nodeSplitPage, ablated)
+	forged = findByID(doc, "forged")
+	if forged == nil {
+		t.Fatal("ablated: forged div missing")
+	}
+	if forged.Ring != 0 {
+		t.Errorf("ablated: forged ring = %d — without the nonce defense the node-splitting attack must succeed (ring 0)", forged.Ring)
+	}
+}
+
+func TestAblationScopingRule(t *testing.T) {
+	page := `<div ring=3 id=user><div ring=0 id=inner>x</div></div>`
+	withRule := Options{Escudo: true, MaxRing: 3}
+	doc := Parse(page, withRule)
+	if inner := findByID(doc, "inner"); inner.Ring != 3 {
+		t.Fatalf("with rule: inner ring = %d, want 3", inner.Ring)
+	}
+
+	ablated := withRule
+	ablated.AblateScopingRule = true
+	doc = Parse(page, ablated)
+	if inner := findByID(doc, "inner"); inner.Ring != 0 {
+		t.Errorf("ablated: inner ring = %d — without the scoping rule the nested escalation must succeed", inner.Ring)
+	}
+}
+
+func TestAblationFragmentScoping(t *testing.T) {
+	// innerHTML-style fragment parses rely on the same rule: ablated,
+	// a ring-3 write mints a ring-0 principal.
+	kids := ParseFragment(`<div ring=0 id=minted>x</div>`,
+		Options{Escudo: true, MaxRing: 3, AblateScopingRule: true}, 3, core.UniformACL(3))
+	if len(kids) != 1 || kids[0].Ring != 0 {
+		t.Errorf("ablated fragment = %+v, want ring 0 escalation", kids)
+	}
+}

@@ -1,0 +1,108 @@
+package html
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities is the subset of HTML named character references the
+// reproduction needs; real-world pages in the evaluation corpus only
+// use the core five plus a few typographic conveniences.
+var namedEntities = map[string]rune{
+	"amp":    '&',
+	"lt":     '<',
+	"gt":     '>',
+	"quot":   '"',
+	"apos":   '\'',
+	"nbsp":   '\u00A0',
+	"copy":   '©',
+	"mdash":  '—',
+	"ndash":  '–',
+	"hellip": '…',
+	"laquo":  '«',
+	"raquo":  '»',
+}
+
+// Unescape decodes HTML character references (&amp;, &#65;, &#x41;) in
+// s. Malformed references are left verbatim, as browsers do.
+func Unescape(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 12 {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		ref := s[i+1 : i+semi]
+		if r, ok := decodeEntity(ref); ok {
+			b.WriteRune(r)
+			i += semi + 1
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+// decodeEntity decodes one reference body (without '&' and ';').
+func decodeEntity(ref string) (rune, bool) {
+	if ref == "" {
+		return 0, false
+	}
+	if ref[0] == '#' {
+		num := ref[1:]
+		base := 10
+		if len(num) > 0 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		n, err := strconv.ParseInt(num, base, 32)
+		if err != nil || n <= 0 || n > 0x10FFFF {
+			return 0, false
+		}
+		return rune(n), true
+	}
+	if r, ok := namedEntities[ref]; ok {
+		return r, true
+	}
+	return 0, false
+}
+
+// escapeTextReplacer escapes the characters that are markup-significant
+// in text content.
+var escapeTextReplacer = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+)
+
+// escapeAttrReplacer additionally escapes quotes for attribute values.
+var escapeAttrReplacer = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+	"'", "&#39;",
+)
+
+// EscapeText encodes s for inclusion as HTML text content. This is the
+// sanitization primitive the template engine's auto-escaping uses —
+// the "first line of defense" of §1 that ESCUDO does not rely on but
+// applications still deploy.
+func EscapeText(s string) string { return escapeTextReplacer.Replace(s) }
+
+// EscapeAttr encodes s for inclusion inside a double-quoted attribute
+// value.
+func EscapeAttr(s string) string { return escapeAttrReplacer.Replace(s) }

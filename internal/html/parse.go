@@ -1,0 +1,395 @@
+package html
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// NodeType identifies the kind of a parse-tree node.
+type NodeType int
+
+// Node types.
+const (
+	DocumentNode NodeType = iota + 1
+	ElementNode
+	TextNode
+	CommentNode
+	DoctypeNode
+)
+
+// Node is one node of the parse tree. The parser resolves ESCUDO
+// labels during construction: Ring and ACL carry the security context
+// of the scope the node appeared in, and configuration attributes
+// (ring, r, w, x, nonce) are stripped from Attrs so they are never
+// observable through the DOM API (paper §5: the configuration "is not
+// exposed to JavaScript programs for modification").
+type Node struct {
+	Type NodeType
+	// Tag is the lowercase element name for ElementNode.
+	Tag string
+	// Attrs are the element's attributes minus ESCUDO configuration.
+	Attrs []Attr
+	// Data is the text for TextNode, the body for CommentNode and
+	// DoctypeNode.
+	Data string
+
+	// Ring and ACL are the resolved ESCUDO labels. For legacy parses
+	// (Options.Escudo false) they are the zero ring with a uniform
+	// ring-0 ACL, which makes the ERM coincide with the SOP.
+	Ring core.Ring
+	ACL  core.ACL
+	// IsACTag marks elements that carried a ring attribute.
+	IsACTag bool
+
+	Parent *Node
+	Kids   []*Node
+}
+
+// AppendChild links child as the last child of n.
+func (n *Node) AppendChild(child *Node) {
+	child.Parent = n
+	n.Kids = append(n.Kids, child)
+}
+
+// Attr returns the value of the named (lowercase) attribute.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Options configures a parse.
+type Options struct {
+	// Escudo enables ESCUDO labeling: AC-tag recognition, the
+	// scoping rule, configuration stripping, and the nonce defense.
+	// When false the parser behaves like a legacy browser: AC
+	// attributes are ordinary attributes (§6.3 backward
+	// compatibility), and all labels are ring 0.
+	Escudo bool
+	// MaxRing is the page's least privileged ring (from
+	// X-Escudo-Maxring). Ignored unless Escudo is set.
+	MaxRing core.Ring
+	// BaseRing is the *label* of the document scope: content outside
+	// any AC tag gets this ring. Configured pages use the fail-safe
+	// least privileged ring (§4.3); legacy pages use 0.
+	BaseRing core.Ring
+	// BaseACL is the ACL label of the document scope.
+	BaseACL core.ACL
+	// BaseBound is the scoping-rule floor for AC tags declared in the
+	// top-level scope. A full document parse uses 0: the server
+	// speaks with ring-0 authority when it authors top-level AC tags.
+	// Fragment parses (innerHTML) use the host node's ring so written
+	// markup can never mint a more privileged principal (§5).
+	BaseBound core.Ring
+
+	// AblateNonceDefense disables the §5 markup-randomization check:
+	// any </div> closes a nonce-sealed AC scope. FOR ABLATION
+	// EXPERIMENTS ONLY — it re-enables node-splitting.
+	AblateNonceDefense bool
+	// AblateScopingRule disables the §5 scoping rule: declared rings
+	// are taken at face value regardless of the enclosing scope. FOR
+	// ABLATION EXPERIMENTS ONLY — injected content can then mint
+	// higher-privileged principals.
+	AblateScopingRule bool
+}
+
+// LegacyOptions returns options for a non-ESCUDO parse: everything in
+// ring 0 with a ring-0 ACL (SOP-equivalent labels).
+func LegacyOptions() Options {
+	return Options{Escudo: false, MaxRing: 0, BaseRing: 0, BaseACL: core.UniformACL(0)}
+}
+
+// scope is one level of the AC-tag scope stack. label ring/acl apply
+// to content in the scope; bound is the scoping-rule floor for nested
+// AC tags (only AC tags — and fragment hosts — impose bounds).
+type scope struct {
+	node  *Node
+	ring  core.Ring
+	acl   core.ACL
+	bound core.Ring
+	nonce string // empty when the scope is not nonce-protected
+	ac    bool   // whether node is an AC tag
+}
+
+// Parser builds a labeled tree from tokens.
+type Parser struct {
+	opts Options
+	doc  *Node
+	// open is the stack of open elements; open[0] is the document.
+	open []*Node
+	// scopes parallels AC-tag nesting, independent of the element
+	// stack; scopes[0] is the document scope.
+	scopes []scope
+	// ignoredClosers counts </div> tokens dropped by the nonce
+	// defense, exposed for the security-analysis tests and audit.
+	ignoredClosers int
+}
+
+// NewParser returns a parser with the given options.
+func NewParser(opts Options) *Parser {
+	doc := &Node{Type: DocumentNode, Ring: opts.BaseRing, ACL: opts.BaseACL}
+	p := &Parser{opts: opts, doc: doc}
+	p.open = []*Node{doc}
+	p.scopes = []scope{{node: doc, ring: opts.BaseRing, acl: opts.BaseACL, bound: opts.BaseBound}}
+	return p
+}
+
+// Parse parses a complete document.
+func Parse(input string, opts Options) *Node {
+	p := NewParser(opts)
+	z := NewTokenizer(input)
+	for {
+		tok := z.Next()
+		if tok.Type == EOFToken {
+			break
+		}
+		p.feed(tok)
+	}
+	return p.Finish()
+}
+
+// ParseFragment parses markup produced at run time (innerHTML,
+// document.write) under an enclosing scope: the scoping rule bounds
+// every declared ring by parentRing, so a script can never manufacture
+// a child more privileged than the subtree it writes into (§5).
+func ParseFragment(input string, opts Options, parentRing core.Ring, parentACL core.ACL) []*Node {
+	opts.BaseRing = parentRing
+	opts.BaseACL = parentACL
+	opts.BaseBound = parentRing
+	p := NewParser(opts)
+	z := NewTokenizer(input)
+	for {
+		tok := z.Next()
+		if tok.Type == EOFToken {
+			break
+		}
+		p.feed(tok)
+	}
+	doc := p.Finish()
+	kids := doc.Kids
+	for _, k := range kids {
+		k.Parent = nil
+	}
+	doc.Kids = nil
+	return kids
+}
+
+// IgnoredClosers reports how many end tags the nonce defense dropped.
+func (p *Parser) IgnoredClosers() int { return p.ignoredClosers }
+
+// Finish closes any remaining open elements and returns the document.
+func (p *Parser) Finish() *Node {
+	p.open = p.open[:1]
+	p.scopes = p.scopes[:1]
+	return p.doc
+}
+
+// top returns the innermost open element.
+func (p *Parser) top() *Node { return p.open[len(p.open)-1] }
+
+// curScope returns the innermost AC scope.
+func (p *Parser) curScope() scope { return p.scopes[len(p.scopes)-1] }
+
+// feed processes one token.
+func (p *Parser) feed(tok Token) {
+	switch tok.Type {
+	case TextToken:
+		if tok.Data == "" {
+			return
+		}
+		sc := p.curScope()
+		p.top().AppendChild(&Node{Type: TextNode, Data: tok.Data, Ring: sc.ring, ACL: sc.acl})
+	case CommentToken:
+		sc := p.curScope()
+		p.top().AppendChild(&Node{Type: CommentNode, Data: tok.Data, Ring: sc.ring, ACL: sc.acl})
+	case DoctypeToken:
+		sc := p.curScope()
+		p.top().AppendChild(&Node{Type: DoctypeNode, Data: tok.Data, Ring: sc.ring, ACL: sc.acl})
+	case StartTagToken, SelfClosingTagToken:
+		p.startTag(tok)
+	case EndTagToken:
+		p.endTag(tok)
+	}
+}
+
+// startTag creates an element, resolving its ESCUDO label.
+func (p *Parser) startTag(tok Token) {
+	sc := p.curScope()
+	el := &Node{Type: ElementNode, Tag: tok.Tag, Ring: sc.ring, ACL: sc.acl}
+
+	var ac core.ACAttrs
+	if p.opts.Escudo && tok.Tag == "div" {
+		attrMap := make(map[string]string, len(tok.Attrs))
+		for _, a := range tok.Attrs {
+			attrMap[a.Name] = a.Value
+		}
+		bound := sc.bound
+		if p.opts.AblateScopingRule {
+			bound = core.RingKernel
+		}
+		ac = core.ParseACAttrs(attrMap, p.opts.MaxRing, bound)
+	}
+
+	for _, a := range tok.Attrs {
+		if p.opts.Escudo && core.IsConfigAttr(a.Name) {
+			continue // configuration is never exposed (§5)
+		}
+		el.Attrs = append(el.Attrs, a)
+	}
+
+	if ac.HasRing {
+		el.IsACTag = true
+		el.Ring = ac.Ring
+		el.ACL = ac.ACL.Clamp(p.opts.MaxRing)
+	}
+
+	p.top().AppendChild(el)
+	if tok.Type == SelfClosingTagToken || IsVoid(tok.Tag) {
+		return
+	}
+	p.open = append(p.open, el)
+	if ac.HasRing {
+		p.scopes = append(p.scopes, scope{node: el, ring: el.Ring, acl: el.ACL, bound: el.Ring, nonce: ac.Nonce, ac: true})
+	}
+}
+
+// endTag closes the nearest matching open element, subject to the
+// nonce defense: an end tag that would close a nonce-protected AC tag
+// without presenting the matching nonce is ignored outright, which is
+// exactly how ESCUDO defeats node-splitting (§5).
+func (p *Parser) endTag(tok Token) {
+	// Find the nearest open element with this tag.
+	idx := -1
+	for i := len(p.open) - 1; i >= 1; i-- {
+		if p.open[i].Tag == tok.Tag {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // no matching open element: ignore
+	}
+	if p.opts.Escudo && !p.opts.AblateNonceDefense {
+		// The closer must authenticate against every nonce-protected
+		// AC scope it would close (the matched element and anything
+		// implicitly closed above it).
+		closerNonce, _ := tok.Attr(core.AttrNonce)
+		for i := len(p.scopes) - 1; i >= 1; i-- {
+			s := p.scopes[i]
+			if !p.elementAtOrAbove(s.node, idx) {
+				break
+			}
+			if s.nonce != "" && s.nonce != closerNonce {
+				p.ignoredClosers++
+				return
+			}
+		}
+	}
+	// Pop elements and any AC scopes they owned.
+	for len(p.open) > idx {
+		closed := p.top()
+		p.open = p.open[:len(p.open)-1]
+		if n := len(p.scopes); n > 1 && p.scopes[n-1].node == closed {
+			p.scopes = p.scopes[:n-1]
+		}
+	}
+}
+
+// elementAtOrAbove reports whether el sits at stack position >= idx.
+func (p *Parser) elementAtOrAbove(el *Node, idx int) bool {
+	for i := len(p.open) - 1; i >= idx; i-- {
+		if p.open[i] == el {
+			return true
+		}
+	}
+	return false
+}
+
+// Render serializes the tree back to HTML. ESCUDO configuration was
+// stripped at parse time, so rendered output never leaks it.
+func Render(n *Node) string {
+	var b strings.Builder
+	render(&b, n)
+	return b.String()
+}
+
+func render(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case DocumentNode:
+		for _, k := range n.Kids {
+			render(b, k)
+		}
+	case TextNode:
+		if n.Parent != nil && rawTextElements[n.Parent.Tag] {
+			b.WriteString(n.Data)
+		} else {
+			b.WriteString(EscapeText(n.Data))
+		}
+	case CommentNode:
+		fmt.Fprintf(b, "<!--%s-->", n.Data)
+	case DoctypeNode:
+		fmt.Fprintf(b, "<%s>", n.Data)
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			if a.Value == "" {
+				fmt.Fprintf(b, " %s", a.Name)
+			} else {
+				fmt.Fprintf(b, " %s=%q", a.Name, EscapeAttr(a.Value))
+			}
+		}
+		b.WriteByte('>')
+		if IsVoid(n.Tag) {
+			return
+		}
+		for _, k := range n.Kids {
+			render(b, k)
+		}
+		fmt.Fprintf(b, "</%s>", n.Tag)
+	}
+}
+
+// InnerText concatenates the text content of the subtree, the way a
+// renderer would extract it.
+func InnerText(n *Node) string {
+	var b strings.Builder
+	innerText(&b, n)
+	return b.String()
+}
+
+func innerText(b *strings.Builder, n *Node) {
+	if n.Type == TextNode {
+		b.WriteString(n.Data)
+		return
+	}
+	for _, k := range n.Kids {
+		innerText(b, k)
+	}
+}
+
+// Walk visits every node of the subtree in document order, stopping
+// early if fn returns false.
+func Walk(n *Node, fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, k := range n.Kids {
+		if !Walk(k, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountNodes returns the number of nodes in the subtree, counting n.
+func CountNodes(n *Node) int {
+	count := 0
+	Walk(n, func(*Node) bool { count++; return true })
+	return count
+}

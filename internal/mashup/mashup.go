@@ -1,0 +1,137 @@
+// Package mashup implements the extension the paper sketches in §7:
+// "ESCUDO's fine-grained protection model could be extended to address
+// security requirements for mashup applications by appropriately
+// describing the relationship between the rings of applications from
+// different origins."
+//
+// A mashup host declares delegations: for a named guest origin, guest
+// principals may act on the host's objects, but never more privileged
+// than a declared floor ring. The delegated monitor relaxes only the
+// Origin rule — and only for declared pairs — while the Ring and ACL
+// rules run against the floored ring, so a guest can be granted, say,
+// ring-2 authority inside the host page without any path to the
+// host's ring-0/1 resources. Without a delegation the monitor is
+// exactly the ESCUDO Reference Monitor.
+package mashup
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/origin"
+)
+
+// Delegation grants principals of Guest a bounded presence inside
+// Host's pages.
+type Delegation struct {
+	// Host is the embedding application whose objects are exposed.
+	Host origin.Origin
+	// Guest is the embedded application whose principals gain
+	// access.
+	Guest origin.Origin
+	// Floor is the most privileged ring a guest principal can act as
+	// within the host's page: a guest principal in ring g is treated
+	// as ring max(g, Floor). Floor 0 would mean full trust; mashup
+	// hosts normally pick an outer ring.
+	Floor core.Ring
+}
+
+// String renders the delegation for traces.
+func (d Delegation) String() string {
+	return fmt.Sprintf("%s ← %s (floor %d)", d.Host, d.Guest, d.Floor)
+}
+
+// Policy is a set of delegations. The zero value delegates nothing.
+// It is safe for concurrent use.
+type Policy struct {
+	mu          sync.Mutex
+	delegations map[[2]origin.Origin]Delegation
+}
+
+// NewPolicy returns an empty policy.
+func NewPolicy() *Policy { return &Policy{} }
+
+// Delegate installs (or tightens) a delegation. Re-declaring an
+// existing pair keeps the least privileged (largest) floor: a
+// delegation can be narrowed but never silently widened.
+func (p *Policy) Delegate(d Delegation) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.delegations == nil {
+		p.delegations = map[[2]origin.Origin]Delegation{}
+	}
+	key := [2]origin.Origin{d.Host, d.Guest}
+	if old, ok := p.delegations[key]; ok && old.Floor > d.Floor {
+		return
+	}
+	p.delegations[key] = d
+}
+
+// Lookup returns the delegation for a host/guest pair.
+func (p *Policy) Lookup(host, guest origin.Origin) (Delegation, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.delegations[[2]origin.Origin{host, guest}]
+	return d, ok
+}
+
+// All returns a copy of every delegation.
+func (p *Policy) All() []Delegation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Delegation, 0, len(p.delegations))
+	for _, d := range p.delegations {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Monitor is the delegation-aware reference monitor. Same-origin
+// accesses follow the plain ESCUDO rules; cross-origin accesses are
+// admitted only under a declared delegation, with the guest's ring
+// floored.
+type Monitor struct {
+	// Policy holds the delegations; nil behaves like an empty
+	// policy (plain ERM).
+	Policy *Policy
+	// Trace, when non-nil, receives every decision.
+	Trace func(core.Decision)
+}
+
+var _ core.Monitor = (*Monitor)(nil)
+
+// Authorize implements core.Monitor.
+func (m *Monitor) Authorize(p core.Context, op core.Op, o core.Context) core.Decision {
+	erm := &core.ERM{}
+	if p.Origin.SameOrigin(o.Origin) || m.Policy == nil {
+		d := erm.Authorize(p, op, o)
+		if m.Trace != nil {
+			m.Trace(d)
+		}
+		return d
+	}
+	del, ok := m.Policy.Lookup(o.Origin, p.Origin)
+	if !ok {
+		d := core.Decision{Principal: p, Op: op, Object: o, Rule: core.RuleOrigin}
+		if m.Trace != nil {
+			m.Trace(d)
+		}
+		return d
+	}
+	// Evaluate ring and ACL rules with the floored ring by
+	// re-homing the guest principal into the host origin at its
+	// delegated privilege.
+	floored := p
+	floored.Origin = o.Origin
+	floored.Ring = p.Ring.Outermost(del.Floor)
+	floored.Label = p.Label + "→" + del.String()
+	d := erm.Authorize(floored, op, o)
+	// Report the original principal in the decision for honest
+	// audit trails.
+	d.Principal = p
+	if m.Trace != nil {
+		m.Trace(d)
+	}
+	return d
+}

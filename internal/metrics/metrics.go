@@ -1,0 +1,188 @@
+// Package metrics provides the measurement utilities the benchmark
+// harnesses use to regenerate the paper's Figure 4: repeated timing,
+// summary statistics, relative-overhead computation, and fixed-width
+// result tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is a series of duration measurements.
+type Sample struct {
+	durations []time.Duration
+}
+
+// Add appends one measurement.
+func (s *Sample) Add(d time.Duration) { s.durations = append(s.durations, d) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.durations) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() time.Duration {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.durations {
+		total += d
+	}
+	return total / time.Duration(len(s.durations))
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() time.Duration {
+	n := len(s.durations)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var sq float64
+	for _, d := range s.durations {
+		diff := float64(d) - mean
+		sq += diff * diff
+	}
+	return time.Duration(math.Sqrt(sq / float64(n)))
+}
+
+// Min returns the smallest measurement.
+func (s *Sample) Min() time.Duration {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	min := s.durations[0]
+	for _, d := range s.durations[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// Max returns the largest measurement.
+func (s *Sample) Max() time.Duration {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	max := s.durations[0]
+	for _, d := range s.durations[1:] {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0..100) by
+// nearest-rank on a sorted copy.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Measure runs fn reps times, timing each run, after warmup untimed
+// runs.
+func Measure(reps, warmup int, fn func()) *Sample {
+	for i := 0; i < warmup; i++ {
+		fn()
+	}
+	s := &Sample{}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		s.Add(time.Since(start))
+	}
+	return s
+}
+
+// OverheadPercent returns how much slower with is than without, in
+// percent: 100 * (with - without) / without.
+func OverheadPercent(without, with time.Duration) float64 {
+	if without <= 0 {
+		return 0
+	}
+	return 100 * float64(with-without) / float64(without)
+}
+
+// Table renders rows as a fixed-width text table with a header, the
+// output format of the cmd harnesses.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatMs renders a duration as fractional milliseconds ("12.34").
+func FormatMs(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6)
+}
+
+// FormatPercent renders a percentage with sign ("+5.09%").
+func FormatPercent(p float64) string {
+	return fmt.Sprintf("%+.2f%%", p)
+}

@@ -1,0 +1,80 @@
+// Package nonce implements the markup-randomization nonces that defend
+// AC tags against node-splitting attacks (paper §5). A server
+// generating a page stamps every AC tag with a fresh random nonce; the
+// ESCUDO parser ignores any closing </div> whose nonce does not match
+// the opening tag's, so injected content can never prematurely close
+// an AC scope and open a higher-privileged one.
+//
+// "The random nonces are dynamically generated when constructing a web
+// page, so adversaries cannot predict those numbers before they insert
+// their malicious contents into a web page."
+package nonce
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Source produces unpredictable nonce strings for AC tags.
+type Source interface {
+	// Next returns a fresh nonce. Nonces are decimal digit strings
+	// (the paper's figures use small integers; ours are 64-bit).
+	Next() string
+}
+
+// CryptoSource draws nonces from crypto/rand. The zero value is ready
+// to use; it is safe for concurrent use.
+type CryptoSource struct{}
+
+var _ Source = (*CryptoSource)(nil)
+
+// Next returns a cryptographically random 64-bit decimal nonce.
+func (CryptoSource) Next() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand never fails on supported platforms; if it
+		// does, refusing to continue is safer than a guessable nonce.
+		panic(fmt.Sprintf("nonce: crypto/rand failed: %v", err))
+	}
+	return fmt.Sprintf("%d", binary.BigEndian.Uint64(buf[:]))
+}
+
+// SeqSource produces deterministic nonces 1, 2, 3, ... for tests and
+// reproducible examples. It is safe for concurrent use. The zero
+// value starts at 1.
+type SeqSource struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+var _ Source = (*SeqSource)(nil)
+
+// NewSeqSource returns a sequential source starting at start.
+func NewSeqSource(start uint64) *SeqSource {
+	if start == 0 {
+		start = 1
+	}
+	return &SeqSource{n: start - 1}
+}
+
+// Next returns the next nonce in sequence.
+func (s *SeqSource) Next() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return fmt.Sprintf("%d", s.n)
+}
+
+// Match reports whether a closing tag's nonce authenticates against
+// the opening tag's nonce. An AC tag without a nonce (open == "")
+// accepts any closer — the application opted out of randomization;
+// an AC tag with a nonce requires an exact match (§5: "Escudo ignores
+// any </div> tag whose random nonce does not match").
+func Match(open, close string) bool {
+	if open == "" {
+		return true
+	}
+	return open == close
+}

@@ -1,0 +1,177 @@
+package origin
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		name string
+		url  string
+		want Origin
+	}{
+		{"http default port", "http://www.amazon.com/index.php", Origin{"http", "www.amazon.com", 80}},
+		{"https default port", "https://www.gmail.com", Origin{"https", "www.gmail.com", 443}},
+		{"explicit port", "http://forum.example:8080/a/b?q=1", Origin{"http", "forum.example", 8080}},
+		{"uppercase normalized", "HTTP://WWW.Amazon.COM/x", Origin{"http", "www.amazon.com", 80}},
+		{"path and query ignored", "http://a.example/search.php?q=2#frag", Origin{"http", "a.example", 80}},
+		{"ws scheme", "ws://chat.example/socket", Origin{"ws", "chat.example", 80}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Parse(tt.url)
+			if err != nil {
+				t.Fatalf("Parse(%q) error: %v", tt.url, err)
+			}
+			if got != tt.want {
+				t.Errorf("Parse(%q) = %v, want %v", tt.url, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"/relative/path",
+		"not a url at all ://",
+		"http://",
+		"mailto:user@example.com",
+		"http://host:99999/",
+		"http://host:0/",
+		"http://host:-1/",
+	}
+	for _, u := range bad {
+		if o, err := Parse(u); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", u, o)
+		} else if !errors.Is(err, ErrInvalidURL) && !strings.Contains(err.Error(), "origin:") {
+			t.Errorf("Parse(%q) error %v not wrapped as origin error", u, err)
+		}
+	}
+}
+
+func TestSameOriginPaperExamples(t *testing.T) {
+	// The paper's §2.3 examples of same and differing origins.
+	amazonIndex := MustParse("http://www.amazon.com/index.php")
+	amazonSearch := MustParse("http://www.amazon.com/search.php")
+	gmail := MustParse("http://www.gmail.com")
+	gmailTLS := MustParse("https://www.gmail.com")
+
+	if !amazonIndex.SameOrigin(amazonSearch) {
+		t.Error("two pages on www.amazon.com must be same-origin")
+	}
+	if gmail.SameOrigin(amazonIndex) {
+		t.Error("gmail and amazon must not be same-origin (different domain)")
+	}
+	if gmail.SameOrigin(gmailTLS) {
+		t.Error("http and https gmail must not be same-origin (different protocol)")
+	}
+}
+
+func TestSameOriginPorts(t *testing.T) {
+	a := MustParse("http://site.example/")
+	b := MustParse("http://site.example:80/")
+	c := MustParse("http://site.example:8080/")
+	if !a.SameOrigin(b) {
+		t.Error("implicit and explicit default port must be same-origin")
+	}
+	if a.SameOrigin(c) {
+		t.Error("different ports must not be same-origin")
+	}
+}
+
+func TestNullOrigin(t *testing.T) {
+	var null Origin
+	if !null.IsNull() {
+		t.Fatal("zero origin must be null")
+	}
+	if null.SameOrigin(null) {
+		t.Error("null origin must not be same-origin with itself")
+	}
+	if null.SameOrigin(MustParse("http://a.example")) {
+		t.Error("null origin must not be same-origin with a real origin")
+	}
+	if got := null.String(); got != "null" {
+		t.Errorf("null.String() = %q, want %q", got, "null")
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		o    Origin
+		want string
+	}{
+		{Origin{"http", "a.example", 80}, "http://a.example"},
+		{Origin{"https", "a.example", 443}, "https://a.example"},
+		{Origin{"http", "a.example", 8080}, "http://a.example:8080"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", tt.o, got, tt.want)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Serializing then reparsing an origin yields the same origin.
+	f := func(hostSeed uint8, port uint16, https bool) bool {
+		host := "h" + strings.Repeat("a", int(hostSeed%5)+1) + ".example"
+		scheme := "http"
+		if https {
+			scheme = "https"
+		}
+		p := int(port)
+		if p == 0 {
+			p = 80
+		}
+		o := Origin{Scheme: scheme, Host: host, Port: p}
+		back, err := Parse(o.String())
+		return err == nil && back == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestURL(t *testing.T) {
+	o := MustParse("http://forum.example:8080/")
+	if got, want := o.URL("/viewtopic.php?t=1"), "http://forum.example:8080/viewtopic.php?t=1"; got != want {
+		t.Errorf("URL = %q, want %q", got, want)
+	}
+	if got, want := o.URL("login"), "http://forum.example:8080/login"; got != want {
+		t.Errorf("URL without leading slash = %q, want %q", got, want)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	tests := []struct {
+		base, ref, want string
+	}{
+		{"http://a.example/dir/page.html", "img.png", "http://a.example/dir/img.png"},
+		{"http://a.example/dir/page.html", "/top.png", "http://a.example/top.png"},
+		{"http://a.example/dir/page.html", "http://b.example/x", "http://b.example/x"},
+		{"http://a.example/dir/page.html", "?q=1", "http://a.example/dir/page.html?q=1"},
+		{"http://a.example/dir/", " spaced.html ", "http://a.example/dir/spaced.html"},
+	}
+	for _, tt := range tests {
+		got, err := Resolve(tt.base, tt.ref)
+		if err != nil {
+			t.Fatalf("Resolve(%q, %q) error: %v", tt.base, tt.ref, err)
+		}
+		if got != tt.want {
+			t.Errorf("Resolve(%q, %q) = %q, want %q", tt.base, tt.ref, got, tt.want)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of invalid URL must panic")
+		}
+	}()
+	MustParse("::not-a-url::")
+}

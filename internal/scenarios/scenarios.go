@@ -1,0 +1,230 @@
+// Package scenarios generates the eight web-page workloads of the
+// paper's Figure 4 performance experiment ("We setup 8 web pages
+// varying amounts of AC tags and dynamic content") and measures
+// parse+render time with ESCUDO labeling off and on. The absolute
+// times differ from the paper's Lobo numbers (different substrate);
+// the reproduced shape is the low single-digit relative overhead
+// (paper: 5.09% average).
+package scenarios
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/html"
+	"repro/internal/layout"
+	"repro/internal/metrics"
+	"repro/internal/nonce"
+	"repro/internal/template"
+)
+
+// Scenario is one Figure 4 workload.
+type Scenario struct {
+	// Name identifies the scenario (S1..S8).
+	Name string
+	// Description says how the page is shaped.
+	Description string
+	// Markup is the generated page.
+	Markup string
+}
+
+// lorem is filler text for realistic text-layout work.
+const lorem = "lorem ipsum dolor sit amet consectetur adipiscing elit sed do " +
+	"eiusmod tempor incididunt ut labore et dolore magna aliqua "
+
+// paragraphs emits n <p> blocks of filler.
+func paragraphs(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<p id=p%d>%s</p>", i, lorem)
+	}
+	return b.String()
+}
+
+// acSections emits n AC-tagged sections (ring cycling 1..3) each with
+// filler content.
+func acSections(n int, builder *template.ACBuilder) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		ring := core.Ring(i%3 + 1)
+		b.WriteString(builder.Wrap(ring, core.UniformACL(ring.Outermost(2)),
+			fmt.Sprintf("id=sec%d", i), lorem))
+	}
+	return b.String()
+}
+
+// nested emits depth nested AC scopes.
+func nested(depth int, builder *template.ACBuilder) string {
+	if depth == 0 {
+		return lorem
+	}
+	ring := core.Ring(depth % 3)
+	return builder.Wrap(ring.Outermost(1), core.UniformACL(2),
+		fmt.Sprintf("id=n%d", depth), nested(depth-1, builder))
+}
+
+// scripts emits n small inert scripts (dynamic content).
+func scripts(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<script id=s%d>var v%d = %d;</script>`, i, i, i)
+	}
+	return b.String()
+}
+
+// All generates the eight scenarios deterministically.
+func All() []Scenario {
+	bld := template.NewACBuilder(nonce.NewSeqSource(1))
+	page := func(body string) string {
+		return "<html><head><title>bench</title></head><body>" + body + "</body></html>"
+	}
+	return []Scenario{
+		{
+			Name:        "S1",
+			Description: "small static page, no AC tags",
+			Markup:      page(paragraphs(10)),
+		},
+		{
+			Name:        "S2",
+			Description: "medium static page, no AC tags",
+			Markup:      page(paragraphs(100)),
+		},
+		{
+			Name:        "S3",
+			Description: "10 AC-tagged sections",
+			Markup:      page(acSections(10, bld) + paragraphs(20)),
+		},
+		{
+			Name:        "S4",
+			Description: "50 AC-tagged sections",
+			Markup:      page(acSections(50, bld) + paragraphs(20)),
+		},
+		{
+			Name:        "S5",
+			Description: "200 AC-tagged sections",
+			Markup:      page(acSections(200, bld)),
+		},
+		{
+			Name:        "S6",
+			Description: "deeply nested AC scopes (depth 40)",
+			Markup:      page(nested(40, bld) + paragraphs(20)),
+		},
+		{
+			Name:        "S7",
+			Description: "dynamic content: 50 scripts, few AC tags",
+			Markup:      page(scripts(50) + acSections(5, bld) + paragraphs(20)),
+		},
+		{
+			Name:        "S8",
+			Description: "large mixed page: 100 AC sections + 50 scripts",
+			Markup:      page(acSections(100, bld) + scripts(50) + paragraphs(100)),
+		},
+	}
+}
+
+// ParseRender runs the measured pipeline stage: parse (with or
+// without ESCUDO labeling) and lay out. It returns the node count so
+// callers can keep the work observable.
+func ParseRender(markup string, escudo bool) int {
+	opts := html.LegacyOptions()
+	if escudo {
+		opts = html.Options{Escudo: true, MaxRing: 3, BaseRing: 3, BaseACL: core.ACL{}}
+	}
+	doc := html.Parse(markup, opts)
+	r := layout.Layout(doc, layout.DefaultViewportWidth)
+	return html.CountNodes(doc) + r.Words
+}
+
+// Row is one Figure 4 measurement row.
+type Row struct {
+	Scenario    Scenario
+	Baseline    time.Duration // without ESCUDO
+	Escudo      time.Duration // with ESCUDO
+	OverheadPct float64
+}
+
+// Measure runs the Figure 4 experiment: reps timed repetitions per
+// scenario per mode (the paper used 90), after warmup untimed ones.
+// Baseline and ESCUDO samples are interleaved so allocator and GC
+// noise lands evenly on both sides, and a GC runs before each
+// scenario so one scenario's garbage is not billed to the next.
+func Measure(reps, warmup int) []Row {
+	var rows []Row
+	for _, sc := range All() {
+		for i := 0; i < warmup; i++ {
+			ParseRender(sc.Markup, false)
+			ParseRender(sc.Markup, true)
+		}
+		runtime.GC()
+
+		// Calibrate a batch size so each timing sample is ≥ ~2ms:
+		// sub-millisecond samples are dominated by timer quantization
+		// and GC spikes.
+		start := time.Now()
+		ParseRender(sc.Markup, false)
+		single := time.Since(start)
+		batch := 1
+		if single > 0 {
+			if k := int(2*time.Millisecond/single) + 1; k > 1 {
+				batch = k
+			}
+		}
+
+		base := &metrics.Sample{}
+		esc := &metrics.Sample{}
+		timeBatch := func(escudo bool, s *metrics.Sample) {
+			start := time.Now()
+			for j := 0; j < batch; j++ {
+				ParseRender(sc.Markup, escudo)
+			}
+			s.Add(time.Since(start) / time.Duration(batch))
+		}
+		for i := 0; i < reps; i++ {
+			// Alternate which mode goes first so periodic GC cost
+			// cannot phase-lock onto one side of the comparison.
+			if i%2 == 0 {
+				timeBatch(false, base)
+				timeBatch(true, esc)
+			} else {
+				timeBatch(true, esc)
+				timeBatch(false, base)
+			}
+		}
+		// Medians resist the GC outliers that means amplify.
+		baseMid, escMid := base.Percentile(50), esc.Percentile(50)
+		rows = append(rows, Row{
+			Scenario:    sc,
+			Baseline:    baseMid,
+			Escudo:      escMid,
+			OverheadPct: metrics.OverheadPercent(baseMid, escMid),
+		})
+	}
+	return rows
+}
+
+// AverageOverhead returns the mean overhead across rows — the paper's
+// single summary number (5.09%).
+func AverageOverhead(rows []Row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var total float64
+	for _, r := range rows {
+		total += r.OverheadPct
+	}
+	return total / float64(len(rows))
+}
+
+// Table renders rows in the harness's output format.
+func Table(rows []Row) string {
+	t := metrics.NewTable("Scenario", "Description", "Baseline (ms)", "Escudo (ms)", "Overhead")
+	for _, r := range rows {
+		t.AddRow(r.Scenario.Name, r.Scenario.Description,
+			metrics.FormatMs(r.Baseline), metrics.FormatMs(r.Escudo),
+			metrics.FormatPercent(r.OverheadPct))
+	}
+	return t.String()
+}

@@ -1,0 +1,120 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/html"
+)
+
+func TestAllScenarios(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("scenarios = %d, want 8 (Figure 4)", len(all))
+	}
+	names := map[string]bool{}
+	for _, sc := range all {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario %s", sc.Name)
+		}
+		names[sc.Name] = true
+		if sc.Markup == "" || sc.Description == "" {
+			t.Errorf("scenario %s incomplete", sc.Name)
+		}
+	}
+}
+
+func TestScenariosDeterministic(t *testing.T) {
+	a, b := All(), All()
+	for i := range a {
+		if a[i].Markup != b[i].Markup {
+			t.Errorf("scenario %s not deterministic", a[i].Name)
+		}
+	}
+}
+
+func TestACScenariosLabelCorrectly(t *testing.T) {
+	for _, sc := range All() {
+		doc := html.Parse(sc.Markup, html.Options{Escudo: true, MaxRing: 3, BaseRing: 3})
+		acTags := 0
+		html.Walk(doc, func(n *html.Node) bool {
+			if n.IsACTag {
+				acTags++
+			}
+			return true
+		})
+		hasAC := strings.Contains(sc.Markup, "ring=")
+		if hasAC && acTags == 0 {
+			t.Errorf("%s: markup has AC tags but parse found none", sc.Name)
+		}
+		if !hasAC && acTags > 0 {
+			t.Errorf("%s: unexpected AC tags", sc.Name)
+		}
+	}
+}
+
+func TestParseRenderBothModes(t *testing.T) {
+	for _, sc := range All() {
+		base := ParseRender(sc.Markup, false)
+		esc := ParseRender(sc.Markup, true)
+		if base == 0 || esc == 0 {
+			t.Errorf("%s: zero work (base=%d escudo=%d)", sc.Name, base, esc)
+		}
+	}
+}
+
+func TestMeasureProducesRows(t *testing.T) {
+	rows := Measure(3, 1)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Baseline <= 0 || r.Escudo <= 0 {
+			t.Errorf("%s: nonpositive times %v %v", r.Scenario.Name, r.Baseline, r.Escudo)
+		}
+	}
+	tbl := Table(rows)
+	for _, want := range []string{"S1", "S8", "Overhead"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	_ = AverageOverhead(rows) // must not panic; sign checked in the bench harness
+}
+
+func TestAverageOverheadEmpty(t *testing.T) {
+	if got := AverageOverhead(nil); got != 0 {
+		t.Errorf("AverageOverhead(nil) = %v", got)
+	}
+}
+
+func TestNestedScenarioDepth(t *testing.T) {
+	// S6's nesting must produce monotone non-decreasing rings along
+	// the ancestor chain (scoping rule).
+	var s6 Scenario
+	for _, sc := range All() {
+		if sc.Name == "S6" {
+			s6 = sc
+		}
+	}
+	doc := html.Parse(s6.Markup, html.Options{Escudo: true, MaxRing: 3, BaseRing: 3})
+	ok := true
+	var walk func(n *html.Node, bound core.Ring)
+	walk = func(n *html.Node, bound core.Ring) {
+		if n.IsACTag && n.Ring < bound {
+			ok = false
+		}
+		next := bound
+		if n.IsACTag {
+			next = n.Ring
+		}
+		for _, k := range n.Kids {
+			walk(k, next)
+		}
+	}
+	walk(doc, 0)
+	if !ok {
+		t.Error("S6 violates the scoping rule")
+	}
+}

@@ -1,0 +1,190 @@
+package script
+
+import (
+	"errors"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Console collects script log output (console.log / log builtin). It
+// is safe for concurrent use.
+type Console struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+// Log appends a line.
+func (c *Console) Log(line string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lines = append(c.lines, line)
+}
+
+// Lines returns a copy of the logged lines.
+func (c *Console) Lines() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.lines))
+	copy(out, c.lines)
+	return out
+}
+
+// consoleHost exposes console.log to scripts.
+type consoleHost struct{ c *Console }
+
+var _ HostObject = (*consoleHost)(nil)
+
+func (h *consoleHost) HostName() string { return "Console" }
+
+func (h *consoleHost) HostGet(name string) (Value, error) {
+	if name == "log" {
+		return NativeFunc(func(args []Value) (Value, error) {
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = ToString(a)
+			}
+			h.c.Log(strings.Join(parts, " "))
+			return nil, nil
+		}), nil
+	}
+	return nil, nil
+}
+
+func (h *consoleHost) HostSet(name string, v Value) error {
+	return errors.New("console is read-only")
+}
+
+// StdEnv builds the base environment every script gets: console plus
+// the pure builtins. The browser adds document, window, and
+// XMLHttpRequest bindings on top, bound to the principal's security
+// context.
+func StdEnv(console *Console) *Env {
+	env := NewEnv()
+	env.Define("console", &consoleHost{c: console})
+	env.Define("log", NativeFunc(func(args []Value) (Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = ToString(a)
+		}
+		console.Log(strings.Join(parts, " "))
+		return nil, nil
+	}))
+	env.Define("String", NativeFunc(func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return "", nil
+		}
+		return ToString(args[0]), nil
+	}))
+	env.Define("Number", NativeFunc(func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return float64(0), nil
+		}
+		switch v := args[0].(type) {
+		case float64:
+			return v, nil
+		case string:
+			n, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return math.NaN(), nil
+			}
+			return n, nil
+		case bool:
+			if v {
+				return float64(1), nil
+			}
+			return float64(0), nil
+		default:
+			return math.NaN(), nil
+		}
+	}))
+	env.Define("parseInt", NativeFunc(func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return math.NaN(), nil
+		}
+		s := strings.TrimSpace(ToString(args[0]))
+		end := 0
+		for end < len(s) && (s[end] >= '0' && s[end] <= '9' || (end == 0 && (s[end] == '-' || s[end] == '+'))) {
+			end++
+		}
+		n, err := strconv.ParseInt(s[:end], 10, 64)
+		if err != nil {
+			return math.NaN(), nil
+		}
+		return float64(n), nil
+	}))
+	env.Define("isNaN", NativeFunc(func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return true, nil
+		}
+		n, ok := args[0].(float64)
+		return !ok || math.IsNaN(n), nil
+	}))
+	env.Define("encodeURIComponent", NativeFunc(func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return "", nil
+		}
+		return url.QueryEscape(ToString(args[0])), nil
+	}))
+	env.Define("decodeURIComponent", NativeFunc(func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return "", nil
+		}
+		s, err := url.QueryUnescape(ToString(args[0]))
+		if err != nil {
+			return ToString(args[0]), nil
+		}
+		return s, nil
+	}))
+
+	mathObj := NewObject()
+	mathObj.Props["floor"] = NativeFunc(num1(math.Floor))
+	mathObj.Props["ceil"] = NativeFunc(num1(math.Ceil))
+	mathObj.Props["abs"] = NativeFunc(num1(math.Abs))
+	mathObj.Props["max"] = NativeFunc(numFold(math.Inf(-1), math.Max))
+	mathObj.Props["min"] = NativeFunc(numFold(math.Inf(1), math.Min))
+	env.Define("Math", mathObj)
+
+	// attempt(fn) runs fn and swallows any error, returning whether
+	// it succeeded. Attack scripts use it to probe multiple vectors
+	// in one run even when the monitor denies the earlier ones.
+	env.Define("attempt", NativeFunc(func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return false, nil
+		}
+		ip := &Interp{}
+		v, err := ip.callValue(args[0], args[1:], 0)
+		_ = v
+		return err == nil, nil
+	}))
+	return env
+}
+
+func num1(f func(float64) float64) func([]Value) (Value, error) {
+	return func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return math.NaN(), nil
+		}
+		n, ok := args[0].(float64)
+		if !ok {
+			return math.NaN(), nil
+		}
+		return f(n), nil
+	}
+}
+
+func numFold(init float64, f func(a, b float64) float64) func([]Value) (Value, error) {
+	return func(args []Value) (Value, error) {
+		acc := init
+		for _, a := range args {
+			n, ok := a.(float64)
+			if !ok {
+				return math.NaN(), nil
+			}
+			acc = f(acc, n)
+		}
+		return acc, nil
+	}
+}

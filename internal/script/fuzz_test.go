@@ -1,0 +1,30 @@
+package script
+
+import "testing"
+
+// FuzzParse checks the parser never panics and the interpreter always
+// terminates within its step budget on whatever parses.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`var x = 1; x + 2;`,
+		`function f(a) { return a * 2; } f(21);`,
+		`for (var i = 0; i < 3; i++) { }`,
+		`var o = {a: [1, 2]}; o.a[0];`,
+		`"str" + 1 + true + null;`,
+		`while (x) break;`,
+		`new F(1, 2);`,
+		`a ? b : c;`,
+		`x = /* comment */ 1; // tail`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		prog, err := Parse(s)
+		if err != nil {
+			return
+		}
+		ip := &Interp{MaxSteps: 20000}
+		_, _ = ip.Run(prog, StdEnv(&Console{})) // termination is the invariant
+	})
+}

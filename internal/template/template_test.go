@@ -1,0 +1,212 @@
+package template
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/html"
+	"repro/internal/nonce"
+)
+
+func TestRenderPlaceholders(t *testing.T) {
+	tpl := MustParse(`<h1>{{title}}</h1><p>{{body}}</p>`)
+	out := tpl.Render(Data{"title": "Hello", "body": "World"})
+	if out != `<h1>Hello</h1><p>World</p>` {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestAutoEscaping(t *testing.T) {
+	// The engine's auto-escaping is the §1 "first line of defense";
+	// the unhardened app modes bypass it via {{{raw}}}.
+	tpl := MustParse(`<p>{{user}}</p>`)
+	out := tpl.Render(Data{"user": `<script>alert(1)</script>`})
+	if strings.Contains(out, "<script>") {
+		t.Errorf("escaping failed: %q", out)
+	}
+	doc := html.Parse(out, html.LegacyOptions())
+	if got := html.InnerText(doc); got != `<script>alert(1)</script>` {
+		t.Errorf("round trip text = %q", got)
+	}
+}
+
+func TestRawInsertion(t *testing.T) {
+	tpl := MustParse(`<div>{{{markup}}}</div>`)
+	out := tpl.Render(Data{"markup": `<b>bold</b>`})
+	if out != `<div><b>bold</b></div>` {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestEachLoop(t *testing.T) {
+	tpl := MustParse(`<ul>{{#each items}}<li>{{name}}</li>{{/each}}</ul>`)
+	out := tpl.Render(Data{"items": []Data{{"name": "a"}, {"name": "b"}}})
+	if out != `<ul><li>a</li><li>b</li></ul>` {
+		t.Errorf("out = %q", out)
+	}
+	// String lists bind {{.}}.
+	tpl = MustParse(`{{#each xs}}[{{.}}]{{/each}}`)
+	out = tpl.Render(Data{"xs": []string{"1", "2"}})
+	if out != `[1][2]` {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestEachScopeShadowing(t *testing.T) {
+	tpl := MustParse(`{{#each items}}{{title}}:{{name}};{{/each}}`)
+	out := tpl.Render(Data{"title": "T", "items": []Data{{"name": "a"}, {"name": "b", "title": "X"}}})
+	if out != `T:a;X:b;` {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIf(t *testing.T) {
+	tpl := MustParse(`{{#if admin}}<a>admin</a>{{/if}}ok`)
+	if out := tpl.Render(Data{"admin": true}); out != `<a>admin</a>ok` {
+		t.Errorf("true: %q", out)
+	}
+	if out := tpl.Render(Data{"admin": false}); out != `ok` {
+		t.Errorf("false: %q", out)
+	}
+	if out := tpl.Render(Data{}); out != `ok` {
+		t.Errorf("missing: %q", out)
+	}
+}
+
+func TestNestedSections(t *testing.T) {
+	tpl := MustParse(`{{#each topics}}<h2>{{subject}}</h2>{{#each replies}}<p>{{text}}</p>{{/each}}{{/each}}`)
+	out := tpl.Render(Data{"topics": []Data{
+		{"subject": "T1", "replies": []Data{{"text": "r1"}, {"text": "r2"}}},
+		{"subject": "T2", "replies": []Data{}},
+	}})
+	if out != `<h2>T1</h2><p>r1</p><p>r2</p><h2>T2</h2>` {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestDottedLookup(t *testing.T) {
+	tpl := MustParse(`{{user.name}}`)
+	out := tpl.Render(Data{"user": Data{"name": "alice"}})
+	if out != "alice" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestMissingVarRendersEmpty(t *testing.T) {
+	tpl := MustParse(`[{{nope}}]`)
+	if out := tpl.Render(Data{}); out != "[]" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`{{#each items}}no closer`,
+		`{{/each}}`,
+		`{{#if x}}{{/each}}`,
+		`{{unterminated`,
+		`{{{unterminated}}`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); !errors.Is(err, ErrBadTemplate) {
+			t.Errorf("Parse(%q) err = %v, want ErrBadTemplate", src, err)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic on bad template")
+		}
+	}()
+	MustParse(`{{#if x}}`)
+}
+
+func TestACBuilderWrap(t *testing.T) {
+	b := NewACBuilder(nonce.NewSeqSource(100))
+	out := b.Wrap(3, core.ACL{Read: 2, Write: 2, Use: 2}, "id=c1", "user text")
+	want := `<div ring=3 r=2 w=2 x=2 nonce=100 id=c1>user text</div nonce=100>`
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestACBuilderPairSharesNonce(t *testing.T) {
+	b := NewACBuilder(nonce.NewSeqSource(7))
+	open, closeTag := b.Pair(1, core.UniformACL(1), "")
+	if !strings.Contains(open, "nonce=7") || !strings.Contains(closeTag, "nonce=7") {
+		t.Errorf("pair = %q %q", open, closeTag)
+	}
+	open2, _ := b.Pair(1, core.UniformACL(1), "")
+	if strings.Contains(open2, "nonce=7") {
+		t.Error("nonces must be fresh per pair")
+	}
+}
+
+func TestACBuilderDefaultCrypto(t *testing.T) {
+	b := NewACBuilder(nil)
+	open, _ := b.Pair(2, core.UniformACL(2), "")
+	if !strings.Contains(open, "nonce=") {
+		t.Errorf("open = %q", open)
+	}
+}
+
+func TestACBuilderOutputParses(t *testing.T) {
+	// The builder's output, fed through the ESCUDO parser, labels
+	// content exactly as requested and survives the nonce check.
+	b := NewACBuilder(nonce.NewSeqSource(1))
+	page := b.Wrap(1, core.UniformACL(1), "id=app", "app") +
+		b.Wrap(3, core.ACL{Read: 2, Write: 2, Use: 2}, "id=user", "user")
+	doc := html.Parse(page, html.Options{Escudo: true, MaxRing: 3})
+	var app, user *html.Node
+	html.Walk(doc, func(n *html.Node) bool {
+		if id, _ := n.Attr("id"); id == "app" {
+			app = n
+		} else if id, _ := n.Attr("id"); id == "user" {
+			user = n
+		}
+		return true
+	})
+	if app == nil || app.Ring != 1 {
+		t.Errorf("app = %+v", app)
+	}
+	if user == nil || user.Ring != 3 || user.ACL != (core.ACL{Read: 2, Write: 2, Use: 2}) {
+		t.Errorf("user = %+v", user)
+	}
+}
+
+// Property: for any user-supplied string, the escaped placeholder
+// output parses back to text equal to the input — no markup injection
+// through the escaping path.
+func TestEscapingPreventsInjection(t *testing.T) {
+	tpl := MustParse(`<div id=host>{{user}}</div>`)
+	f := func(s string) bool {
+		// The HTML parser normalizes CR and control chars; restrict
+		// to the printable set for the equality check while still
+		// covering every markup-significant character.
+		clean := strings.Map(func(r rune) rune {
+			if r < 32 || r == 127 {
+				return -1
+			}
+			return r
+		}, s)
+		out := tpl.Render(Data{"user": clean})
+		doc := html.Parse(out, html.LegacyOptions())
+		// Exactly one element (the host div) may exist.
+		elems := 0
+		html.Walk(doc, func(n *html.Node) bool {
+			if n.Type == html.ElementNode {
+				elems++
+			}
+			return true
+		})
+		return elems == 1 && html.InnerText(doc) == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

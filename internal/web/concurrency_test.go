@@ -1,0 +1,58 @@
+package web
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestNetworkConcurrentRoundTrips exercises the network's locking
+// under parallel load (run with -race to verify).
+func TestNetworkConcurrentRoundTrips(t *testing.T) {
+	n := NewNetwork()
+	n.Register(forum, HandlerFunc(func(req *Request) *Response {
+		return HTML("ok")
+	}))
+	const workers, reqs = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reqs; i++ {
+				req := NewRequest("GET", fmt.Sprintf("http://forum.example/p%d-%d", w, i))
+				if _, err := n.RoundTrip(req); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(n.Log()); got != workers*reqs {
+		t.Errorf("log = %d entries, want %d", got, workers*reqs)
+	}
+}
+
+// TestNetworkConcurrentRegister checks registration racing with
+// traffic.
+func TestNetworkConcurrentRegister(t *testing.T) {
+	n := NewNetwork()
+	n.Register(forum, HandlerFunc(func(req *Request) *Response { return HTML("a") }))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			n.Register(forum, HandlerFunc(func(req *Request) *Response { return HTML("b") }))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_, _ = n.RoundTrip(NewRequest("GET", "http://forum.example/"))
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,318 @@
+// Package web is the in-memory web substrate: HTTP-shaped requests and
+// responses routed by origin to registered server applications. It
+// replaces the real network + Apache/PHP stack of the paper's testbed
+// (see DESIGN.md, substitutions). The network keeps a request log so
+// the attack harness can check, for example, whether a forged
+// cross-site request arrived carrying the victim's session cookie —
+// the §6.4 CSRF verdict.
+package web
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+
+	"repro/internal/origin"
+)
+
+// Header is a simplified HTTP header map: canonical-cased keys to
+// value lists.
+type Header map[string][]string
+
+// CanonicalKey normalizes a header name ("x-escudo-maxring" →
+// "X-Escudo-Maxring").
+func CanonicalKey(k string) string {
+	parts := strings.Split(strings.ToLower(k), "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, "-")
+}
+
+// Add appends a value to the named header.
+func (h Header) Add(key, value string) {
+	k := CanonicalKey(key)
+	h[k] = append(h[k], value)
+}
+
+// Set replaces the named header with a single value.
+func (h Header) Set(key, value string) {
+	h[CanonicalKey(key)] = []string{value}
+}
+
+// Get returns the first value of the named header, or "".
+func (h Header) Get(key string) string {
+	v := h[CanonicalKey(key)]
+	if len(v) == 0 {
+		return ""
+	}
+	return v[0]
+}
+
+// Values returns all values of the named header.
+func (h Header) Values(key string) []string {
+	return h[CanonicalKey(key)]
+}
+
+// Clone deep-copies the header.
+func (h Header) Clone() Header {
+	out := make(Header, len(h))
+	for k, v := range h {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// Request is one HTTP-shaped request.
+type Request struct {
+	// Method is "GET" or "POST".
+	Method string
+	// URL is the absolute target URL.
+	URL string
+	// Header carries request headers, including Cookie.
+	Header Header
+	// Form carries POST form fields.
+	Form url.Values
+	// InitiatorOrigin is the origin of the page whose principal
+	// caused the request (the null origin for browser-typed
+	// navigations). The attack harness uses it to classify
+	// cross-site requests.
+	InitiatorOrigin origin.Origin
+	// InitiatorLabel describes the principal for the request log,
+	// e.g. "img", "form#post", "xhr".
+	InitiatorLabel string
+}
+
+// NewRequest builds a request with empty header and form.
+func NewRequest(method, rawURL string) *Request {
+	return &Request{Method: method, URL: rawURL, Header: Header{}, Form: url.Values{}}
+}
+
+// TargetOrigin derives the origin of the request's URL.
+func (r *Request) TargetOrigin() (origin.Origin, error) {
+	return origin.Parse(r.URL)
+}
+
+// Path returns the URL path (with a leading slash; "/" for empty).
+func (r *Request) Path() string {
+	u, err := url.Parse(r.URL)
+	if err != nil || u.Path == "" {
+		return "/"
+	}
+	return u.Path
+}
+
+// Query returns the parsed query parameters.
+func (r *Request) Query() url.Values {
+	u, err := url.Parse(r.URL)
+	if err != nil {
+		return url.Values{}
+	}
+	return u.Query()
+}
+
+// Cookies parses the Cookie header into name→value pairs.
+func (r *Request) Cookies() map[string]string {
+	out := map[string]string{}
+	for _, line := range r.Header.Values("Cookie") {
+		for _, part := range strings.Split(line, ";") {
+			name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if ok && name != "" {
+				out[name] = val
+			}
+		}
+	}
+	return out
+}
+
+// Cookie returns the named cookie value and whether it is present.
+func (r *Request) Cookie(name string) (string, bool) {
+	v, ok := r.Cookies()[name]
+	return v, ok
+}
+
+// Response is one HTTP-shaped response.
+type Response struct {
+	// Status is the HTTP status code.
+	Status int
+	// Header carries response headers, including Set-Cookie and the
+	// X-Escudo-* configuration.
+	Header Header
+	// Body is the response entity, typically HTML.
+	Body string
+}
+
+// NewResponse builds an empty 200 response.
+func NewResponse() *Response {
+	return &Response{Status: 200, Header: Header{}}
+}
+
+// HTML builds a 200 text/html response with the given body.
+func HTML(body string) *Response {
+	resp := NewResponse()
+	resp.Header.Set("Content-Type", "text/html")
+	resp.Body = body
+	return resp
+}
+
+// Redirect builds a 303 response to the given location.
+func Redirect(location string) *Response {
+	resp := NewResponse()
+	resp.Status = 303
+	resp.Header.Set("Location", location)
+	return resp
+}
+
+// NotFound builds a 404 response.
+func NotFound() *Response {
+	resp := NewResponse()
+	resp.Status = 404
+	resp.Body = "not found"
+	return resp
+}
+
+// Forbidden builds a 403 response.
+func Forbidden(msg string) *Response {
+	resp := NewResponse()
+	resp.Status = 403
+	resp.Body = msg
+	return resp
+}
+
+// Handler serves requests for one origin.
+type Handler interface {
+	Serve(req *Request) *Response
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req *Request) *Response
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(req *Request) *Response { return f(req) }
+
+// ErrNoServer reports a request for an unregistered origin.
+var ErrNoServer = errors.New("web: no server for origin")
+
+// LogEntry records one routed request for post-hoc analysis.
+type LogEntry struct {
+	Method          string
+	URL             string
+	Path            string
+	Target          origin.Origin
+	InitiatorOrigin origin.Origin
+	InitiatorLabel  string
+	// CookieNames are the cookies that arrived with the request —
+	// the CSRF success signal.
+	CookieNames []string
+	Form        url.Values
+	Status      int
+}
+
+// Network routes requests to servers by origin and records a log. It
+// is safe for concurrent use.
+type Network struct {
+	mu      sync.Mutex
+	servers map[origin.Origin]Handler
+	log     []LogEntry
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{servers: map[origin.Origin]Handler{}}
+}
+
+// Register installs a handler for an origin, replacing any previous
+// one.
+func (n *Network) Register(o origin.Origin, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.servers[o] = h
+}
+
+// RoundTrip routes the request to its target origin's server and
+// returns the response. Every routed request is logged, whether or
+// not a server exists.
+func (n *Network) RoundTrip(req *Request) (*Response, error) {
+	target, err := req.TargetOrigin()
+	if err != nil {
+		return nil, fmt.Errorf("web: routing %q: %w", req.URL, err)
+	}
+	n.mu.Lock()
+	h, ok := n.servers[target]
+	n.mu.Unlock()
+
+	entry := LogEntry{
+		Method:          req.Method,
+		URL:             req.URL,
+		Path:            req.Path(),
+		Target:          target,
+		InitiatorOrigin: req.InitiatorOrigin,
+		InitiatorLabel:  req.InitiatorLabel,
+		Form:            req.Form,
+	}
+	for name := range req.Cookies() {
+		entry.CookieNames = append(entry.CookieNames, name)
+	}
+
+	if !ok {
+		entry.Status = 502
+		n.appendLog(entry)
+		return nil, fmt.Errorf("%w: %s", ErrNoServer, target)
+	}
+	resp := h.Serve(req)
+	if resp == nil {
+		resp = NotFound()
+	}
+	entry.Status = resp.Status
+	n.appendLog(entry)
+	return resp, nil
+}
+
+func (n *Network) appendLog(e LogEntry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.log = append(n.log, e)
+}
+
+// Log returns a copy of the request log.
+func (n *Network) Log() []LogEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]LogEntry, len(n.log))
+	copy(out, n.log)
+	return out
+}
+
+// ResetLog clears the request log (between attack trials).
+func (n *Network) ResetLog() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.log = nil
+}
+
+// HasCookie reports whether entry carried the named cookie.
+func (e LogEntry) HasCookie(name string) bool {
+	for _, c := range e.CookieNames {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FindRequests returns log entries matching the target origin and path
+// predicate.
+func (n *Network) FindRequests(target origin.Origin, match func(LogEntry) bool) []LogEntry {
+	var out []LogEntry
+	for _, e := range n.Log() {
+		if e.Target == target && (match == nil || match(e)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package web
+
+import (
+	"errors"
+	"net/url"
+	"testing"
+
+	"repro/internal/origin"
+)
+
+var (
+	forum = origin.MustParse("http://forum.example")
+	evil  = origin.MustParse("http://evil.example")
+)
+
+func TestHeaderCanonicalization(t *testing.T) {
+	h := Header{}
+	h.Add("x-escudo-maxring", "3")
+	if got := h.Get("X-Escudo-Maxring"); got != "3" {
+		t.Errorf("Get = %q", got)
+	}
+	if got := h.Get("X-ESCUDO-MAXRING"); got != "3" {
+		t.Errorf("case-insensitive Get = %q", got)
+	}
+	h.Add("X-Escudo-Cookie", "a; ring=1")
+	h.Add("X-Escudo-Cookie", "b; ring=2")
+	if got := len(h.Values("x-escudo-cookie")); got != 2 {
+		t.Errorf("Values len = %d", got)
+	}
+	h.Set("X-Escudo-Cookie", "only")
+	if got := len(h.Values("x-escudo-cookie")); got != 1 {
+		t.Errorf("after Set, Values len = %d", got)
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"content-type", "Content-Type"},
+		{"SET-COOKIE", "Set-Cookie"},
+		{"x-escudo-api", "X-Escudo-Api"},
+		{"cookie", "Cookie"},
+	}
+	for _, tt := range tests {
+		if got := CanonicalKey(tt.in); got != tt.want {
+			t.Errorf("CanonicalKey(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestHeaderClone(t *testing.T) {
+	h := Header{}
+	h.Add("A", "1")
+	c := h.Clone()
+	c.Add("A", "2")
+	if len(h.Values("A")) != 1 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestRequestHelpers(t *testing.T) {
+	r := NewRequest("GET", "http://forum.example/viewtopic.php?t=42&p=1")
+	tgt, err := r.TargetOrigin()
+	if err != nil || tgt != forum {
+		t.Errorf("TargetOrigin = %v, %v", tgt, err)
+	}
+	if r.Path() != "/viewtopic.php" {
+		t.Errorf("Path = %q", r.Path())
+	}
+	if r.Query().Get("t") != "42" {
+		t.Errorf("Query t = %q", r.Query().Get("t"))
+	}
+	r.Header.Set("Cookie", "sid=abc; data=xyz")
+	if v, ok := r.Cookie("sid"); !ok || v != "abc" {
+		t.Errorf("Cookie(sid) = %q, %v", v, ok)
+	}
+	if _, ok := r.Cookie("missing"); ok {
+		t.Error("missing cookie reported present")
+	}
+}
+
+func TestRequestPathDefaults(t *testing.T) {
+	r := NewRequest("GET", "http://forum.example")
+	if r.Path() != "/" {
+		t.Errorf("empty path = %q, want /", r.Path())
+	}
+}
+
+func TestNetworkRoundTrip(t *testing.T) {
+	n := NewNetwork()
+	n.Register(forum, HandlerFunc(func(req *Request) *Response {
+		if req.Path() == "/hello" {
+			return HTML("<p>hi</p>")
+		}
+		return NotFound()
+	}))
+	resp, err := n.RoundTrip(NewRequest("GET", "http://forum.example/hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || resp.Body != "<p>hi</p>" {
+		t.Errorf("resp = %+v", resp)
+	}
+	resp, err = n.RoundTrip(NewRequest("GET", "http://forum.example/none"))
+	if err != nil || resp.Status != 404 {
+		t.Errorf("missing path: %+v, %v", resp, err)
+	}
+}
+
+func TestNetworkNoServer(t *testing.T) {
+	n := NewNetwork()
+	_, err := n.RoundTrip(NewRequest("GET", "http://nowhere.example/"))
+	if !errors.Is(err, ErrNoServer) {
+		t.Errorf("err = %v, want ErrNoServer", err)
+	}
+	// The attempt is still logged.
+	if len(n.Log()) != 1 || n.Log()[0].Status != 502 {
+		t.Errorf("log = %v", n.Log())
+	}
+}
+
+func TestNetworkBadURL(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.RoundTrip(NewRequest("GET", "/relative")); err == nil {
+		t.Error("relative URL must fail routing")
+	}
+}
+
+func TestNetworkLog(t *testing.T) {
+	n := NewNetwork()
+	n.Register(forum, HandlerFunc(func(req *Request) *Response { return HTML("ok") }))
+
+	req := NewRequest("POST", "http://forum.example/posting.php")
+	req.Header.Set("Cookie", "phpbb2mysql_sid=s1")
+	req.Form = url.Values{"subject": {"hi"}}
+	req.InitiatorOrigin = evil
+	req.InitiatorLabel = "form#csrf"
+	if _, err := n.RoundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+
+	entries := n.FindRequests(forum, func(e LogEntry) bool { return e.Path == "/posting.php" })
+	if len(entries) != 1 {
+		t.Fatalf("entries = %v", entries)
+	}
+	e := entries[0]
+	if !e.HasCookie("phpbb2mysql_sid") {
+		t.Error("cookie not recorded")
+	}
+	if e.HasCookie("absent") {
+		t.Error("phantom cookie")
+	}
+	if e.InitiatorOrigin != evil || e.InitiatorLabel != "form#csrf" {
+		t.Errorf("initiator = %v %q", e.InitiatorOrigin, e.InitiatorLabel)
+	}
+	if e.Form.Get("subject") != "hi" {
+		t.Errorf("form = %v", e.Form)
+	}
+	n.ResetLog()
+	if len(n.Log()) != 0 {
+		t.Error("ResetLog failed")
+	}
+}
+
+func TestResponseConstructors(t *testing.T) {
+	if r := HTML("x"); r.Status != 200 || r.Header.Get("Content-Type") != "text/html" {
+		t.Errorf("HTML = %+v", r)
+	}
+	if r := Redirect("/next"); r.Status != 303 || r.Header.Get("Location") != "/next" {
+		t.Errorf("Redirect = %+v", r)
+	}
+	if r := NotFound(); r.Status != 404 {
+		t.Errorf("NotFound = %+v", r)
+	}
+	if r := Forbidden("no"); r.Status != 403 || r.Body != "no" {
+		t.Errorf("Forbidden = %+v", r)
+	}
+}
+
+func TestNilHandlerResponse(t *testing.T) {
+	n := NewNetwork()
+	n.Register(forum, HandlerFunc(func(req *Request) *Response { return nil }))
+	resp, err := n.RoundTrip(NewRequest("GET", "http://forum.example/"))
+	if err != nil || resp.Status != 404 {
+		t.Errorf("nil handler response: %+v, %v", resp, err)
+	}
+}
