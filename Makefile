@@ -1,0 +1,38 @@
+# CI and local development invoke the same targets; keep ci.yml and
+# this file in sync.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt-check vet serve clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke pass that catches compile and
+# runtime breakage in benchmark code without CI-length runs.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+lint: fmt-check vet
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate BENCH_engine.json with the default load (8 sessions).
+serve:
+	$(GO) run ./cmd/escudo-serve
+
+clean:
+	$(GO) clean ./...

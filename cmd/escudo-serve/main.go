@@ -1,0 +1,326 @@
+// Command escudo-serve is the concurrent load driver for the engine:
+// it replays the Figure-4 scenario pages and a logged-in phpBB
+// browsing workload across a pool of N independent browser sessions
+// sharing one decision cache, then replays the §6.4 attack corpus
+// across the same pool, and emits BENCH_engine.json with p50/p99 task
+// latency, decisions/sec, and cache hit rates per phase.
+//
+// Usage:
+//
+//	escudo-serve [-sessions N] [-iters N] [-phpbb-iters N]
+//	             [-mode escudo|sop] [-attacks] [-uncached]
+//	             [-out BENCH_engine.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/apps/phpbb"
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/nonce"
+	"repro/internal/origin"
+	"repro/internal/scenarios"
+	"repro/internal/web"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "escudo-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// cacheJSON is the cache section of one phase.
+type cacheJSON struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+}
+
+// attacksJSON is the attack-replay section.
+type attacksJSON struct {
+	Total       int `json:"total"`
+	Neutralized int `json:"neutralized"`
+	Succeeded   int `json:"succeeded"`
+}
+
+// phaseJSON is one benchmark phase in BENCH_engine.json.
+type phaseJSON struct {
+	Name  string `json:"name"`
+	Tasks uint64 `json:"tasks"`
+	// Errors counts harness-level task failures (0 on a clean run).
+	Errors    int     `json:"errors"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Decisions counts reference-monitor verdicts during the phase:
+	// audit-log records for pool phases, cache lookups for the attack
+	// replay (whose environments own their audit logs).
+	Decisions       uint64       `json:"decisions"`
+	DecisionsPerSec float64      `json:"decisions_per_sec"`
+	Cache           *cacheJSON   `json:"cache,omitempty"`
+	Attacks         *attacksJSON `json:"attacks,omitempty"`
+}
+
+// benchJSON is the whole BENCH_engine.json document.
+type benchJSON struct {
+	Sessions   int         `json:"sessions"`
+	Mode       string      `json:"mode"`
+	Uncached   bool        `json:"uncached"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Phases     []phaseJSON `json:"phases"`
+	TotalMs    float64     `json:"total_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// runPhase executes fn between stat resets and packages the phase
+// measurements.
+func runPhase(pool *engine.Pool, name string, fn func()) phaseJSON {
+	pool.ResetStats()
+	var before engine.Stats
+	if pool.Cache() != nil {
+		before.Cache = pool.Cache().Stats()
+	}
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+
+	st := pool.Stats()
+	ph := phaseJSON{
+		Name:      name,
+		Tasks:     st.Tasks,
+		Errors:    len(st.Errors),
+		P50Ms:     ms(st.P50),
+		P99Ms:     ms(st.P99),
+		MeanMs:    ms(st.Mean),
+		ElapsedMs: ms(elapsed),
+		Decisions: st.Decisions,
+	}
+	if pool.Cache() != nil {
+		delta := st.Cache.Sub(before.Cache)
+		ph.Cache = &cacheJSON{
+			Hits:    delta.Hits,
+			Misses:  delta.Misses,
+			HitRate: delta.HitRate(),
+			Entries: st.Cache.Entries,
+		}
+		if ph.Decisions == 0 {
+			// Attack environments keep their own audit logs; the
+			// shared cache still sees every mediated decision.
+			ph.Decisions = delta.Hits + delta.Misses
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		ph.DecisionsPerSec = float64(ph.Decisions) / secs
+	}
+	for _, err := range st.Errors {
+		fmt.Fprintf(os.Stderr, "escudo-serve: %s: %v\n", name, err)
+	}
+	return ph
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("escudo-serve", flag.ContinueOnError)
+	sessionsN := fs.Int("sessions", 8, "number of concurrent browser sessions")
+	iters := fs.Int("iters", 5, "rounds through all Figure-4 scenarios per session")
+	phpbbIters := fs.Int("phpbb-iters", 20, "phpBB page views per session")
+	modeFlag := fs.String("mode", "escudo", "protection mode: escudo or sop")
+	attacksOn := fs.Bool("attacks", true, "replay the §6.4 attack corpus")
+	uncached := fs.Bool("uncached", false, "disable the shared decision cache (baseline)")
+	out := fs.String("out", "BENCH_engine.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sessionsN < 1 {
+		return fmt.Errorf("-sessions must be >= 1, got %d", *sessionsN)
+	}
+	var mode browser.Mode
+	switch *modeFlag {
+	case "escudo":
+		mode = browser.ModeEscudo
+	case "sop":
+		mode = browser.ModeSOP
+	default:
+		return fmt.Errorf("unknown -mode %q", *modeFlag)
+	}
+
+	// Shared substrate: the Figure-4 scenario server plus a phpBB
+	// instance with one account per session and a seeded topic.
+	net := web.NewNetwork()
+	benchOrigin := origin.MustParse("http://bench.example")
+	net.Register(benchOrigin, scenarios.Handler())
+
+	forumOrigin := origin.MustParse("http://forum.example")
+	forum := phpbb.New(phpbb.Config{
+		Origin: forumOrigin, Hardened: false, Escudo: true, Nonces: nonce.CryptoSource{},
+	})
+	for i := 0; i < *sessionsN; i++ {
+		forum.AddUser(fmt.Sprintf("user%d", i), "pw")
+	}
+	topicID := forum.SeedTopic("user0", "Welcome", "first post")
+	net.Register(forumOrigin, forum)
+
+	pool, err := engine.NewPool(engine.Config{
+		Sessions: *sessionsN,
+		Network:  net,
+		Options:  browser.Options{Mode: mode},
+		Uncached: *uncached,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	report := benchJSON{
+		Sessions:   *sessionsN,
+		Mode:       mode.String(),
+		Uncached:   *uncached,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	total := time.Now()
+
+	// Phase 1 — Figure-4 scenarios: every session walks all eight
+	// pages, repeatedly. One unmeasured warm navigation per session
+	// first, so the session cookie exists and every measured load
+	// exercises cookie use (runPhase resets the stats it leaves).
+	paths := scenarios.Paths()
+	pool.Each(func(s *engine.Session) error {
+		_, err := s.Browser.Navigate(benchOrigin.URL(paths[0]))
+		return err
+	})
+	report.Phases = append(report.Phases, runPhase(pool, "figure4", func() {
+		for r := 0; r < *iters; r++ {
+			for _, path := range paths {
+				p := path
+				pool.Submit(func(s *engine.Session) error {
+					_, err := s.Browser.Navigate(benchOrigin.URL(p))
+					return err
+				})
+			}
+		}
+		pool.Wait()
+	}))
+
+	// Phase 2 — phpBB browsing: each session logs into its own
+	// account, then alternates between the index and the seeded topic,
+	// posting the occasional reply. This is the workload whose
+	// decision stream is maximally repetitive — the cache's best case
+	// and the paper's "active session with a trusted site" setting.
+	report.Phases = append(report.Phases, runPhase(pool, "phpbb", func() {
+		pool.Each(func(s *engine.Session) error {
+			p, err := s.Browser.Navigate(forumOrigin.URL("/"))
+			if err != nil {
+				return err
+			}
+			form := p.Doc.ByID("loginform")
+			if form == nil {
+				return fmt.Errorf("no loginform")
+			}
+			if _, err := p.SubmitForm(form, map[string][]string{
+				"username": {fmt.Sprintf("user%d", s.ID)}, "password": {"pw"},
+			}); err != nil {
+				return err
+			}
+			for i := 0; i < *phpbbIters; i++ {
+				if _, err := s.Browser.Navigate(forumOrigin.URL("/")); err != nil {
+					return err
+				}
+				tp, err := s.Browser.Navigate(forumOrigin.URL(fmt.Sprintf("/viewtopic?t=%d", topicID)))
+				if err != nil {
+					return err
+				}
+				if i%5 == 4 {
+					reply := tp.Doc.ByID("replyform")
+					if reply == nil {
+						return fmt.Errorf("no replyform")
+					}
+					if _, err := tp.SubmitForm(reply, map[string][]string{
+						"message": {fmt.Sprintf("reply from session %d round %d", s.ID, i)},
+					}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}))
+
+	// Phase 3 — §6.4 attack corpus: every attack runs in a fresh
+	// environment, scheduled across the pool's sessions, with the
+	// shared cache plugged into each victim browser.
+	if *attacksOn {
+		corpus := attack.Corpus()
+		results := make([]attack.Result, len(corpus))
+		ph := runPhase(pool, "attacks", func() {
+			for i, atk := range corpus {
+				i, atk := i, atk
+				pool.Submit(func(*engine.Session) error {
+					results[i] = attack.RunOneCached(atk, mode, pool.Cache())
+					return results[i].Err
+				})
+			}
+			pool.Wait()
+		})
+		aj := &attacksJSON{Total: len(corpus)}
+		for _, r := range results {
+			if r.Neutralized() {
+				aj.Neutralized++
+			} else {
+				aj.Succeeded++
+			}
+		}
+		ph.Attacks = aj
+		report.Phases = append(report.Phases, ph)
+	}
+
+	report.TotalMs = ms(time.Since(total))
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("ESCUDO engine load driver — %d sessions, mode %s (GOMAXPROCS %d)\n\n",
+		report.Sessions, report.Mode, report.GoMaxProcs)
+	t := metrics.NewTable("Phase", "Tasks", "p50 (ms)", "p99 (ms)", "Decisions", "Dec/s", "Cache hit rate")
+	for _, ph := range report.Phases {
+		hitRate := "-"
+		if ph.Cache != nil {
+			hitRate = fmt.Sprintf("%.1f%%", 100*ph.Cache.HitRate)
+		}
+		t.AddRow(ph.Name,
+			fmt.Sprintf("%d", ph.Tasks),
+			fmt.Sprintf("%.3f", ph.P50Ms),
+			fmt.Sprintf("%.3f", ph.P99Ms),
+			fmt.Sprintf("%d", ph.Decisions),
+			fmt.Sprintf("%.0f", ph.DecisionsPerSec),
+			hitRate)
+	}
+	fmt.Print(t.String())
+	for _, ph := range report.Phases {
+		if ph.Attacks != nil {
+			fmt.Printf("\nAttack corpus: %d/%d neutralized under %s\n",
+				ph.Attacks.Neutralized, ph.Attacks.Total, report.Mode)
+		}
+		if ph.Errors > 0 {
+			return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
+		}
+	}
+	fmt.Printf("\nWrote %s (%.0f ms total)\n", *out, report.TotalMs)
+	return nil
+}

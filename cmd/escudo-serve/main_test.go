@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestServeEmitsBenchJSON runs the full driver at the acceptance
+// configuration — 8 concurrent sessions, all Figure-4 scenarios, the
+// phpBB workload, the §6.4 attack corpus — and checks the emitted
+// BENCH_engine.json: clean run, >50% cache hit rate on the phpBB
+// phase, every attack neutralized under ESCUDO. Under `go test -race`
+// this doubles as the pool-level race check.
+func TestServeEmitsBenchJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	err := run([]string{"-sessions", "8", "-iters", "2", "-phpbb-iters", "6", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	var report benchJSON
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("parse output: %v", err)
+	}
+	if report.Sessions != 8 {
+		t.Fatalf("sessions = %d, want 8", report.Sessions)
+	}
+	byName := map[string]phaseJSON{}
+	for _, ph := range report.Phases {
+		byName[ph.Name] = ph
+		if ph.Errors != 0 {
+			t.Errorf("phase %s had %d errors", ph.Name, ph.Errors)
+		}
+		if ph.Tasks == 0 {
+			t.Errorf("phase %s ran no tasks", ph.Name)
+		}
+		if ph.Decisions == 0 {
+			t.Errorf("phase %s recorded no decisions", ph.Name)
+		}
+	}
+	for _, want := range []string{"figure4", "phpbb", "attacks"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("missing phase %q in %v", want, report.Phases)
+		}
+	}
+	bb := byName["phpbb"]
+	if bb.Cache == nil {
+		t.Fatal("phpbb phase has no cache stats")
+	}
+	if bb.Cache.HitRate <= 0.5 {
+		t.Fatalf("phpbb cache hit rate %.3f, want > 0.5", bb.Cache.HitRate)
+	}
+	atk := byName["attacks"].Attacks
+	if atk == nil {
+		t.Fatal("attacks phase has no attack stats")
+	}
+	if atk.Neutralized != atk.Total || atk.Succeeded != 0 {
+		t.Fatalf("ESCUDO neutralized %d/%d (succeeded %d), want all",
+			atk.Neutralized, atk.Total, atk.Succeeded)
+	}
+}
+
+// TestServeSOPBaseline replays the corpus under the legacy monitor:
+// attacks must succeed there (the paper's Figure-5 contrast), which
+// guards against the cache accidentally hardening SOP mode.
+func TestServeSOPBaseline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	err := run([]string{"-sessions", "4", "-iters", "1", "-phpbb-iters", "2",
+		"-mode", "sop", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchJSON
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range report.Phases {
+		if ph.Attacks != nil && ph.Attacks.Succeeded == 0 {
+			t.Fatal("no attack succeeded under SOP; the baseline lost its teeth")
+		}
+	}
+}
+
+// TestServeUncached checks the -uncached baseline emits no cache
+// section and still completes cleanly.
+func TestServeUncached(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	err := run([]string{"-sessions", "2", "-iters", "1", "-phpbb-iters", "2",
+		"-attacks=false", "-uncached", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchJSON
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !report.Uncached {
+		t.Fatal("report not marked uncached")
+	}
+	for _, ph := range report.Phases {
+		if ph.Cache != nil {
+			t.Fatalf("uncached run emitted cache stats in phase %s", ph.Name)
+		}
+	}
+}
+
+func TestServeRejectsBadMode(t *testing.T) {
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Fatal("bad -mode accepted")
+	}
+}

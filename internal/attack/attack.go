@@ -21,6 +21,7 @@ import (
 	"repro/internal/apps/phpbb"
 	"repro/internal/apps/phpcal"
 	"repro/internal/browser"
+	"repro/internal/core"
 	"repro/internal/html"
 	"repro/internal/nonce"
 	"repro/internal/origin"
@@ -76,7 +77,7 @@ type Env struct {
 // (establishing the ring-1 session cookies), exactly the §6.4 setting
 // of "a victim user's active session with a trusted site".
 func NewEnv(mode browser.Mode) (*Env, error) {
-	return newEnv(mode, false)
+	return newEnv(mode, false, nil)
 }
 
 // NewEnvHardened builds the same scenario with the applications'
@@ -84,10 +85,18 @@ func NewEnv(mode browser.Mode) (*Env, error) {
 // the state the paper started from before removing them "to
 // facilitate the attacks".
 func NewEnvHardened(mode browser.Mode) (*Env, error) {
-	return newEnv(mode, true)
+	return newEnv(mode, true, nil)
 }
 
-func newEnv(mode browser.Mode, hardened bool) (*Env, error) {
+// NewEnvCached is NewEnv with a shared decision cache plugged into the
+// victim's browser, so load drivers replaying the corpus across many
+// concurrent environments share one verdict memo. All environments
+// sharing a cache must use the same mode.
+func NewEnvCached(mode browser.Mode, cache *core.DecisionCache) (*Env, error) {
+	return newEnv(mode, false, cache)
+}
+
+func newEnv(mode browser.Mode, hardened bool, cache *core.DecisionCache) (*Env, error) {
 	e := &Env{
 		Net:         web.NewNetwork(),
 		ForumOrigin: origin.MustParse("http://forum.example"),
@@ -114,7 +123,7 @@ func newEnv(mode browser.Mode, hardened bool) (*Env, error) {
 		return web.HTML("")
 	}))
 
-	e.Victim = browser.New(e.Net, browser.Options{Mode: mode})
+	e.Victim = browser.New(e.Net, browser.Options{Mode: mode, Cache: cache})
 	if err := e.login(e.ForumOrigin, "loginform"); err != nil {
 		return nil, fmt.Errorf("attack: forum login: %w", err)
 	}
@@ -208,6 +217,18 @@ func RunAll(mode browser.Mode) []Result {
 // RunOne executes a single attack under the given mode.
 func RunOne(atk Attack, mode browser.Mode) Result {
 	env, err := NewEnv(mode)
+	if err != nil {
+		return Result{Attack: atk, Mode: mode, Err: err}
+	}
+	ok, err := atk.Run(env)
+	return Result{Attack: atk, Mode: mode, Succeeded: ok, Err: err}
+}
+
+// RunOneCached is RunOne against an environment sharing the given
+// decision cache — the engine's load driver uses it to replay the
+// corpus concurrently through one verdict memo.
+func RunOneCached(atk Attack, mode browser.Mode, cache *core.DecisionCache) Result {
+	env, err := NewEnvCached(mode, cache)
 	if err != nil {
 		return Result{Attack: atk, Mode: mode, Err: err}
 	}

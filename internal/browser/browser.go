@@ -72,6 +72,12 @@ type Options struct {
 	// defenses FOR ABLATION EXPERIMENTS ONLY; see html.Options.
 	AblateNonceDefense bool
 	AblateScopingRule  bool
+	// Cache, when non-nil, memoizes reference-monitor verdicts. A
+	// cache may be shared by many browsers (the engine's session pool
+	// shares one across all sessions), but every browser sharing it
+	// must run in the same Mode — ERM and SOP verdicts are not
+	// interchangeable.
+	Cache *core.DecisionCache
 }
 
 // Browser is one browsing session: a cookie jar, history, and a
@@ -166,8 +172,18 @@ type Frame struct {
 	Page *Page
 }
 
-// monitor builds the page's reference monitor.
+// monitor builds the page's reference monitor. With a decision cache
+// configured, the monitor's hot path is a sharded cache lookup and the
+// rule evaluation only runs on misses; the audit trace fires for every
+// decision either way.
 func (b *Browser) monitor() core.Monitor {
+	if b.opts.Cache != nil {
+		var inner core.Monitor = &core.ERM{}
+		if b.opts.Mode == ModeSOP {
+			inner = &core.SOPMonitor{}
+		}
+		return &core.CachedMonitor{Inner: inner, Cache: b.opts.Cache, Trace: b.Audit.Record}
+	}
 	if b.opts.Mode == ModeSOP {
 		return &core.SOPMonitor{Trace: b.Audit.Record}
 	}

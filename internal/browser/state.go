@@ -13,7 +13,7 @@ import (
 // ring 0, closing the visited-link privacy attacks of Jackson et al.
 // cited by the paper.
 type History struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries []string
 	visited map[string]bool
 }
@@ -31,15 +31,15 @@ func (h *History) Visit(url string) {
 
 // Len returns the number of history entries.
 func (h *History) Len() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return len(h.entries)
 }
 
 // Entries returns a copy of the history.
 func (h *History) Entries() []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]string, len(h.entries))
 	copy(out, h.entries)
 	return out
@@ -48,8 +48,8 @@ func (h *History) Entries() []string {
 // Previous returns the URL before the current one, for back
 // navigation; ok is false at the start of the session.
 func (h *History) Previous() (string, bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	if len(h.entries) < 2 {
 		return "", false
 	}
@@ -59,8 +59,8 @@ func (h *History) Previous() (string, bool) {
 // Visited reports whether the URL has been visited — the signal the
 // visited-link sniffing attacks read.
 func (h *History) Visited(url string) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.visited[url]
 }
 

@@ -107,9 +107,11 @@ func PathMatch(reqPath, cookiePath string) bool {
 }
 
 // Jar stores cookies for the whole browser, keyed by origin. The zero
-// value is ready to use; it is safe for concurrent use.
+// value is ready to use; it is safe for concurrent use. Attachment
+// checks (Matching) vastly outnumber stores, so reads share an
+// RWMutex read lock.
 type Jar struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	cookies []*Cookie
 }
 
@@ -145,8 +147,8 @@ func (j *Jar) Delete(o origin.Origin, name string) {
 // request for the target origin and path, before any access-control
 // decision. Sorted by name for determinism.
 func (j *Jar) Matching(target origin.Origin, path string) []Cookie {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	var out []Cookie
 	for _, c := range j.cookies {
 		if c.Origin.Scheme == target.Scheme && DomainMatch(target.Host, c.Domain) &&
@@ -160,8 +162,8 @@ func (j *Jar) Matching(target origin.Origin, path string) []Cookie {
 
 // Get returns a copy of the named cookie set by origin o, if present.
 func (j *Jar) Get(o origin.Origin, name string) (Cookie, bool) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	for _, c := range j.cookies {
 		if c.Origin == o && c.Name == name {
 			return *c, true
@@ -173,8 +175,8 @@ func (j *Jar) Get(o origin.Origin, name string) (Cookie, bool) {
 // All returns copies of every stored cookie, sorted by origin then
 // name.
 func (j *Jar) All() []Cookie {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	out := make([]Cookie, 0, len(j.cookies))
 	for _, c := range j.cookies {
 		out = append(out, *c)
@@ -190,8 +192,8 @@ func (j *Jar) All() []Cookie {
 
 // Len returns the number of stored cookies.
 func (j *Jar) Len() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	return len(j.cookies)
 }
 

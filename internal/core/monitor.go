@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // RuleID identifies which of the model's rules produced a decision.
@@ -134,54 +136,101 @@ func (m *SOPMonitor) Authorize(p Context, op Op, o Context) Decision {
 	return d
 }
 
+// auditShardCount must be a power of two (records shard by sequence
+// number). Sixteen shards keeps write contention negligible at the
+// session counts the engine targets while reads stay cheap.
+const auditShardCount = 16
+
+// auditRecord is one decision stamped with its global sequence number,
+// so the per-shard streams can be merged back into arrival order.
+type auditRecord struct {
+	seq uint64
+	d   Decision
+}
+
+// auditShard is one independently locked slice of the log.
+type auditShard struct {
+	mu   sync.RWMutex
+	recs []auditRecord
+}
+
 // AuditLog is a concurrency-safe decision recorder that can be plugged
 // into a monitor's Trace hook. The attack harness uses it to explain
 // which rule neutralized each attack.
+//
+// Every decision on the hot path flows through Record, so the log is
+// sharded: writers take a global atomic ticket and append under one of
+// several shard locks, instead of serializing on a single mutex.
+// Readers (rare, post-hoc) merge the shards back into ticket order.
 type AuditLog struct {
-	mu        sync.Mutex
-	decisions []Decision
+	seq    atomic.Uint64
+	shards [auditShardCount]auditShard
 }
 
 // Record appends a decision; it is safe for concurrent use and has the
 // signature required by the Trace hooks.
 func (l *AuditLog) Record(d Decision) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.decisions = append(l.decisions, d)
+	seq := l.seq.Add(1)
+	s := &l.shards[seq&(auditShardCount-1)]
+	s.mu.Lock()
+	s.recs = append(s.recs, auditRecord{seq: seq, d: d})
+	s.mu.Unlock()
+}
+
+// merged snapshots every shard and returns the records in recording
+// order, optionally filtered.
+func (l *AuditLog) merged(keep func(Decision) bool) []Decision {
+	var recs []auditRecord
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.RLock()
+		for _, r := range s.recs {
+			if keep == nil || keep(r.d) {
+				recs = append(recs, r)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].seq < recs[b].seq })
+	out := make([]Decision, len(recs))
+	for i, r := range recs {
+		out[i] = r.d
+	}
+	return out
 }
 
 // Denials returns a copy of all denied decisions recorded so far.
 func (l *AuditLog) Denials() []Decision {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var out []Decision
-	for _, d := range l.decisions {
-		if !d.Allowed {
-			out = append(out, d)
-		}
+	out := l.merged(func(d Decision) bool { return !d.Allowed })
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
 // All returns a copy of every recorded decision.
 func (l *AuditLog) All() []Decision {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Decision, len(l.decisions))
-	copy(out, l.decisions)
-	return out
+	return l.merged(nil)
 }
 
 // Reset clears the log.
 func (l *AuditLog) Reset() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.decisions = nil
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		s.recs = nil
+		s.mu.Unlock()
+	}
 }
 
 // Len returns the number of recorded decisions.
 func (l *AuditLog) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.decisions)
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.RLock()
+		n += len(s.recs)
+		s.mu.RUnlock()
+	}
+	return n
 }

@@ -1,0 +1,242 @@
+// Package engine runs many independent browser sessions concurrently
+// against one in-memory web substrate. It is the scaffolding for the
+// production-scale goal: each session owns its own browser.Browser
+// (cookie jar, history, audit log, DOM state), all sessions share one
+// web.Network of server applications and one core.DecisionCache, and
+// a task queue spreads work across the sessions. The reference monitor
+// stays the single chokepoint per page; the pool makes the chokepoints
+// run in parallel with a shared memo of verdicts.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/web"
+)
+
+// Config configures a Pool.
+type Config struct {
+	// Sessions is the number of concurrent sessions (default 8).
+	Sessions int
+	// Network is the shared web substrate (required).
+	Network *web.Network
+	// Options is the per-browser configuration. Options.Cache is
+	// overridden with the pool's shared cache unless Uncached is set.
+	Options browser.Options
+	// Cache is the shared decision cache; nil allocates a fresh one.
+	Cache *core.DecisionCache
+	// Uncached disables the shared decision cache (baseline runs).
+	Uncached bool
+	// QueueDepth is the task queue capacity (default 4×Sessions).
+	QueueDepth int
+}
+
+// Session is one concurrent browsing session: an execution slot with
+// its own browser.
+type Session struct {
+	// ID numbers the session within its pool, 0-based.
+	ID int
+	// Browser is the session's private browser.
+	Browser *browser.Browser
+
+	lat  metrics.Sample
+	done uint64
+	errs []error
+	mu   sync.Mutex
+}
+
+// record logs one task execution on this session. Only the session's
+// worker goroutine calls it during a run; the mutex makes Stats safe
+// to call concurrently anyway.
+func (s *Session) record(d time.Duration, err error) {
+	s.mu.Lock()
+	s.lat.Add(d)
+	s.done++
+	if err != nil {
+		s.errs = append(s.errs, fmt.Errorf("session %d: %w", s.ID, err))
+	}
+	s.mu.Unlock()
+}
+
+// Task is one unit of work executed on a session.
+type Task func(s *Session) error
+
+// Pool runs tasks across a fixed set of sessions.
+type Pool struct {
+	cfg      Config
+	cache    *core.DecisionCache
+	sessions []*Session
+	tasks    chan Task
+	pending  sync.WaitGroup
+	workers  sync.WaitGroup
+	closed   bool
+	mu       sync.Mutex
+}
+
+// ErrClosed reports a submit to a closed pool.
+var ErrClosed = errors.New("engine: pool closed")
+
+// NewPool builds the sessions and starts one worker goroutine per
+// session, each consuming from a shared queue.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("engine: Config.Network is required")
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 8
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Sessions
+	}
+	p := &Pool{cfg: cfg}
+	if !cfg.Uncached {
+		p.cache = cfg.Cache
+		if p.cache == nil {
+			p.cache = core.NewDecisionCache()
+		}
+	}
+	p.tasks = make(chan Task, cfg.QueueDepth)
+	for i := 0; i < cfg.Sessions; i++ {
+		opts := cfg.Options
+		opts.Cache = p.cache
+		s := &Session{ID: i, Browser: browser.New(cfg.Network, opts)}
+		p.sessions = append(p.sessions, s)
+		p.workers.Add(1)
+		go p.work(s)
+	}
+	return p, nil
+}
+
+// work is one session's loop: pull a task, run it, time it.
+func (p *Pool) work(s *Session) {
+	defer p.workers.Done()
+	for task := range p.tasks {
+		start := time.Now()
+		err := task(s)
+		s.record(time.Since(start), err)
+		p.pending.Done()
+	}
+}
+
+// Cache returns the shared decision cache (nil when Uncached).
+func (p *Pool) Cache() *core.DecisionCache { return p.cache }
+
+// Sessions returns the pool's sessions (stable after NewPool).
+func (p *Pool) Sessions() []*Session { return p.sessions }
+
+// Submit enqueues a task for whichever session frees up first. It
+// blocks when the queue is full, providing natural backpressure.
+func (p *Pool) Submit(t Task) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.pending.Add(1)
+	p.mu.Unlock()
+	p.tasks <- t
+	return nil
+}
+
+// Wait blocks until every submitted task has finished. The pool stays
+// usable; more work may be submitted afterwards.
+func (p *Pool) Wait() {
+	p.pending.Wait()
+}
+
+// Each runs one instance of the task on every session concurrently and
+// waits for all of them — the fan-out used to replay a scenario across
+// the whole pool. It bypasses the shared queue so each instance is
+// pinned to its session.
+func (p *Pool) Each(t Task) {
+	var wg sync.WaitGroup
+	for _, s := range p.sessions {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			start := time.Now()
+			err := t(s)
+			s.record(time.Since(start), err)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Close drains the queue and stops the workers. Further submits fail
+// with ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.pending.Wait()
+	close(p.tasks)
+	p.workers.Wait()
+}
+
+// Stats summarizes a run across all sessions.
+type Stats struct {
+	// Sessions is the pool size.
+	Sessions int
+	// Tasks counts completed task executions (Submit and Each).
+	Tasks uint64
+	// Errors collects task errors in session order.
+	Errors []error
+	// P50, P99, Mean, Max summarize per-task wall-clock latency.
+	P50, P99, Mean, Max time.Duration
+	// Decisions counts reference-monitor decisions recorded by every
+	// session's audit log.
+	Decisions uint64
+	// Cache snapshots the shared decision cache (zero when Uncached).
+	Cache core.CacheStats
+}
+
+// Stats merges every session's measurements. Call it after Wait (or
+// between phases); calling mid-flight is safe but yields a torn
+// snapshot.
+func (p *Pool) Stats() Stats {
+	st := Stats{Sessions: len(p.sessions)}
+	merged := &metrics.Sample{}
+	for _, s := range p.sessions {
+		s.mu.Lock()
+		st.Tasks += s.done
+		st.Errors = append(st.Errors, s.errs...)
+		for _, d := range s.lat.Durations() {
+			merged.Add(d)
+		}
+		s.mu.Unlock()
+		st.Decisions += uint64(s.Browser.Audit.Len())
+	}
+	st.P50 = merged.Percentile(50)
+	st.P99 = merged.Percentile(99)
+	st.Mean = merged.Mean()
+	st.Max = merged.Max()
+	if p.cache != nil {
+		st.Cache = p.cache.Stats()
+	}
+	return st
+}
+
+// ResetStats clears per-session latency samples, task counts, errors,
+// and audit logs, so each benchmark phase starts from zero. The shared
+// decision cache is left warm (its counters are deltas via
+// CacheStats.Sub).
+func (p *Pool) ResetStats() {
+	for _, s := range p.sessions {
+		s.mu.Lock()
+		s.lat = metrics.Sample{}
+		s.done = 0
+		s.errs = nil
+		s.mu.Unlock()
+		s.Browser.Audit.Reset()
+	}
+}

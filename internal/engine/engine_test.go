@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/origin"
+	"repro/internal/scenarios"
+	"repro/internal/web"
+)
+
+// benchNet builds a network serving the Figure-4 scenarios at
+// http://bench.example.
+func benchNet(t testing.TB) (*web.Network, origin.Origin) {
+	t.Helper()
+	net := web.NewNetwork()
+	o := origin.MustParse("http://bench.example")
+	net.Register(o, scenarios.Handler())
+	return net, o
+}
+
+func TestPoolSessionsAreIsolated(t *testing.T) {
+	net, o := benchNet(t)
+	pool, err := NewPool(Config{Sessions: 4, Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	pool.Each(func(s *Session) error {
+		_, err := s.Browser.Navigate(o.URL("/s1"))
+		return err
+	})
+	st := pool.Stats()
+	if len(st.Errors) > 0 {
+		t.Fatalf("errors: %v", st.Errors)
+	}
+	if st.Tasks != 4 {
+		t.Fatalf("tasks = %d, want 4", st.Tasks)
+	}
+	// Every session must own its own jar: each got its own copy of the
+	// session cookie, not a shared one.
+	for _, s := range pool.Sessions() {
+		if _, ok := s.Browser.Jar().Get(o, scenarios.SessionCookie); !ok {
+			t.Fatalf("session %d missing its own %s cookie", s.ID, scenarios.SessionCookie)
+		}
+		if n := s.Browser.History().Len(); n != 1 {
+			t.Fatalf("session %d history length %d, want 1", s.ID, n)
+		}
+	}
+}
+
+func TestPoolSharedCacheAccumulatesHits(t *testing.T) {
+	net, o := benchNet(t)
+	pool, err := NewPool(Config{Sessions: 8, Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const rounds = 4
+	for r := 0; r < rounds; r++ {
+		pool.Each(func(s *Session) error {
+			for _, path := range scenarios.Paths() {
+				if _, err := s.Browser.Navigate(o.URL(path)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	st := pool.Stats()
+	if len(st.Errors) > 0 {
+		t.Fatalf("errors: %v", st.Errors)
+	}
+	if st.Decisions == 0 {
+		t.Fatal("no monitor decisions recorded")
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatal("shared cache saw no hits across sessions")
+	}
+	if rate := st.Cache.HitRate(); rate < 0.5 {
+		t.Fatalf("cache hit rate %.2f, want > 0.5 (stats %+v)", rate, st.Cache)
+	}
+}
+
+func TestPoolSubmitQueueDistributesWork(t *testing.T) {
+	net, o := benchNet(t)
+	pool, err := NewPool(Config{Sessions: 8, Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ran atomic.Uint64
+	const tasks = 64
+	for i := 0; i < tasks; i++ {
+		path := scenarios.Paths()[i%8]
+		if err := pool.Submit(func(s *Session) error {
+			ran.Add(1)
+			_, err := s.Browser.Navigate(o.URL(path))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Wait()
+	if ran.Load() != tasks {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), tasks)
+	}
+	st := pool.Stats()
+	if st.Tasks != tasks {
+		t.Fatalf("stats counted %d tasks, want %d", st.Tasks, tasks)
+	}
+	if len(st.Errors) > 0 {
+		t.Fatalf("errors: %v", st.Errors)
+	}
+	if st.P99 < st.P50 {
+		t.Fatalf("p99 %v < p50 %v", st.P99, st.P50)
+	}
+
+	pool.Close()
+	if err := pool.Submit(func(*Session) error { return nil }); err != ErrClosed {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	pool.Close() // idempotent
+}
+
+func TestPoolTaskErrorsAreReported(t *testing.T) {
+	net, _ := benchNet(t)
+	pool, err := NewPool(Config{Sessions: 2, Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	boom := fmt.Errorf("boom")
+	pool.Submit(func(*Session) error { return boom })
+	pool.Wait()
+	st := pool.Stats()
+	if len(st.Errors) != 1 || !strings.Contains(st.Errors[0].Error(), "boom") {
+		t.Fatalf("errors = %v, want one wrapping boom", st.Errors)
+	}
+}
+
+func TestPoolUncachedBaseline(t *testing.T) {
+	net, o := benchNet(t)
+	pool, err := NewPool(Config{Sessions: 2, Network: net, Uncached: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Cache() != nil {
+		t.Fatal("Uncached pool still has a cache")
+	}
+	pool.Each(func(s *Session) error {
+		_, err := s.Browser.Navigate(o.URL("/s1"))
+		return err
+	})
+	st := pool.Stats()
+	if len(st.Errors) > 0 {
+		t.Fatalf("errors: %v", st.Errors)
+	}
+	if st.Cache.Hits != 0 || st.Cache.Misses != 0 {
+		t.Fatalf("uncached pool reported cache traffic: %+v", st.Cache)
+	}
+}
+
+func TestPoolResetStatsKeepsCacheWarm(t *testing.T) {
+	net, o := benchNet(t)
+	pool, err := NewPool(Config{Sessions: 2, Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	// Navigate twice: the first load only receives the session cookie,
+	// the second attaches it and produces use decisions.
+	pool.Each(func(s *Session) error {
+		for i := 0; i < 2; i++ {
+			if _, err := s.Browser.Navigate(o.URL("/s3")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	before := pool.Stats()
+	if before.Tasks == 0 || before.Decisions == 0 {
+		t.Fatalf("warmup recorded nothing: %+v", before)
+	}
+	pool.ResetStats()
+	after := pool.Stats()
+	if after.Tasks != 0 || after.Decisions != 0 || len(after.Errors) != 0 {
+		t.Fatalf("ResetStats left residue: %+v", after)
+	}
+	if after.Cache.Entries == 0 {
+		t.Fatal("ResetStats cleared the shared cache; it must stay warm")
+	}
+}
+
+// TestPoolModeSOPStillWorks runs the pool with the legacy monitor to
+// cover the second Mode path through the cached monitor construction.
+func TestPoolModeSOPStillWorks(t *testing.T) {
+	net, o := benchNet(t)
+	pool, err := NewPool(Config{
+		Sessions: 2,
+		Network:  net,
+		Options:  browser.Options{Mode: browser.ModeSOP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.Each(func(s *Session) error {
+		_, err := s.Browser.Navigate(o.URL("/s1"))
+		return err
+	})
+	if st := pool.Stats(); len(st.Errors) > 0 {
+		t.Fatalf("errors: %v", st.Errors)
+	}
+}
+
+// TestPoolSharedCacheInvalidation checks a policy flip mid-run: after
+// Invalidate the pool keeps answering correctly and repopulates.
+func TestPoolSharedCacheInvalidation(t *testing.T) {
+	net, o := benchNet(t)
+	cache := core.NewDecisionCache()
+	pool, err := NewPool(Config{Sessions: 4, Network: net, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	nav := func(s *Session) error {
+		for i := 0; i < 2; i++ {
+			if _, err := s.Browser.Navigate(o.URL("/s4")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pool.Each(nav)
+	warm := cache.Stats()
+	if warm.Entries == 0 {
+		t.Fatal("no cache entries after warmup")
+	}
+	cache.Invalidate()
+	pool.Each(nav)
+	st := pool.Stats()
+	if len(st.Errors) > 0 {
+		t.Fatalf("errors after invalidation: %v", st.Errors)
+	}
+	if got := cache.Stats(); got.Entries == 0 {
+		t.Fatal("cache did not repopulate after invalidation")
+	}
+}
+
+func BenchmarkPoolNavigate(b *testing.B) {
+	net, o := benchNet(b)
+	pool, err := NewPool(Config{Sessions: 8, Network: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Submit(func(s *Session) error {
+			_, err := s.Browser.Navigate(o.URL("/s3"))
+			return err
+		})
+	}
+	pool.Wait()
+}

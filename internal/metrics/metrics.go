@@ -23,6 +23,10 @@ func (s *Sample) Add(d time.Duration) { s.durations = append(s.durations, d) }
 // N returns the number of measurements.
 func (s *Sample) N() int { return len(s.durations) }
 
+// Durations exposes the raw measurements, in insertion order, for
+// merging samples. Callers must not modify the returned slice.
+func (s *Sample) Durations() []time.Duration { return s.durations }
+
 // Mean returns the arithmetic mean.
 func (s *Sample) Mean() time.Duration {
 	if len(s.durations) == 0 {

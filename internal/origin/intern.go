@@ -1,0 +1,97 @@
+package origin
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ID is a compact interned handle for an Origin. Two origins intern to
+// the same ID exactly when they are equal, so IDs can be compared (and
+// used as map or cache-key components) without touching the strings
+// inside the Origin itself. ID 0 is reserved for the null origin.
+//
+// IDs are process-global and never recycled; the intern table only
+// grows. A deployment talks to a bounded set of origins, so the table
+// stays small — it is not suitable for interning attacker-controlled
+// unbounded origin streams.
+type ID uint32
+
+// NullID is the ID of the null (zero) origin.
+const NullID ID = 0
+
+// internEntry is one interned origin with its cached serialization.
+type internEntry struct {
+	o Origin
+	s string
+}
+
+var (
+	internMu  sync.Mutex   // serializes writers
+	internIDs sync.Map     // Origin → ID; lock-free reads
+	internTab atomic.Value // []internEntry, index = int(ID)-1; copy-on-write
+)
+
+// Intern returns the canonical ID for o, assigning a fresh one on
+// first sight. The fast path (already-interned origin) is a single
+// lock-free map read, so it is safe to call on every authorization
+// decision.
+func Intern(o Origin) ID {
+	if o.IsNull() {
+		return NullID
+	}
+	if v, ok := internIDs.Load(o); ok {
+		return v.(ID)
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if v, ok := internIDs.Load(o); ok {
+		return v.(ID)
+	}
+	var tab []internEntry
+	if v := internTab.Load(); v != nil {
+		tab = v.([]internEntry)
+	}
+	next := make([]internEntry, len(tab)+1)
+	copy(next, tab)
+	next[len(tab)] = internEntry{o: o, s: o.String()}
+	id := ID(len(next))
+	internTab.Store(next)
+	internIDs.Store(o, id)
+	return id
+}
+
+// lookup returns the intern entry for id, or nil for NullID and
+// never-issued IDs.
+func (id ID) lookup() *internEntry {
+	if id == NullID {
+		return nil
+	}
+	v := internTab.Load()
+	if v == nil {
+		return nil
+	}
+	tab := v.([]internEntry)
+	i := int(id) - 1
+	if i < 0 || i >= len(tab) {
+		return nil
+	}
+	return &tab[i]
+}
+
+// Origin returns the origin the ID stands for (the null origin for
+// NullID or an ID that was never issued).
+func (id ID) Origin() Origin {
+	if e := id.lookup(); e != nil {
+		return e.o
+	}
+	return Origin{}
+}
+
+// String returns the origin's serialized form, computed once at intern
+// time — repeated calls do no formatting work.
+func (id ID) String() string {
+	if e := id.lookup(); e != nil {
+		return e.s
+	}
+	return "null"
+}

@@ -1,0 +1,97 @@
+package origin
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternStableIDs(t *testing.T) {
+	a := MustParse("http://forum.example")
+	b := MustParse("http://calendar.example:8080")
+
+	idA1, idA2 := Intern(a), Intern(a)
+	if idA1 != idA2 {
+		t.Fatalf("Intern not stable: %d vs %d", idA1, idA2)
+	}
+	if idB := Intern(b); idB == idA1 {
+		t.Fatalf("distinct origins share ID %d", idB)
+	}
+	if got := idA1.Origin(); got != a {
+		t.Fatalf("round trip: got %v, want %v", got, a)
+	}
+	if got := idA1.String(); got != a.String() {
+		t.Fatalf("cached string: got %q, want %q", got, a.String())
+	}
+}
+
+func TestInternNullOrigin(t *testing.T) {
+	if id := Intern(Origin{}); id != NullID {
+		t.Fatalf("null origin interned to %d, want %d", id, NullID)
+	}
+	if got := NullID.String(); got != "null" {
+		t.Fatalf("NullID.String() = %q", got)
+	}
+	if got := NullID.Origin(); !got.IsNull() {
+		t.Fatalf("NullID.Origin() = %v, want null", got)
+	}
+}
+
+func TestInternNeverIssuedID(t *testing.T) {
+	if got := ID(1 << 30).Origin(); !got.IsNull() {
+		t.Fatalf("bogus ID resolved to %v", got)
+	}
+	if got := ID(1 << 30).String(); got != "null" {
+		t.Fatalf("bogus ID string = %q", got)
+	}
+}
+
+// TestInternConcurrent hammers the interner from parallel goroutines
+// over an overlapping origin set; the race detector checks the
+// lock-free read path and every origin must keep one stable ID.
+func TestInternConcurrent(t *testing.T) {
+	const goroutines = 16
+	const origins = 32
+	ids := make([][]ID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, origins)
+			for i := 0; i < origins; i++ {
+				o := MustParse(fmt.Sprintf("http://host%d.example", i))
+				ids[g][i] = Intern(o)
+				if s := ids[g][i].String(); s == "null" {
+					t.Errorf("interned origin %v serialized as null", o)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < origins; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d saw ID %d for origin %d, goroutine 0 saw %d",
+					g, ids[g][i], i, ids[0][i])
+			}
+		}
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	o := MustParse("http://bench.example")
+	Intern(o)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Intern(o)
+	}
+}
+
+func BenchmarkOriginString(b *testing.B) {
+	o := MustParse("http://bench.example:8080")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = o.String()
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net/url"
+	"strconv"
 	"strings"
 )
 
@@ -96,15 +97,23 @@ func (o Origin) SameOrigin(other Origin) bool {
 
 // String renders the origin in serialized form, e.g.
 // "http://forum.example:8080". Default ports are elided, matching the
-// common browser serialization.
+// common browser serialization. It avoids fmt on the hot path; callers
+// that serialize the same origin repeatedly should go through Intern,
+// which caches the result.
 func (o Origin) String() string {
 	if o.IsNull() {
 		return "null"
 	}
-	if defaultPorts[o.Scheme] == o.Port {
-		return fmt.Sprintf("%s://%s", o.Scheme, o.Host)
+	var b strings.Builder
+	b.Grow(len(o.Scheme) + len(o.Host) + 9)
+	b.WriteString(o.Scheme)
+	b.WriteString("://")
+	b.WriteString(o.Host)
+	if defaultPorts[o.Scheme] != o.Port {
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(o.Port))
 	}
-	return fmt.Sprintf("%s://%s:%d", o.Scheme, o.Host, o.Port)
+	return b.String()
 }
 
 // URL builds an absolute URL within the origin from an absolute path
