@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt-check vet serve clean
+.PHONY: all build test race bench bench-compare lint fmt-check vet serve clean
 
 all: build lint test
 
@@ -34,5 +34,15 @@ vet:
 serve:
 	$(GO) run ./cmd/escudo-serve
 
+# Run the driver fresh and print phase-by-phase p50/p99 deltas against
+# the committed BENCH_engine.json. Override NEW_BENCH/OLD_BENCH to
+# compare arbitrary reports.
+OLD_BENCH ?= BENCH_engine.json
+NEW_BENCH ?= BENCH_engine.new.json
+bench-compare:
+	$(GO) run ./cmd/escudo-serve -procs 4 -out $(NEW_BENCH)
+	$(GO) run ./cmd/escudo-compare $(OLD_BENCH) $(NEW_BENCH)
+
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_engine.new.json

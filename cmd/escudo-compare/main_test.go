@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldJSON = `{
+  "sessions": 8, "mode": "escudo", "gomaxprocs": 1, "total_ms": 60,
+  "phases": [
+    {"name": "figure4", "tasks": 40, "p50_ms": 0.30, "p99_ms": 20.0, "decisions": 40},
+    {"name": "phpbb", "tasks": 8, "p50_ms": 4.00, "p99_ms": 8.0, "decisions": 700}
+  ]
+}`
+
+const newJSON = `{
+  "sessions": 8, "mode": "escudo", "gomaxprocs": 4, "total_ms": 50,
+  "phases": [
+    {"name": "figure4", "tasks": 40, "p50_ms": 0.27, "p99_ms": 10.0, "decisions": 4000},
+    {"name": "mixed", "tasks": 8, "p50_ms": 1.00, "p99_ms": 3.0, "decisions": 3000}
+  ]
+}`
+
+func TestCompareReportsDeltas(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.txt")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{oldPath, newPath}, f); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f.Close()
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	// figure4 is compared with signed percentages.
+	if !strings.Contains(out, "0.300 → 0.270 (-10.0%)") {
+		t.Errorf("missing figure4 p50 delta in:\n%s", out)
+	}
+	if !strings.Contains(out, "20.000 → 10.000 (-50.0%)") {
+		t.Errorf("missing figure4 p99 delta in:\n%s", out)
+	}
+	// Phases present on only one side are labeled.
+	if !strings.Contains(out, "mixed (new)") {
+		t.Errorf("missing new-phase marker in:\n%s", out)
+	}
+	if !strings.Contains(out, "phpbb (removed)") {
+		t.Errorf("missing removed-phase marker in:\n%s", out)
+	}
+}
+
+func TestCompareUsageError(t *testing.T) {
+	if err := run([]string{"one.json"}, os.Stdout); err == nil {
+		t.Fatal("want usage error with one argument")
+	}
+	if err := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, os.Stdout); err == nil {
+		t.Fatal("want error for missing files")
+	}
+}

@@ -1,13 +1,16 @@
 // Command escudo-serve is the concurrent load driver for the engine:
-// it replays the Figure-4 scenario pages and a logged-in phpBB
-// browsing workload across a pool of N independent browser sessions
-// sharing one decision cache, then replays the §6.4 attack corpus
-// across the same pool, and emits BENCH_engine.json with p50/p99 task
-// latency, decisions/sec, and cache hit rates per phase.
+// it replays the Figure-4 scenario pages, a logged-in phpBB browsing
+// workload, and a mixed workload (concurrent phpBB + PHP-Calendar +
+// mashup-portal sessions against one network) across a pool of N
+// independent browser sessions sharing one decision cache, then
+// replays the §6.4 attack corpus across the same pool, and emits
+// BENCH_engine.json with p50/p99 task latency, decisions/sec, cache
+// hit rates, and batched-authorization dedup per phase.
 //
 // Usage:
 //
 //	escudo-serve [-sessions N] [-iters N] [-phpbb-iters N]
+//	             [-mixed-iters N] [-procs N]
 //	             [-mode escudo|sop] [-attacks] [-uncached]
 //	             [-out BENCH_engine.json]
 package main
@@ -18,16 +21,20 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/apps/phpbb"
+	"repro/internal/apps/phpcal"
 	"repro/internal/attack"
 	"repro/internal/browser"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/nonce"
 	"repro/internal/origin"
 	"repro/internal/scenarios"
+	"repro/internal/template"
 	"repro/internal/web"
 )
 
@@ -53,6 +60,15 @@ type attacksJSON struct {
 	Succeeded   int `json:"succeeded"`
 }
 
+// batchJSON is the batched-authorization section of one phase: how
+// many DOM nodes flowed through the batched path vs. how many
+// distinct decisions were actually computed.
+type batchJSON struct {
+	NodesAuthorized   uint64  `json:"nodes_authorized"`
+	DistinctDecisions uint64  `json:"distinct_decisions"`
+	DedupRatio        float64 `json:"dedup_ratio"`
+}
+
 // phaseJSON is one benchmark phase in BENCH_engine.json.
 type phaseJSON struct {
 	Name  string `json:"name"`
@@ -69,20 +85,58 @@ type phaseJSON struct {
 	Decisions       uint64       `json:"decisions"`
 	DecisionsPerSec float64      `json:"decisions_per_sec"`
 	Cache           *cacheJSON   `json:"cache,omitempty"`
+	Batch           *batchJSON   `json:"batch,omitempty"`
 	Attacks         *attacksJSON `json:"attacks,omitempty"`
 }
 
 // benchJSON is the whole BENCH_engine.json document.
 type benchJSON struct {
-	Sessions   int         `json:"sessions"`
-	Mode       string      `json:"mode"`
-	Uncached   bool        `json:"uncached"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	Phases     []phaseJSON `json:"phases"`
-	TotalMs    float64     `json:"total_ms"`
+	Sessions int    `json:"sessions"`
+	Mode     string `json:"mode"`
+	Uncached bool   `json:"uncached"`
+	// ProcsRequested is the -procs flag value (0 when unset);
+	// GoMaxProcs is the effective setting after clamping to the
+	// machine's CPU count.
+	ProcsRequested int         `json:"procs_requested,omitempty"`
+	GoMaxProcs     int         `json:"gomaxprocs"`
+	Phases         []phaseJSON `json:"phases"`
+	TotalMs        float64     `json:"total_ms"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// portalHandler serves the mashup-portal host page: ring-1 chrome, a
+// row of ring-2 AC-tagged widget slots, a cross-origin widget iframe,
+// and a ring-1 script that snapshots the slot region via innerHTML —
+// the batched region-read path — on every load.
+//
+// The page is generated once at construction, same as
+// scenarios.Handler: its content is a fixed benchmark fixture with no
+// user-influenced markup, so reusing one nonce set across responses
+// does not weaken the §5 randomization defense (which matters only
+// when injected content could anticipate the nonces).
+func portalHandler() web.Handler {
+	bld := template.NewACBuilder(nonce.CryptoSource{})
+	var b strings.Builder
+	b.WriteString("<html><head><title>portal</title></head><body>")
+	b.WriteString(bld.Wrap(1, core.UniformACL(1), "id=chrome", "<h1>My Portal</h1>"))
+	var slots strings.Builder
+	for i := 0; i < 8; i++ {
+		slots.WriteString(bld.Wrap(2, core.UniformACL(2), fmt.Sprintf("id=slot%d", i),
+			fmt.Sprintf("<p>widget slot %d: forecasts markets mail feeds</p>", i)))
+	}
+	b.WriteString(bld.Wrap(1, core.UniformACL(2), "id=slots", slots.String()))
+	b.WriteString(`<iframe src="http://widget.example/widget"></iframe>`)
+	b.WriteString(bld.Wrap(1, core.UniformACL(1), "id=refresh",
+		`<script id=reader>var snapshot = document.getElementById("slots").innerHTML;</script>`))
+	b.WriteString("</body></html>")
+	page := b.String()
+	return web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML(page)
+		resp.Header.Set(core.HeaderMaxRing, core.DefaultMaxRing.String())
+		return resp
+	})
+}
 
 // runPhase executes fn between stat resets and packages the phase
 // measurements.
@@ -121,6 +175,13 @@ func runPhase(pool *engine.Pool, name string, fn func()) phaseJSON {
 			ph.Decisions = delta.Hits + delta.Misses
 		}
 	}
+	if st.Batch.Nodes > 0 {
+		ph.Batch = &batchJSON{
+			NodesAuthorized:   st.Batch.Nodes,
+			DistinctDecisions: st.Batch.Distinct,
+			DedupRatio:        st.Batch.DedupRatio(),
+		}
+	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		ph.DecisionsPerSec = float64(ph.Decisions) / secs
 	}
@@ -135,6 +196,8 @@ func run(args []string) error {
 	sessionsN := fs.Int("sessions", 8, "number of concurrent browser sessions")
 	iters := fs.Int("iters", 5, "rounds through all Figure-4 scenarios per session")
 	phpbbIters := fs.Int("phpbb-iters", 20, "phpBB page views per session")
+	mixedIters := fs.Int("mixed-iters", 10, "mixed-workload rounds per session (0 disables the phase)")
+	procs := fs.Int("procs", 0, "GOMAXPROCS override (0 keeps the runtime default)")
 	modeFlag := fs.String("mode", "escudo", "protection mode: escudo or sop")
 	attacksOn := fs.Bool("attacks", true, "replay the §6.4 attack corpus")
 	uncached := fs.Bool("uncached", false, "disable the shared decision cache (baseline)")
@@ -144,6 +207,16 @@ func run(args []string) error {
 	}
 	if *sessionsN < 1 {
 		return fmt.Errorf("-sessions must be >= 1, got %d", *sessionsN)
+	}
+	if *procs > 0 {
+		// Clamp to the physical CPU count: GOMAXPROCS above it buys no
+		// parallelism, only OS-thread thrash that wrecks tail latency.
+		effective := *procs
+		if n := runtime.NumCPU(); effective > n {
+			fmt.Fprintf(os.Stderr, "escudo-serve: -procs %d clamped to %d (machine CPU count)\n", *procs, n)
+			effective = n
+		}
+		runtime.GOMAXPROCS(effective)
 	}
 	var mode browser.Mode
 	switch *modeFlag {
@@ -171,6 +244,26 @@ func run(args []string) error {
 	topicID := forum.SeedTopic("user0", "Welcome", "first post")
 	net.Register(forumOrigin, forum)
 
+	// Mixed-workload substrate: a PHP-Calendar instance and a
+	// mashup-style portal (host page with AC-tagged widget slots and a
+	// cross-origin iframe) sharing the same network.
+	calOrigin := origin.MustParse("http://cal.example")
+	cal := phpcal.New(phpcal.Config{
+		Origin: calOrigin, Hardened: false, Escudo: true, Nonces: nonce.CryptoSource{},
+	})
+	for i := 0; i < *sessionsN; i++ {
+		cal.AddUser(fmt.Sprintf("user%d", i), "pw")
+	}
+	cal.SeedEvent("user0", 1, "kickoff")
+	net.Register(calOrigin, cal)
+
+	portalOrigin := origin.MustParse("http://portal.example")
+	widgetOrigin := origin.MustParse("http://widget.example")
+	net.Register(portalOrigin, portalHandler())
+	net.Register(widgetOrigin, web.HandlerFunc(func(req *web.Request) *web.Response {
+		return web.HTML(`<html><body><p id=w>widget content</p></body></html>`)
+	}))
+
 	pool, err := engine.NewPool(engine.Config{
 		Sessions: *sessionsN,
 		Network:  net,
@@ -183,10 +276,11 @@ func run(args []string) error {
 	defer pool.Close()
 
 	report := benchJSON{
-		Sessions:   *sessionsN,
-		Mode:       mode.String(),
-		Uncached:   *uncached,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Sessions:       *sessionsN,
+		Mode:           mode.String(),
+		Uncached:       *uncached,
+		ProcsRequested: *procs,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
 	}
 	total := time.Now()
 
@@ -256,7 +350,70 @@ func run(args []string) error {
 		})
 	}))
 
-	// Phase 3 — §6.4 attack corpus: every attack runs in a fresh
+	// Phase 3 — mixed workload: the sessions split three ways across
+	// one network — phpBB browsing, PHP-Calendar event tracking, and a
+	// mashup portal with cross-origin widgets — so the sharded network
+	// and shared cache face heterogeneous traffic instead of one app's
+	// repetitive decision stream.
+	if *mixedIters > 0 {
+		report.Phases = append(report.Phases, runPhase(pool, "mixed", func() {
+			pool.Each(func(s *engine.Session) error {
+				switch s.ID % 3 {
+				case 0: // phpBB browsing (logged in since phase 2).
+					for i := 0; i < *mixedIters; i++ {
+						if _, err := s.Browser.Navigate(forumOrigin.URL("/")); err != nil {
+							return err
+						}
+						if _, err := s.Browser.Navigate(forumOrigin.URL(fmt.Sprintf("/viewtopic?t=%d", topicID))); err != nil {
+							return err
+						}
+					}
+				case 1: // PHP-Calendar: log in, add events, re-render the month.
+					p, err := s.Browser.Navigate(calOrigin.URL("/"))
+					if err != nil {
+						return err
+					}
+					if form := p.Doc.ByID("loginform"); form != nil {
+						if _, err := p.SubmitForm(form, map[string][]string{
+							"username": {fmt.Sprintf("user%d", s.ID)}, "password": {"pw"},
+						}); err != nil {
+							return err
+						}
+					}
+					for i := 0; i < *mixedIters; i++ {
+						mp, err := s.Browser.Navigate(calOrigin.URL("/"))
+						if err != nil {
+							return err
+						}
+						if i%4 == 3 {
+							form := mp.Doc.ByID("newevent")
+							if form == nil {
+								return fmt.Errorf("no newevent form")
+							}
+							if _, err := mp.SubmitForm(form, map[string][]string{
+								"day": {fmt.Sprintf("%d", i%28+1)}, "text": {fmt.Sprintf("event s%d r%d", s.ID, i)},
+							}); err != nil {
+								return err
+							}
+						}
+					}
+				default: // mashup portal: host page + cross-origin widget frames.
+					for i := 0; i < *mixedIters; i++ {
+						p, err := s.Browser.Navigate(portalOrigin.URL("/"))
+						if err != nil {
+							return err
+						}
+						if len(p.ScriptErrors) > 0 {
+							return fmt.Errorf("portal script: %v", p.ScriptErrors[0])
+						}
+					}
+				}
+				return nil
+			})
+		}))
+	}
+
+	// Phase 4 — §6.4 attack corpus: every attack runs in a fresh
 	// environment, scheduled across the pool's sessions, with the
 	// shared cache plugged into each victim browser.
 	if *attacksOn {
@@ -297,11 +454,15 @@ func run(args []string) error {
 
 	fmt.Printf("ESCUDO engine load driver — %d sessions, mode %s (GOMAXPROCS %d)\n\n",
 		report.Sessions, report.Mode, report.GoMaxProcs)
-	t := metrics.NewTable("Phase", "Tasks", "p50 (ms)", "p99 (ms)", "Decisions", "Dec/s", "Cache hit rate")
+	t := metrics.NewTable("Phase", "Tasks", "p50 (ms)", "p99 (ms)", "Decisions", "Dec/s", "Cache hit rate", "Batch n→k")
 	for _, ph := range report.Phases {
 		hitRate := "-"
 		if ph.Cache != nil {
 			hitRate = fmt.Sprintf("%.1f%%", 100*ph.Cache.HitRate)
+		}
+		batch := "-"
+		if ph.Batch != nil {
+			batch = fmt.Sprintf("%d→%d", ph.Batch.NodesAuthorized, ph.Batch.DistinctDecisions)
 		}
 		t.AddRow(ph.Name,
 			fmt.Sprintf("%d", ph.Tasks),
@@ -309,7 +470,8 @@ func run(args []string) error {
 			fmt.Sprintf("%.3f", ph.P99Ms),
 			fmt.Sprintf("%d", ph.Decisions),
 			fmt.Sprintf("%.0f", ph.DecisionsPerSec),
-			hitRate)
+			hitRate,
+			batch)
 	}
 	fmt.Print(t.String())
 	for _, ph := range report.Phases {

@@ -43,7 +43,7 @@ func TestServeEmitsBenchJSON(t *testing.T) {
 			t.Errorf("phase %s recorded no decisions", ph.Name)
 		}
 	}
-	for _, want := range []string{"figure4", "phpbb", "attacks"} {
+	for _, want := range []string{"figure4", "phpbb", "mixed", "attacks"} {
 		if _, ok := byName[want]; !ok {
 			t.Fatalf("missing phase %q in %v", want, report.Phases)
 		}
@@ -54,6 +54,16 @@ func TestServeEmitsBenchJSON(t *testing.T) {
 	}
 	if bb.Cache.HitRate <= 0.5 {
 		t.Fatalf("phpbb cache hit rate %.3f, want > 0.5", bb.Cache.HitRate)
+	}
+	if bb.Batch == nil {
+		t.Fatal("phpbb phase has no batch stats")
+	}
+	if bb.Batch.DistinctDecisions >= bb.Batch.NodesAuthorized {
+		t.Fatalf("phpbb batch: distinct %d >= nodes %d, want deduplication",
+			bb.Batch.DistinctDecisions, bb.Batch.NodesAuthorized)
+	}
+	if mx := byName["mixed"]; mx.Batch == nil || mx.Batch.DistinctDecisions >= mx.Batch.NodesAuthorized {
+		t.Errorf("mixed phase batch stats missing or undeduplicated: %+v", mx.Batch)
 	}
 	atk := byName["attacks"].Attacks
 	if atk == nil {

@@ -123,7 +123,11 @@ func newEnv(mode browser.Mode, hardened bool, cache *core.DecisionCache) (*Env, 
 		return web.HTML("")
 	}))
 
-	e.Victim = browser.New(e.Net, browser.Options{Mode: mode, Cache: cache})
+	// Attack verdicts are decided by scripts, DOM state, cookies, and
+	// the request log — never by layout — so the victim browser skips
+	// the render pass: every mediated path an attack can exercise
+	// still runs, and the replay doesn't bill text layout to the p50.
+	e.Victim = browser.New(e.Net, browser.Options{Mode: mode, Cache: cache, DisableRender: true})
 	if err := e.login(e.ForumOrigin, "loginform"); err != nil {
 		return nil, fmt.Errorf("attack: forum login: %w", err)
 	}

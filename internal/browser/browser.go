@@ -182,12 +182,12 @@ func (b *Browser) monitor() core.Monitor {
 		if b.opts.Mode == ModeSOP {
 			inner = &core.SOPMonitor{}
 		}
-		return &core.CachedMonitor{Inner: inner, Cache: b.opts.Cache, Trace: b.Audit.Record}
+		return &core.CachedMonitor{Inner: inner, Cache: b.opts.Cache, Trace: b.Audit.Record, TraceBatch: b.Audit.RecordAll}
 	}
 	if b.opts.Mode == ModeSOP {
-		return &core.SOPMonitor{Trace: b.Audit.Record}
+		return &core.SOPMonitor{Trace: b.Audit.Record, TraceBatch: b.Audit.RecordAll}
 	}
-	return &core.ERM{Trace: b.Audit.Record}
+	return &core.ERM{Trace: b.Audit.Record, TraceBatch: b.Audit.RecordAll}
 }
 
 // browserPrincipal is the browser itself acting at ring 0 within an
@@ -262,7 +262,7 @@ func (b *Browser) loadDepth(rawURL string, initiator core.Context, label string,
 	b.loadSubresources(page)
 	page.buildStyles()
 	if !b.opts.DisableRender {
-		page.Layout = layout.LayoutHidden(page.Doc.Root, b.opts.ViewportWidth, page.hiddenNodes())
+		page.Layout = layout.LayoutHidden(page.Doc.Root, b.opts.ViewportWidth, page.renderHidden())
 	}
 	if !b.opts.DisableScripts {
 		page.runStyleExpressions()
@@ -286,6 +286,36 @@ func (p *Page) hiddenNodes() map[*html.Node]bool {
 		return nil
 	}
 	return p.Styles.HiddenSet(p.Doc.Root)
+}
+
+// renderHidden computes the node set layout must skip: the CSS
+// display:none set plus any element the mediated render read was
+// denied. Laying a page out is the browser (ring 0) reading the
+// document, so the traversal flows through the reference monitor like
+// any other region read — batch-authorized by equivalence class (a
+// page of n elements costs k ≤ n decision computations, each element
+// audited; text renders under its element's authority). A ring-0
+// same-origin reader is never denied under ESCUDO or SOP, but the
+// mediation is complete either way, and a future monitor that does
+// deny (e.g. a delegation policy) simply sees those nodes unrendered.
+func (p *Page) renderHidden() map[*html.Node]bool {
+	hidden := p.hiddenNodes()
+	api := dom.NewAPI(p.Doc, browserPrincipal(p.Origin), p.Monitor)
+	denied, err := api.AuthorizeRenderRegion(p.Doc.Root)
+	if err != nil {
+		// The document root itself was denied: render nothing.
+		return map[*html.Node]bool{p.Doc.Root: true}
+	}
+	if len(denied) == 0 {
+		return hidden
+	}
+	if hidden == nil {
+		return denied
+	}
+	for n := range denied {
+		hidden[n] = true
+	}
+	return hidden
 }
 
 // runStyleExpressions executes every CSS expression() as a
@@ -369,7 +399,9 @@ func (b *Browser) fetch(method, rawURL string, form url.Values, initiator core.C
 	req.InitiatorOrigin = initiator.Origin
 	req.InitiatorLabel = label
 
-	target, err := origin.Parse(rawURL)
+	// The request memoizes its URL parse; deriving the target through
+	// it means RoundTrip's own routing lookup reuses the same parse.
+	target, err := req.TargetOrigin()
 	if err != nil {
 		return nil, fmt.Errorf("browser: fetch %q: %w", rawURL, err)
 	}
@@ -631,9 +663,10 @@ func (p *Page) DispatchEvent(target *html.Node, event string, principal *core.Co
 }
 
 // RenderText lays the page out afresh (scripts may have mutated the
-// DOM since the load-time layout) and paints it as text.
+// DOM since the load-time layout) and paints it as text. Like the
+// load-time layout, the traversal's reads are batch-authorized.
 func (p *Page) RenderText() string {
 	p.buildStyles()
-	p.Layout = layout.LayoutHidden(p.Doc.Root, p.browser.opts.ViewportWidth, p.hiddenNodes())
+	p.Layout = layout.LayoutHidden(p.Doc.Root, p.browser.opts.ViewportWidth, p.renderHidden())
 	return layout.RenderText(p.Layout, p.browser.opts.ViewportWidth)
 }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/origin"
+)
+
+// The ESCUDO rules depend only on the two origins, the two rings, the
+// operation, and the object's ACL — never on element identity. When a
+// principal touches a whole DOM region at once (innerHTML reads, the
+// render traversal), the region's nodes collapse into a handful of
+// (origin, ring, ACL) equivalence classes: a phpBB topic page with 200
+// ring-3 posts asks the same ⟨P ⊳ O⟩ question 200 times. The batched
+// path below computes each distinct class once — a single rule
+// evaluation (or a single cache probe under CachedMonitor) per class —
+// while still emitting one audited Decision per node, so §4.2 complete
+// mediation is unchanged: only the decision computation is
+// deduplicated.
+
+// BatchAuthorizer is a Monitor that can decide many objects of one
+// (principal, op) query in a single call, deduplicating decision
+// computation by equivalence class.
+type BatchAuthorizer interface {
+	Monitor
+	// AuthorizeBatch decides op for principal p on every object,
+	// returning one Decision per object in input order. Each decision
+	// is traced/audited individually. The returned slice may be
+	// retained by the audit stream (AuditLog.RecordAll stores it
+	// as-is); callers must not mutate it.
+	AuthorizeBatch(p Context, op Op, objects []Context) []Decision
+}
+
+// AuthorizeBatch dispatches to m's batched path when it has one, and
+// falls back to per-object Authorize otherwise (then every object is a
+// distinct decision — correct, just undeduplicated).
+func AuthorizeBatch(m Monitor, p Context, op Op, objects []Context) []Decision {
+	if len(objects) == 0 {
+		return nil
+	}
+	if ba, ok := m.(BatchAuthorizer); ok {
+		return ba.AuthorizeBatch(p, op, objects)
+	}
+	out := make([]Decision, len(objects))
+	for i, o := range objects {
+		out[i] = m.Authorize(p, op, o)
+	}
+	recordBatch(len(objects), len(objects))
+	return out
+}
+
+// batchClassKey is the decision-equivalence class of an object under a
+// fixed (principal, op): everything the rules read from the object.
+type batchClassKey struct {
+	origin origin.Origin
+	ring   Ring
+	acl    ACL
+}
+
+// batchClasses is the small-region fast path for class lookup: most
+// DOM regions collapse into a handful of classes, where a linear scan
+// over a stack-friendly slice beats a map. Past maxLinear it spills
+// into a map.
+const maxLinearClasses = 16
+
+type batchClasses struct {
+	keys      []batchClassKey
+	decisions []Decision
+	spill     map[batchClassKey]Decision
+}
+
+func (c *batchClasses) get(k batchClassKey) (Decision, bool) {
+	for i := range c.keys {
+		if c.keys[i] == k {
+			return c.decisions[i], true
+		}
+	}
+	if c.spill != nil {
+		d, ok := c.spill[k]
+		return d, ok
+	}
+	return Decision{}, false
+}
+
+func (c *batchClasses) put(k batchClassKey, d Decision) {
+	if len(c.keys) < maxLinearClasses {
+		c.keys = append(c.keys, k)
+		c.decisions = append(c.decisions, d)
+		return
+	}
+	if c.spill == nil {
+		c.spill = make(map[batchClassKey]Decision)
+	}
+	c.spill[k] = d
+}
+
+func (c *batchClasses) len() int { return len(c.keys) + len(c.spill) }
+
+// batchDecide is the shared batching core: group objects by class,
+// call decide once per distinct class, then emit a per-node Decision
+// (echoing the node's own context, so audit trails keep the real
+// labels). The audit stream goes through traceBatch as one call when
+// set (one lock for the whole region), else through trace per node.
+// It returns the decisions in input order.
+func batchDecide(decide func(o Context) Decision, trace func(Decision), traceBatch func([]Decision), p Context, op Op, objects []Context) []Decision {
+	out := make([]Decision, len(objects))
+	var classes batchClasses
+	for i, o := range objects {
+		k := batchClassKey{origin: o.Origin, ring: o.Ring, acl: o.ACL}
+		cd, ok := classes.get(k)
+		if !ok {
+			cd = decide(o)
+			classes.put(k, cd)
+		}
+		out[i] = Decision{Allowed: cd.Allowed, Rule: cd.Rule, Principal: p, Op: op, Object: o}
+		if traceBatch == nil && trace != nil {
+			trace(out[i])
+		}
+	}
+	if traceBatch != nil {
+		traceBatch(out)
+	}
+	recordBatch(len(objects), classes.len())
+	return out
+}
+
+var _ BatchAuthorizer = (*ERM)(nil)
+
+// AuthorizeBatch implements BatchAuthorizer: one rule evaluation per
+// distinct (origin, ring, ACL) class, one traced decision per object.
+func (m *ERM) AuthorizeBatch(p Context, op Op, objects []Context) []Decision {
+	return batchDecide(func(o Context) Decision { return m.decide(p, op, o) }, m.Trace, m.TraceBatch, p, op, objects)
+}
+
+var _ BatchAuthorizer = (*SOPMonitor)(nil)
+
+// AuthorizeBatch implements BatchAuthorizer for the SOP baseline.
+func (m *SOPMonitor) AuthorizeBatch(p Context, op Op, objects []Context) []Decision {
+	return batchDecide(func(o Context) Decision { return m.decide(p, op, o) }, m.Trace, m.TraceBatch, p, op, objects)
+}
+
+var _ BatchAuthorizer = (*CachedMonitor)(nil)
+
+// AuthorizeBatch implements BatchAuthorizer with the cache fast path:
+// each distinct class costs a single cache probe (lookup, and on a
+// miss one inner evaluation plus the store); repeated classes within
+// the batch don't touch the cache at all.
+func (m *CachedMonitor) AuthorizeBatch(p Context, op Op, objects []Context) []Decision {
+	if m.Cache == nil {
+		return batchDecide(func(o Context) Decision { return m.Inner.Authorize(p, op, o) }, m.Trace, m.TraceBatch, p, op, objects)
+	}
+	return batchDecide(func(o Context) Decision {
+		k := key(p, op, o)
+		v, gen, ok := m.Cache.lookup(k)
+		if ok {
+			return Decision{Allowed: v.allowed, Rule: v.rule, Principal: p, Op: op, Object: o}
+		}
+		d := m.Inner.Authorize(p, op, o)
+		m.Cache.store(k, d, gen)
+		return d
+	}, m.Trace, m.TraceBatch, p, op, objects)
+}
+
+// Batch accounting: process-wide atomic counters of how many objects
+// flowed through batched authorization and how many distinct decisions
+// were actually computed. The load driver reports the pair per phase
+// (nodes authorized vs. distinct decisions) as the dedup measure.
+var (
+	batchNodes    atomic.Uint64
+	batchDistinct atomic.Uint64
+)
+
+func recordBatch(nodes, distinct int) {
+	batchNodes.Add(uint64(nodes))
+	batchDistinct.Add(uint64(distinct))
+}
+
+// BatchStats is a point-in-time snapshot of the batch counters.
+type BatchStats struct {
+	// Nodes counts objects authorized through the batched path.
+	Nodes uint64
+	// Distinct counts decisions actually computed (≤ Nodes; the gap is
+	// the dedup win).
+	Distinct uint64
+}
+
+// Sub returns the delta since an earlier snapshot, for per-phase
+// reporting.
+func (s BatchStats) Sub(earlier BatchStats) BatchStats {
+	return BatchStats{Nodes: s.Nodes - earlier.Nodes, Distinct: s.Distinct - earlier.Distinct}
+}
+
+// DedupRatio returns Distinct/Nodes (1 means no dedup; 0 before any
+// batch).
+func (s BatchStats) DedupRatio() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.Distinct) / float64(s.Nodes)
+}
+
+// ReadBatchStats snapshots the process-wide batch counters.
+func ReadBatchStats() BatchStats {
+	return BatchStats{Nodes: batchNodes.Load(), Distinct: batchDistinct.Load()}
+}

@@ -232,6 +232,9 @@ type CachedMonitor struct {
 	Cache *DecisionCache
 	// Trace, when non-nil, receives every decision made.
 	Trace func(Decision)
+	// TraceBatch, when non-nil, receives whole batched regions in one
+	// call instead of per-node Trace firings.
+	TraceBatch func([]Decision)
 }
 
 var _ Monitor = (*CachedMonitor)(nil)

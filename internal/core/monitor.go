@@ -78,14 +78,17 @@ type ERM struct {
 	// by the attack harness and the inspect tool; nil disables
 	// tracing with no overhead beyond the nil check.
 	Trace func(Decision)
+	// TraceBatch, when non-nil, receives whole batched-authorization
+	// regions in one call (typically AuditLog.RecordAll) instead of
+	// Trace firing per node — same stream, one lock per region.
+	TraceBatch func([]Decision)
 }
 
 var _ Monitor = (*ERM)(nil)
 
-// Authorize implements Monitor with the three ESCUDO rules, evaluated
-// in the paper's order: Origin, Ring, ACL. The first failing rule is
-// reported in the decision.
-func (m *ERM) Authorize(p Context, op Op, o Context) Decision {
+// decide evaluates the three ESCUDO rules without tracing; Authorize
+// and the batched path share it.
+func (m *ERM) decide(p Context, op Op, o Context) Decision {
 	d := Decision{Principal: p, Op: op, Object: o}
 	switch {
 	case !op.Valid():
@@ -100,6 +103,14 @@ func (m *ERM) Authorize(p Context, op Op, o Context) Decision {
 		d.Rule = RuleAllowed
 		d.Allowed = true
 	}
+	return d
+}
+
+// Authorize implements Monitor with the three ESCUDO rules, evaluated
+// in the paper's order: Origin, Ring, ACL. The first failing rule is
+// reported in the decision.
+func (m *ERM) Authorize(p Context, op Op, o Context) Decision {
+	d := m.decide(p, op, o)
 	if m.Trace != nil {
 		m.Trace(d)
 	}
@@ -114,12 +125,16 @@ func (m *ERM) Authorize(p Context, op Op, o Context) Decision {
 type SOPMonitor struct {
 	// Trace, when non-nil, receives every decision made.
 	Trace func(Decision)
+	// TraceBatch, when non-nil, receives whole batched regions in one
+	// call instead of per-node Trace firings.
+	TraceBatch func([]Decision)
 }
 
 var _ Monitor = (*SOPMonitor)(nil)
 
-// Authorize implements Monitor with only the origin test.
-func (m *SOPMonitor) Authorize(p Context, op Op, o Context) Decision {
+// decide evaluates the origin test without tracing; Authorize and the
+// batched path share it.
+func (m *SOPMonitor) decide(p Context, op Op, o Context) Decision {
 	d := Decision{Principal: p, Op: op, Object: o}
 	switch {
 	case !op.Valid():
@@ -130,6 +145,12 @@ func (m *SOPMonitor) Authorize(p Context, op Op, o Context) Decision {
 		d.Rule = RuleAllowed
 		d.Allowed = true
 	}
+	return d
+}
+
+// Authorize implements Monitor with only the origin test.
+func (m *SOPMonitor) Authorize(p Context, op Op, o Context) Decision {
+	d := m.decide(p, op, o)
 	if m.Trace != nil {
 		m.Trace(d)
 	}
@@ -148,10 +169,20 @@ type auditRecord struct {
 	d   Decision
 }
 
+// auditBatch is one batched region of decisions: consecutive tickets
+// start..start+len(ds)-1. The slice is stored as-is (callers hand over
+// ownership), so recording a region costs one header append, not n
+// record copies.
+type auditBatch struct {
+	start uint64
+	ds    []Decision
+}
+
 // auditShard is one independently locked slice of the log.
 type auditShard struct {
-	mu   sync.RWMutex
-	recs []auditRecord
+	mu      sync.RWMutex
+	recs    []auditRecord
+	batches []auditBatch
 }
 
 // AuditLog is a concurrency-safe decision recorder that can be plugged
@@ -177,8 +208,28 @@ func (l *AuditLog) Record(d Decision) {
 	s.mu.Unlock()
 }
 
-// merged snapshots every shard and returns the records in recording
-// order, optionally filtered.
+// RecordAll appends a batch of decisions: it reserves a contiguous
+// ticket range with a single atomic add, then stores the slice itself
+// (with its start ticket) under one shard lock — no per-record copy,
+// no per-record lock. The caller hands over ownership: the slice must
+// not be mutated after the call. Ordering is unaffected — readers
+// merge singles and batches by ticket — and concurrent batches land in
+// different shards (the range start rotates), so sessions still don't
+// serialize. It has the signature required by the TraceBatch hooks.
+func (l *AuditLog) RecordAll(ds []Decision) {
+	n := uint64(len(ds))
+	if n == 0 {
+		return
+	}
+	start := l.seq.Add(n) - n + 1
+	s := &l.shards[start&(auditShardCount-1)]
+	s.mu.Lock()
+	s.batches = append(s.batches, auditBatch{start: start, ds: ds})
+	s.mu.Unlock()
+}
+
+// merged snapshots every shard — singles and batched regions — and
+// returns the records in recording order, optionally filtered.
 func (l *AuditLog) merged(keep func(Decision) bool) []Decision {
 	var recs []auditRecord
 	for i := range l.shards {
@@ -187,6 +238,13 @@ func (l *AuditLog) merged(keep func(Decision) bool) []Decision {
 		for _, r := range s.recs {
 			if keep == nil || keep(r.d) {
 				recs = append(recs, r)
+			}
+		}
+		for _, b := range s.batches {
+			for j, d := range b.ds {
+				if keep == nil || keep(d) {
+					recs = append(recs, auditRecord{seq: b.start + uint64(j), d: d})
+				}
 			}
 		}
 		s.mu.RUnlock()
@@ -219,6 +277,7 @@ func (l *AuditLog) Reset() {
 		s := &l.shards[i]
 		s.mu.Lock()
 		s.recs = nil
+		s.batches = nil
 		s.mu.Unlock()
 	}
 }
@@ -230,6 +289,9 @@ func (l *AuditLog) Len() int {
 		s := &l.shards[i]
 		s.mu.RLock()
 		n += len(s.recs)
+		for _, b := range s.batches {
+			n += len(b.ds)
+		}
 		s.mu.RUnlock()
 	}
 	return n

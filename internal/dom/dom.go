@@ -158,6 +158,107 @@ func (a *API) authorize(op core.Op, obj core.Context) error {
 	return nil
 }
 
+// authorizeSubtree batch-authorizes op on every node of the region
+// rooted at n, returning the nodes in document order with their
+// decisions. The nodes collapse into (origin, ring, ACL) equivalence
+// classes so a region of m nodes costs k ≤ m distinct decision
+// computations, but every node is still individually audited — §4.2
+// complete mediation is unchanged, only the decision computation is
+// deduplicated.
+func (a *API) authorizeSubtree(n *html.Node, op core.Op) ([]*html.Node, []core.Decision) {
+	return a.authorizeSubtreeFiltered(n, op, nil)
+}
+
+// authorizeSubtreeFiltered is authorizeSubtree restricted to nodes
+// passing keep (nil keeps every node). Skipped nodes are not
+// authorized, not audited, and absent from the result.
+func (a *API) authorizeSubtreeFiltered(n *html.Node, op core.Op, keep func(*html.Node) bool) ([]*html.Node, []core.Decision) {
+	count := html.CountNodes(n)
+	nodes := make([]*html.Node, 0, count)
+	ctxs := make([]core.Context, 0, count)
+	html.Walk(n, func(x *html.Node) bool {
+		if keep == nil || keep(x) {
+			nodes = append(nodes, x)
+			ctxs = append(ctxs, a.doc.NodeContext(x))
+		}
+		return true
+	})
+	return nodes, core.AuthorizeBatch(a.monitor, a.principal, op, ctxs)
+}
+
+// AuthorizeRenderRegion mediates a render/layout traversal of the
+// region rooted at n: every element (and the document root) is
+// batch-authorized for reading. Text and comment nodes render under
+// their element's authority — they share its (origin, ring, ACL)
+// equivalence class by construction, so element-level mediation is
+// exactly as strong while the audit stream stays proportional to the
+// box tree. The returned set holds the denied elements (each denial
+// hides the element's whole subtree); a denied region root returns
+// the root's DeniedError.
+func (a *API) AuthorizeRenderRegion(n *html.Node) (denied map[*html.Node]bool, err error) {
+	nodes, decisions := a.authorizeSubtreeFiltered(n, core.OpRead, func(x *html.Node) bool {
+		return x.Type == html.ElementNode || x.Type == html.DocumentNode
+	})
+	return deniedSet(n, nodes, decisions)
+}
+
+// deniedSet converts a region's (nodes, decisions) into the denied
+// descendants, or the root's DeniedError if the root itself was
+// denied.
+func deniedSet(root *html.Node, nodes []*html.Node, decisions []core.Decision) (map[*html.Node]bool, error) {
+	var denied map[*html.Node]bool
+	for i, d := range decisions {
+		if d.Allowed {
+			continue
+		}
+		if nodes[i] == root {
+			return nil, &DeniedError{Decision: d}
+		}
+		if denied == nil {
+			denied = make(map[*html.Node]bool)
+		}
+		denied[nodes[i]] = true
+	}
+	return denied, nil
+}
+
+// AuthorizeSubtree batch-authorizes op over the region rooted at n
+// (see authorizeSubtree: one decision computation per equivalence
+// class, every node audited).
+//
+// If the region's root is denied, the root's DeniedError is returned.
+// Otherwise denied holds the denied descendants (nil when the whole
+// region is accessible); readers elide those subtrees, the way a real
+// ESCUDO browser would hide inner-ring content.
+func (a *API) AuthorizeSubtree(n *html.Node, op core.Op) (denied map[*html.Node]bool, err error) {
+	nodes, decisions := a.authorizeSubtree(n, op)
+	return deniedSet(n, nodes, decisions)
+}
+
+// authorizeRegionWrite authorizes a write over the whole region rooted
+// at n — the root and every descendant the write destroys or replaces.
+// Unlike reads, a region write cannot elide: any denial fails the
+// whole operation with that node's decision.
+func (a *API) authorizeRegionWrite(n *html.Node) error {
+	_, decisions := a.authorizeSubtree(n, core.OpWrite)
+	for _, d := range decisions {
+		if !d.Allowed {
+			return &DeniedError{Decision: d}
+		}
+	}
+	return nil
+}
+
+// includeFunc converts a denied set into the include predicate the
+// filtered serializers take (nil when nothing is denied, which selects
+// the unfiltered fast path).
+func includeFunc(denied map[*html.Node]bool) func(*html.Node) bool {
+	if len(denied) == 0 {
+		return nil
+	}
+	return func(n *html.Node) bool { return !denied[n] }
+}
+
 // GetElementByID returns the element with the given id if the
 // principal may read it.
 func (a *API) GetElementByID(id string) (*html.Node, error) {
@@ -173,46 +274,65 @@ func (a *API) GetElementByID(id string) (*html.Node, error) {
 
 // GetElementsByTagName returns the elements with the given tag that
 // the principal may read. Unreadable elements are silently omitted,
-// the way a real ESCUDO browser would hide inner-ring content.
+// the way a real ESCUDO browser would hide inner-ring content. The
+// candidates are authorized as one batch: elements sharing a (ring,
+// ACL) class cost a single decision computation, each still audited.
 func (a *API) GetElementsByTagName(tag string) []*html.Node {
+	nodes := a.doc.ByTag(tag)
+	if len(nodes) == 0 {
+		return nil
+	}
+	ctxs := make([]core.Context, len(nodes))
+	for i, n := range nodes {
+		ctxs[i] = a.doc.NodeContext(n)
+	}
 	var out []*html.Node
-	for _, n := range a.doc.ByTag(tag) {
-		if a.authorize(core.OpRead, a.doc.NodeContext(n)) == nil {
-			out = append(out, n)
+	for i, d := range core.AuthorizeBatch(a.monitor, a.principal, core.OpRead, ctxs) {
+		if d.Allowed {
+			out = append(out, nodes[i])
 		}
 	}
 	return out
 }
 
-// InnerText returns the subtree's text if the principal may read the
-// node.
+// InnerText returns the region's text if the principal may read the
+// node. The whole region is batch-authorized; text under denied
+// descendants is elided.
 func (a *API) InnerText(n *html.Node) (string, error) {
-	if err := a.authorize(core.OpRead, a.doc.NodeContext(n)); err != nil {
+	denied, err := a.AuthorizeSubtree(n, core.OpRead)
+	if err != nil {
 		return "", err
 	}
-	return html.InnerText(n), nil
+	return html.InnerTextFiltered(n, includeFunc(denied)), nil
 }
 
 // InnerHTML serializes the node's children if the principal may read
-// the node.
+// the node. Reading a region is reading every node in it: the subtree
+// is batch-authorized (one decision computation per equivalence
+// class, every node audited), and subtrees the principal may not read
+// are elided from the serialization.
 func (a *API) InnerHTML(n *html.Node) (string, error) {
-	if err := a.authorize(core.OpRead, a.doc.NodeContext(n)); err != nil {
+	denied, err := a.AuthorizeSubtree(n, core.OpRead)
+	if err != nil {
 		return "", err
 	}
+	include := includeFunc(denied)
 	var b strings.Builder
 	for _, k := range n.Kids {
-		b.WriteString(html.Render(k))
+		b.WriteString(html.RenderFiltered(k, include))
 	}
 	return b.String(), nil
 }
 
 // SetInnerHTML replaces the node's children with freshly parsed
-// markup. The write is authorized against the node, and the fragment
-// parse applies the scoping rule with the node's ring as the bound, so
-// "a malicious principal cannot create a new principal that has higher
-// privileges than itself" (§5).
+// markup. The write is authorized over the whole region it replaces —
+// the node and every descendant destroyed by the replacement, batched
+// by equivalence class — and the fragment parse applies the scoping
+// rule with the node's ring as the bound, so "a malicious principal
+// cannot create a new principal that has higher privileges than
+// itself" (§5).
 func (a *API) SetInnerHTML(n *html.Node, markup string) error {
-	if err := a.authorize(core.OpWrite, a.doc.NodeContext(n)); err != nil {
+	if err := a.authorizeRegionWrite(n); err != nil {
 		return err
 	}
 	base := n.Ring.Outermost(a.principal.Ring)
@@ -274,10 +394,15 @@ func (a *API) AppendChild(parent, child *html.Node) error {
 	return nil
 }
 
-// RemoveChild detaches child from parent; the principal needs write on
-// the parent.
+// RemoveChild detaches child from parent. The principal needs write
+// on the parent (whose child list changes) and, like the other
+// region-destroying writes, on every node of the removed subtree —
+// a principal cannot destroy a region it could not rewrite.
 func (a *API) RemoveChild(parent, child *html.Node) error {
 	if err := a.authorize(core.OpWrite, a.doc.NodeContext(parent)); err != nil {
+		return err
+	}
+	if err := a.authorizeRegionWrite(child); err != nil {
 		return err
 	}
 	for i, k := range parent.Kids {
@@ -326,10 +451,10 @@ func (a *API) SetAttribute(n *html.Node, name, value string) error {
 	return nil
 }
 
-// SetText replaces the node's children with a single text node; the
-// principal needs write on the node.
+// SetText replaces the node's children with a single text node. Like
+// SetInnerHTML, the write covers the whole region it destroys.
 func (a *API) SetText(n *html.Node, text string) error {
-	if err := a.authorize(core.OpWrite, a.doc.NodeContext(n)); err != nil {
+	if err := a.authorizeRegionWrite(n); err != nil {
 		return err
 	}
 	n.Kids = nil

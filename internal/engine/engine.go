@@ -77,6 +77,10 @@ type Pool struct {
 	workers  sync.WaitGroup
 	closed   bool
 	mu       sync.Mutex
+	// batchBase is the batch-counter snapshot taken at the last
+	// ResetStats, so Stats reports per-phase deltas of the batched
+	// authorization counters.
+	batchBase core.BatchStats
 }
 
 // ErrClosed reports a submit to a closed pool.
@@ -102,6 +106,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		}
 	}
 	p.tasks = make(chan Task, cfg.QueueDepth)
+	p.batchBase = core.ReadBatchStats()
 	for i := 0; i < cfg.Sessions; i++ {
 		opts := cfg.Options
 		opts.Cache = p.cache
@@ -198,6 +203,12 @@ type Stats struct {
 	Decisions uint64
 	// Cache snapshots the shared decision cache (zero when Uncached).
 	Cache core.CacheStats
+	// Batch is the delta of the batched-authorization counters since
+	// the last ResetStats: how many DOM nodes were authorized through
+	// the batched path vs. how many distinct decisions were actually
+	// computed. (The counters are process-wide, so run one pool at a
+	// time when reading them.)
+	Batch core.BatchStats
 }
 
 // Stats merges every session's measurements. Call it after Wait (or
@@ -223,6 +234,10 @@ func (p *Pool) Stats() Stats {
 	if p.cache != nil {
 		st.Cache = p.cache.Stats()
 	}
+	p.mu.Lock()
+	base := p.batchBase
+	p.mu.Unlock()
+	st.Batch = core.ReadBatchStats().Sub(base)
 	return st
 }
 
@@ -239,4 +254,7 @@ func (p *Pool) ResetStats() {
 		s.mu.Unlock()
 		s.Browser.Audit.Reset()
 	}
+	p.mu.Lock()
+	p.batchBase = core.ReadBatchStats()
+	p.mu.Unlock()
 }

@@ -318,11 +318,31 @@ func Render(n *Node) string {
 	return b.String()
 }
 
+// RenderFiltered serializes the subtree, skipping (with their whole
+// subtrees) any nodes for which include returns false. The mediated
+// DOM API uses it to serialize a region while eliding nodes the
+// reading principal may not see. A nil include renders everything.
+func RenderFiltered(n *Node, include func(*Node) bool) string {
+	var b strings.Builder
+	renderFiltered(&b, n, include)
+	return b.String()
+}
+
+// render is renderFiltered with no filter; both share one
+// serialization path so the plain and mediated renderings can never
+// diverge.
 func render(b *strings.Builder, n *Node) {
+	renderFiltered(b, n, nil)
+}
+
+func renderFiltered(b *strings.Builder, n *Node, include func(*Node) bool) {
+	if include != nil && !include(n) {
+		return
+	}
 	switch n.Type {
 	case DocumentNode:
 		for _, k := range n.Kids {
-			render(b, k)
+			renderFiltered(b, k, include)
 		}
 	case TextNode:
 		if n.Parent != nil && rawTextElements[n.Parent.Tag] {
@@ -349,7 +369,7 @@ func render(b *strings.Builder, n *Node) {
 			return
 		}
 		for _, k := range n.Kids {
-			render(b, k)
+			renderFiltered(b, k, include)
 		}
 		fmt.Fprintf(b, "</%s>", n.Tag)
 	}
@@ -371,6 +391,31 @@ func innerText(b *strings.Builder, n *Node) {
 	for _, k := range n.Kids {
 		innerText(b, k)
 	}
+}
+
+// InnerTextFiltered concatenates the subtree's text, skipping (with
+// their whole subtrees) nodes for which include returns false. A nil
+// include is plain InnerText.
+func InnerTextFiltered(n *Node, include func(*Node) bool) string {
+	if include == nil {
+		return InnerText(n)
+	}
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if !include(x) {
+			return
+		}
+		if x.Type == TextNode {
+			b.WriteString(x.Data)
+			return
+		}
+		for _, k := range x.Kids {
+			walk(k)
+		}
+	}
+	walk(n)
+	return b.String()
 }
 
 // Walk visits every node of the subtree in document order, stopping

@@ -157,13 +157,51 @@ func (z *Tokenizer) looksLikeMarkup(pos int) bool {
 	return c == '/' || c == '!' || c == '?' || isAlpha(c)
 }
 
+// lowerASCII returns s lowercased, without allocating when s already
+// is — the overwhelmingly common case for tag and attribute names.
+func lowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			return strings.ToLower(s)
+		}
+	}
+	return s
+}
+
+// indexFold returns the index of the first ASCII case-insensitive
+// occurrence of sep (itself lowercase) in s, or -1. It scans in place:
+// no lowercased copy of s is ever built.
+func indexFold(s, sep string) int {
+	if len(sep) == 0 {
+		return 0
+	}
+	for i := 0; i+len(sep) <= len(s); i++ {
+		j := 0
+		for j < len(sep) {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != sep[j] {
+				break
+			}
+			j++
+		}
+		if j == len(sep) {
+			return i
+		}
+	}
+	return -1
+}
+
 // nextRawText consumes raw content until the matching end tag of the
-// current raw-text element.
+// current raw-text element. The closer search is case-folded in place;
+// lowercasing the remaining input per token would be quadratic on
+// script-heavy pages.
 func (z *Tokenizer) nextRawText() Token {
 	closer := "</" + z.rawTag
 	rest := z.input[z.pos:]
-	lower := strings.ToLower(rest)
-	i := strings.Index(lower, closer)
+	i := indexFold(rest, closer)
 	if i < 0 {
 		// Unterminated raw text: everything remaining is content.
 		z.pos = len(z.input)
@@ -253,7 +291,7 @@ func (z *Tokenizer) nextTag(typ TokenType) (Token, bool) {
 	if z.pos == nameStart {
 		return Token{}, false
 	}
-	tok := Token{Type: typ, Tag: strings.ToLower(z.input[nameStart:z.pos])}
+	tok := Token{Type: typ, Tag: lowerASCII(z.input[nameStart:z.pos])}
 	for {
 		z.skipSpace()
 		if z.pos >= len(z.input) {
@@ -295,7 +333,7 @@ func (z *Tokenizer) nextAttr() (name, value string, ok bool) {
 	if z.pos == start {
 		return "", "", false
 	}
-	name = strings.ToLower(z.input[start:z.pos])
+	name = lowerASCII(z.input[start:z.pos])
 	z.skipSpace()
 	if z.pos >= len(z.input) || z.input[z.pos] != '=' {
 		return name, "", true // boolean attribute

@@ -11,8 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/origin"
 )
@@ -22,8 +24,14 @@ import (
 type Header map[string][]string
 
 // CanonicalKey normalizes a header name ("x-escudo-maxring" →
-// "X-Escudo-Maxring").
+// "X-Escudo-Maxring"). Header maps are touched on every request and
+// response, and callers almost always pass the canonical form
+// already, so that case is detected in place and returns the input
+// with no allocation.
 func CanonicalKey(k string) string {
+	if isCanonicalKey(k) {
+		return k
+	}
 	parts := strings.Split(strings.ToLower(k), "-")
 	for i, p := range parts {
 		if p == "" {
@@ -32,6 +40,29 @@ func CanonicalKey(k string) string {
 		parts[i] = strings.ToUpper(p[:1]) + p[1:]
 	}
 	return strings.Join(parts, "-")
+}
+
+// isCanonicalKey reports whether k is already in canonical form: each
+// dash-separated part starts with a non-lowercase byte and continues
+// with non-uppercase bytes.
+func isCanonicalKey(k string) bool {
+	first := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if c == '-' {
+			first = true
+			continue
+		}
+		if first {
+			if c >= 'a' && c <= 'z' {
+				return false
+			}
+			first = false
+		} else if c >= 'A' && c <= 'Z' {
+			return false
+		}
+	}
+	return true
 }
 
 // Add appends a value to the named header.
@@ -69,6 +100,16 @@ func (h Header) Clone() Header {
 }
 
 // Request is one HTTP-shaped request.
+//
+// The URL and Cookie header are parsed at most once: TargetOrigin,
+// Path, and Query memoize one shared URL parse, and Cookies memoizes
+// the Cookie-header parse. The request pipeline reads each of these
+// several times per round trip (routing, cookie attachment, logging,
+// then the handler), so the memo turns four parses into one. The
+// contract is the natural one for a request in flight: URL must not
+// change after the first derived accessor runs, and the Cookie header
+// must be final before Cookies/Cookie is first called (the browser
+// attaches cookies before RoundTrip, which is the first reader).
 type Request struct {
 	// Method is "GET" or "POST".
 	Method string
@@ -86,6 +127,17 @@ type Request struct {
 	// InitiatorLabel describes the principal for the request log,
 	// e.g. "img", "form#post", "xhr".
 	InitiatorLabel string
+
+	urlOnce   sync.Once
+	parsedURL *url.URL
+	target    origin.Origin
+	targetErr error
+
+	queryOnce sync.Once
+	query     url.Values
+
+	cookieOnce sync.Once
+	cookies    map[string]string
 }
 
 // NewRequest builds a request with empty header and form.
@@ -93,41 +145,60 @@ func NewRequest(method, rawURL string) *Request {
 	return &Request{Method: method, URL: rawURL, Header: Header{}, Form: url.Values{}}
 }
 
+// parse runs the one-time URL parse shared by TargetOrigin, Path, and
+// Query.
+func (r *Request) parse() {
+	r.urlOnce.Do(func() {
+		r.parsedURL, _ = url.Parse(r.URL)
+		r.target, r.targetErr = origin.Parse(r.URL)
+	})
+}
+
 // TargetOrigin derives the origin of the request's URL.
 func (r *Request) TargetOrigin() (origin.Origin, error) {
-	return origin.Parse(r.URL)
+	r.parse()
+	return r.target, r.targetErr
 }
 
 // Path returns the URL path (with a leading slash; "/" for empty).
 func (r *Request) Path() string {
-	u, err := url.Parse(r.URL)
-	if err != nil || u.Path == "" {
+	r.parse()
+	if r.parsedURL == nil || r.parsedURL.Path == "" {
 		return "/"
 	}
-	return u.Path
+	return r.parsedURL.Path
 }
 
-// Query returns the parsed query parameters.
+// Query returns the parsed query parameters. The returned values are
+// shared across calls; callers must not mutate them.
 func (r *Request) Query() url.Values {
-	u, err := url.Parse(r.URL)
-	if err != nil {
-		return url.Values{}
-	}
-	return u.Query()
+	r.parse()
+	r.queryOnce.Do(func() {
+		if r.parsedURL == nil {
+			r.query = url.Values{}
+			return
+		}
+		r.query = r.parsedURL.Query()
+	})
+	return r.query
 }
 
-// Cookies parses the Cookie header into name→value pairs.
+// Cookies parses the Cookie header into name→value pairs. The map is
+// parsed once and shared across calls; callers must not mutate it.
 func (r *Request) Cookies() map[string]string {
-	out := map[string]string{}
-	for _, line := range r.Header.Values("Cookie") {
-		for _, part := range strings.Split(line, ";") {
-			name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
-			if ok && name != "" {
-				out[name] = val
+	r.cookieOnce.Do(func() {
+		out := map[string]string{}
+		for _, line := range r.Header.Values("Cookie") {
+			for _, part := range strings.Split(line, ";") {
+				name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+				if ok && name != "" {
+					out[name] = val
+				}
 			}
 		}
-	}
-	return out
+		r.cookies = out
+	})
+	return r.cookies
 }
 
 // Cookie returns the named cookie value and whether it is present.
@@ -209,42 +280,91 @@ type LogEntry struct {
 	// CookieNames are the cookies that arrived with the request —
 	// the CSRF success signal.
 	CookieNames []string
-	Form        url.Values
-	Status      int
+	// SetCookieNames are the cookies the response tried to set, so the
+	// attack harness can see session establishment (e.g. a login fixation
+	// attempt) and not just request-side cookie travel.
+	SetCookieNames []string
+	Form           url.Values
+	Status         int
 }
 
+// logShardCount must be a power of two (records shard by ticket).
+// Mirrors core.AuditLog: enough shards that concurrent sessions'
+// request logging doesn't serialize, few enough that merges stay
+// cheap.
+const logShardCount = 16
+
+// logRecord is one entry stamped with its global ticket, so per-shard
+// streams merge back into issue order.
+type logRecord struct {
+	seq uint64
+	e   LogEntry
+}
+
+// logShard is one independently locked slice of the request log.
+type logShard struct {
+	mu   sync.RWMutex
+	recs []logRecord
+}
+
+// serverTable is the immutable origin→handler map the hot path reads.
+type serverTable map[origin.Origin]Handler
+
 // Network routes requests to servers by origin and records a log. It
-// is safe for concurrent use.
+// is safe for concurrent use and concurrent-first: the server table is
+// an immutable copy-on-write map behind an atomic pointer
+// (registrations happen at setup, lookups on every request, so reads
+// take no lock at all), and the request log is sharded with a global
+// atomic ticket so writers from many sessions don't serialize on one
+// mutex — readers merge the shards back into ticket order.
 type Network struct {
-	mu      sync.Mutex
-	servers map[origin.Origin]Handler
-	log     []LogEntry
+	servers atomic.Pointer[serverTable]
+	// regMu serializes Register's copy-on-write swaps; lookups never
+	// take it.
+	regMu  sync.Mutex
+	seq    atomic.Uint64
+	shards [logShardCount]logShard
 }
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network {
-	return &Network{servers: map[origin.Origin]Handler{}}
+	n := &Network{}
+	empty := serverTable{}
+	n.servers.Store(&empty)
+	return n
 }
 
 // Register installs a handler for an origin, replacing any previous
-// one.
+// one. Registration copies the server table (it is setup-time work);
+// in-flight lookups keep reading the previous immutable table.
 func (n *Network) Register(o origin.Origin, h Handler) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.servers[o] = h
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	old := *n.servers.Load()
+	next := make(serverTable, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[o] = h
+	n.servers.Store(&next)
+}
+
+// lookup resolves the handler for an origin with a lock-free read of
+// the current server table.
+func (n *Network) lookup(o origin.Origin) (Handler, bool) {
+	h, ok := (*n.servers.Load())[o]
+	return h, ok
 }
 
 // RoundTrip routes the request to its target origin's server and
 // returns the response. Every routed request is logged, whether or
-// not a server exists.
+// not a server exists; unrouted origins log Status 502.
 func (n *Network) RoundTrip(req *Request) (*Response, error) {
 	target, err := req.TargetOrigin()
 	if err != nil {
 		return nil, fmt.Errorf("web: routing %q: %w", req.URL, err)
 	}
-	n.mu.Lock()
-	h, ok := n.servers[target]
-	n.mu.Unlock()
+	h, ok := n.lookup(target)
 
 	entry := LogEntry{
 		Method:          req.Method,
@@ -269,30 +389,74 @@ func (n *Network) RoundTrip(req *Request) (*Response, error) {
 		resp = NotFound()
 	}
 	entry.Status = resp.Status
+	for _, sc := range resp.Header.Values("Set-Cookie") {
+		if name, _, ok := strings.Cut(sc, "="); ok && name != "" {
+			entry.SetCookieNames = append(entry.SetCookieNames, strings.TrimSpace(name))
+		}
+	}
 	n.appendLog(entry)
 	return resp, nil
 }
 
+// appendLog takes a global ticket and appends under one shard lock.
 func (n *Network) appendLog(e LogEntry) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.log = append(n.log, e)
+	seq := n.seq.Add(1)
+	s := &n.shards[seq&(logShardCount-1)]
+	s.mu.Lock()
+	s.recs = append(s.recs, logRecord{seq: seq, e: e})
+	s.mu.Unlock()
 }
 
-// Log returns a copy of the request log.
-func (n *Network) Log() []LogEntry {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]LogEntry, len(n.log))
-	copy(out, n.log)
+// collect snapshots every shard, keeping entries that pass keep, and
+// returns them in ticket (issue) order. Filtering happens under the
+// shard read locks, so post-hoc queries never copy the whole log.
+func (n *Network) collect(keep func(LogEntry) bool) []LogEntry {
+	var recs []logRecord
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.RLock()
+		for _, r := range s.recs {
+			if keep == nil || keep(r.e) {
+				recs = append(recs, r)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].seq < recs[b].seq })
+	out := make([]LogEntry, len(recs))
+	for i, r := range recs {
+		out[i] = r.e
+	}
 	return out
 }
 
-// ResetLog clears the request log (between attack trials).
+// Log returns a copy of the request log in issue order.
+func (n *Network) Log() []LogEntry {
+	return n.collect(nil)
+}
+
+// ResetLog clears the request log (between attack trials). The ticket
+// counter keeps running, so entries logged before and after a
+// concurrent reset still merge in a consistent order.
 func (n *Network) ResetLog() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.log = nil
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		s.recs = nil
+		s.mu.Unlock()
+	}
+}
+
+// LogLen returns the number of logged requests without copying them.
+func (n *Network) LogLen() int {
+	total := 0
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.RLock()
+		total += len(s.recs)
+		s.mu.RUnlock()
+	}
+	return total
 }
 
 // HasCookie reports whether entry carried the named cookie.
@@ -305,14 +469,21 @@ func (e LogEntry) HasCookie(name string) bool {
 	return false
 }
 
-// FindRequests returns log entries matching the target origin and path
-// predicate.
-func (n *Network) FindRequests(target origin.Origin, match func(LogEntry) bool) []LogEntry {
-	var out []LogEntry
-	for _, e := range n.Log() {
-		if e.Target == target && (match == nil || match(e)) {
-			out = append(out, e)
+// HasSetCookie reports whether entry's response set the named cookie.
+func (e LogEntry) HasSetCookie(name string) bool {
+	for _, c := range e.SetCookieNames {
+		if c == name {
+			return true
 		}
 	}
-	return out
+	return false
+}
+
+// FindRequests returns log entries matching the target origin and path
+// predicate, in issue order. The filter runs under the shard locks:
+// only matching entries are ever copied.
+func (n *Network) FindRequests(target origin.Origin, match func(LogEntry) bool) []LogEntry {
+	return n.collect(func(e LogEntry) bool {
+		return e.Target == target && (match == nil || match(e))
+	})
 }
