@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare lint fmt-check vet serve clean
+.PHONY: all build test race bench bench-compare lint fmt-check vet serve serve-http clean
 
 all: build lint test
 
@@ -33,6 +33,12 @@ vet:
 # Regenerate BENCH_engine.json with the default load (8 sessions).
 serve:
 	$(GO) run ./cmd/escudo-serve
+
+# Same load plus the client/server split: origins mounted on a real
+# HTTP gateway over loopback, workloads and the §6.4 attack corpus
+# replayed over sockets, http section added to BENCH_engine.json.
+serve-http:
+	$(GO) run ./cmd/escudo-serve -http 127.0.0.1:0
 
 # Run the driver fresh and print phase-by-phase p50/p99 deltas against
 # the committed BENCH_engine.json. Override NEW_BENCH/OLD_BENCH to

@@ -7,11 +7,22 @@
 // BENCH_engine.json with p50/p99 task latency, decisions/sec, cache
 // hit rates, and batched-authorization dedup per phase.
 //
+// With -http it additionally mounts the same origins on a real
+// net/http gateway (internal/httpd) over loopback, re-runs the
+// figure-4 and mixed workloads plus the attack replay through
+// httpd.ClientTransport — real sockets, Host-header virtual hosting,
+// per-origin worker queues, cross-request page cache — and extends
+// the report with an "http" section (reqs/sec, p50/p99, queue depth,
+// 503 count, cache hit rate). The attack verdicts over sockets are
+// cross-checked against the in-memory verdicts: any divergence fails
+// the run, because the protection model is transport-independent.
+//
 // Usage:
 //
 //	escudo-serve [-sessions N] [-iters N] [-phpbb-iters N]
 //	             [-mixed-iters N] [-procs N]
 //	             [-mode escudo|sop] [-attacks] [-uncached]
+//	             [-http addr] [-http-workers N] [-http-queue N]
 //	             [-out BENCH_engine.json]
 package main
 
@@ -22,6 +33,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/apps/phpbb"
@@ -30,6 +42,7 @@ import (
 	"repro/internal/browser"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/httpd"
 	"repro/internal/metrics"
 	"repro/internal/nonce"
 	"repro/internal/origin"
@@ -89,6 +102,43 @@ type phaseJSON struct {
 	Attacks         *attacksJSON `json:"attacks,omitempty"`
 }
 
+// httpPhaseJSON is one loopback loadgen phase of the http section.
+// Tasks/latency are measured at the client sessions; requests, 503s,
+// and cache traffic are the gateway's deltas for the phase, and
+// queue_depth_max is the phase's own high-water mark (the gauge is
+// reset at each phase start).
+type httpPhaseJSON struct {
+	Name          string  `json:"name"`
+	Tasks         uint64  `json:"tasks"`
+	Errors        int     `json:"errors"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	Requests      uint64  `json:"requests"`
+	ReqsPerSec    float64 `json:"reqs_per_sec"`
+	Rejected503   uint64  `json:"rejected_503"`
+	QueueDepthMax int64   `json:"queue_depth_max"`
+	CacheHits     uint64  `json:"page_cache_hits"`
+	CacheMisses   uint64  `json:"page_cache_misses"`
+	CacheHitRate  float64 `json:"page_cache_hit_rate"`
+}
+
+// httpJSON is the http section of BENCH_engine.json: the same
+// workloads replayed over real sockets through the gateway.
+type httpJSON struct {
+	Addr       string          `json:"addr"`
+	Workers    int             `json:"workers_per_origin"`
+	QueueDepth int             `json:"queue_depth_per_origin"`
+	Phases     []httpPhaseJSON `json:"phases"`
+	Gateway    httpd.Stats     `json:"gateway"`
+	Attacks    *attacksJSON    `json:"attacks,omitempty"`
+	// AttacksMatchMemory reports that every attack's verdict over
+	// sockets equaled its in-memory verdict — the transport-
+	// independence invariant, asserted at runtime.
+	AttacksMatchMemory *bool `json:"attacks_match_memory,omitempty"`
+}
+
 // benchJSON is the whole BENCH_engine.json document.
 type benchJSON struct {
 	Sessions int    `json:"sessions"`
@@ -100,6 +150,7 @@ type benchJSON struct {
 	ProcsRequested int         `json:"procs_requested,omitempty"`
 	GoMaxProcs     int         `json:"gomaxprocs"`
 	Phases         []phaseJSON `json:"phases"`
+	HTTP           *httpJSON   `json:"http,omitempty"`
 	TotalMs        float64     `json:"total_ms"`
 }
 
@@ -134,8 +185,73 @@ func portalHandler() web.Handler {
 	return web.HandlerFunc(func(req *web.Request) *web.Response {
 		resp := web.HTML(page)
 		resp.Header.Set(core.HeaderMaxRing, core.DefaultMaxRing.String())
+		// The body is a fixed fixture: the HTTP gateway may serve it
+		// from its cross-request page cache.
+		resp.Header.Set("Cache-Control", "public, immutable")
 		return resp
 	})
+}
+
+// mixedTask builds the mixed-workload session task: the sessions split
+// three ways across one substrate — phpBB browsing (sessions must
+// already be logged in), PHP-Calendar event tracking (logs in itself),
+// and a mashup portal with cross-origin widgets. The same task runs
+// over the in-memory network and over the HTTP gateway, which is what
+// makes the two phases comparable.
+func mixedTask(forumO, calO, portalO origin.Origin, topicID, iters int) engine.Task {
+	return func(s *engine.Session) error {
+		switch s.ID % 3 {
+		case 0: // phpBB browsing.
+			for i := 0; i < iters; i++ {
+				if _, err := s.Browser.Navigate(forumO.URL("/")); err != nil {
+					return err
+				}
+				if _, err := s.Browser.Navigate(forumO.URL(fmt.Sprintf("/viewtopic?t=%d", topicID))); err != nil {
+					return err
+				}
+			}
+		case 1: // PHP-Calendar: log in, add events, re-render the month.
+			p, err := s.Browser.Navigate(calO.URL("/"))
+			if err != nil {
+				return err
+			}
+			if form := p.Doc.ByID("loginform"); form != nil {
+				if _, err := p.SubmitForm(form, map[string][]string{
+					"username": {fmt.Sprintf("user%d", s.ID)}, "password": {"pw"},
+				}); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < iters; i++ {
+				mp, err := s.Browser.Navigate(calO.URL("/"))
+				if err != nil {
+					return err
+				}
+				if i%4 == 3 {
+					form := mp.Doc.ByID("newevent")
+					if form == nil {
+						return fmt.Errorf("no newevent form")
+					}
+					if _, err := mp.SubmitForm(form, map[string][]string{
+						"day": {fmt.Sprintf("%d", i%28+1)}, "text": {fmt.Sprintf("event s%d r%d", s.ID, i)},
+					}); err != nil {
+						return err
+					}
+				}
+			}
+		default: // mashup portal: host page + cross-origin widget frames.
+			for i := 0; i < iters; i++ {
+				p, err := s.Browser.Navigate(portalO.URL("/"))
+				if err != nil {
+					return err
+				}
+				if len(p.ScriptErrors) > 0 {
+					return fmt.Errorf("portal script: %v", p.ScriptErrors[0])
+				}
+			}
+		}
+		return nil
+	}
 }
 
 // runPhase executes fn between stat resets and packages the phase
@@ -191,6 +307,218 @@ func runPhase(pool *engine.Pool, name string, fn func()) phaseJSON {
 	return ph
 }
 
+// httpSectionConfig parameterizes the loopback replay.
+type httpSectionConfig struct {
+	addr           string
+	workers, queue int
+	sessions       int
+	iters          int
+	mixedIters     int
+	attacksOn      bool
+	mode           browser.Mode
+	uncached       bool
+	cache          *core.DecisionCache
+	net            *web.Network
+	bench          origin.Origin
+	forum          origin.Origin
+	cal            origin.Origin
+	portal         origin.Origin
+	topicID        int
+	memAttacks     []attack.Result
+}
+
+// fillGatewayStats writes the gateway-side fields of a phase row from
+// one stats delta — the single mapping both the loadgen phases (main
+// gateway) and the attack phase (aggregated per-env gateways) use.
+func fillGatewayStats(ph *httpPhaseJSON, st httpd.Stats) {
+	ph.Requests = st.Served
+	ph.Rejected503 = st.Rejected503
+	ph.QueueDepthMax = st.MaxQueueDepth
+	ph.CacheHits = st.Cache.Hits
+	ph.CacheMisses = st.Cache.Misses
+	ph.CacheHitRate = st.Cache.HitRate()
+	ph.ReqsPerSec = 0
+	if secs := ph.ElapsedMs / 1000; secs > 0 {
+		ph.ReqsPerSec = float64(st.Served) / secs
+	}
+}
+
+// runClientPhase measures the client side of one loopback phase:
+// per-task latency across the pool's sessions. Gateway-side fields
+// are filled separately, because different phases read different
+// gateways (the loadgen phases the shared one, the attack phase an
+// aggregate of per-environment ones).
+func runClientPhase(pool *engine.Pool, name string, fn func()) httpPhaseJSON {
+	pool.ResetStats()
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+
+	st := pool.Stats()
+	ph := httpPhaseJSON{
+		Name:      name,
+		Tasks:     st.Tasks,
+		Errors:    len(st.Errors),
+		P50Ms:     ms(st.P50),
+		P99Ms:     ms(st.P99),
+		MeanMs:    ms(st.Mean),
+		ElapsedMs: ms(elapsed),
+	}
+	for _, err := range st.Errors {
+		fmt.Fprintf(os.Stderr, "escudo-serve: %s: %v\n", name, err)
+	}
+	return ph
+}
+
+// runHTTPPhase is runClientPhase plus the shared gateway's
+// served/503/queue/cache deltas for the phase.
+func runHTTPPhase(pool *engine.Pool, gw *httpd.Gateway, name string, fn func()) httpPhaseJSON {
+	before := gw.Stats()
+	gw.ResetQueueHighWater()
+	ph := runClientPhase(pool, name, fn)
+	fillGatewayStats(&ph, gw.Stats().Sub(before))
+	return ph
+}
+
+// runHTTPSection mounts the substrate on a gateway, replays the
+// figure-4 and mixed workloads through fresh sessions speaking real
+// HTTP over loopback, replays the attack corpus against per-
+// environment gateways, and cross-checks every verdict against the
+// in-memory run.
+func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
+	gwCfg := httpd.Config{
+		DefaultWorkers:    cfg.workers,
+		DefaultQueueDepth: cfg.queue,
+	}
+	gw, ct, gwCleanup, err := httpd.WrapNetwork(cfg.net, gwCfg, cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer gwCleanup()
+
+	httpPool, err := engine.NewPool(engine.Config{
+		Sessions:  cfg.sessions,
+		Transport: ct,
+		Options:   browser.Options{Mode: cfg.mode},
+		Cache:     cfg.cache,
+		Uncached:  cfg.uncached,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer httpPool.Close()
+
+	section := &httpJSON{Addr: gw.Addr(), Workers: cfg.workers, QueueDepth: cfg.queue}
+
+	// Unmeasured warm round: establish the scenario session cookie and
+	// the phpBB logins the mixed workload's browsing arm assumes.
+	paths := scenarios.Paths()
+	httpPool.Each(func(s *engine.Session) error {
+		if _, err := s.Browser.Navigate(cfg.bench.URL(paths[0])); err != nil {
+			return err
+		}
+		p, err := s.Browser.Navigate(cfg.forum.URL("/"))
+		if err != nil {
+			return err
+		}
+		form := p.Doc.ByID("loginform")
+		if form == nil {
+			return fmt.Errorf("no loginform over http")
+		}
+		_, err = p.SubmitForm(form, map[string][]string{
+			"username": {fmt.Sprintf("user%d", s.ID)}, "password": {"pw"},
+		})
+		return err
+	})
+	if st := httpPool.Stats(); len(st.Errors) > 0 {
+		return nil, fmt.Errorf("http warmup: %w", st.Errors[0])
+	}
+
+	section.Phases = append(section.Phases, runHTTPPhase(httpPool, gw, "http-figure4", func() {
+		for r := 0; r < cfg.iters; r++ {
+			for _, path := range paths {
+				p := path
+				httpPool.Submit(func(s *engine.Session) error {
+					_, err := s.Browser.Navigate(cfg.bench.URL(p))
+					return err
+				})
+			}
+		}
+		httpPool.Wait()
+	}))
+
+	if cfg.mixedIters > 0 {
+		section.Phases = append(section.Phases, runHTTPPhase(httpPool, gw, "http-mixed", func() {
+			httpPool.Each(mixedTask(cfg.forum, cfg.cal, cfg.portal, cfg.topicID, cfg.mixedIters))
+		}))
+	}
+
+	// Attack replay over sockets: each environment's private network
+	// gets its own loopback gateway, and each verdict must equal the
+	// in-memory one — transport independence, asserted. The phase's
+	// traffic counters aggregate the per-environment gateways (the
+	// main gateway sees none of this traffic).
+	if cfg.attacksOn {
+		var attackGW struct {
+			mu sync.Mutex
+			st httpd.Stats
+		}
+		wrapper := func(n *web.Network) (web.Transport, func(), error) {
+			g, c, envCleanup, err := httpd.WrapNetwork(n, gwCfg, "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			cleanup := func() {
+				attackGW.mu.Lock()
+				attackGW.st = attackGW.st.Add(g.Stats())
+				attackGW.mu.Unlock()
+				envCleanup()
+			}
+			return c, cleanup, nil
+		}
+		corpus := attack.Corpus()
+		httpResults := make([]attack.Result, len(corpus))
+		ph := runClientPhase(httpPool, "http-attacks", func() {
+			for i, atk := range corpus {
+				i, atk := i, atk
+				httpPool.Submit(func(*engine.Session) error {
+					httpResults[i] = attack.RunOneOver(atk, cfg.mode, cfg.cache, wrapper)
+					return httpResults[i].Err
+				})
+			}
+			httpPool.Wait()
+		})
+		attackGW.mu.Lock()
+		agg := attackGW.st
+		attackGW.mu.Unlock()
+		fillGatewayStats(&ph, agg)
+		section.Phases = append(section.Phases, ph)
+		aj := &attacksJSON{Total: len(corpus)}
+		matches := true
+		for i, r := range httpResults {
+			if r.Neutralized() {
+				aj.Neutralized++
+			} else {
+				aj.Succeeded++
+			}
+			if i < len(cfg.memAttacks) && cfg.memAttacks[i].Succeeded != r.Succeeded {
+				matches = false
+				fmt.Fprintf(os.Stderr,
+					"escudo-serve: VERDICT DIVERGENCE %s: in-memory succeeded=%v, sockets succeeded=%v\n",
+					corpus[i].Name, cfg.memAttacks[i].Succeeded, r.Succeeded)
+			}
+		}
+		section.Attacks = aj
+		section.AttacksMatchMemory = &matches
+		if !matches {
+			return nil, fmt.Errorf("attack verdicts diverge between in-memory and socket transports")
+		}
+	}
+
+	section.Gateway = gw.Stats()
+	return section, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("escudo-serve", flag.ContinueOnError)
 	sessionsN := fs.Int("sessions", 8, "number of concurrent browser sessions")
@@ -201,6 +529,9 @@ func run(args []string) error {
 	modeFlag := fs.String("mode", "escudo", "protection mode: escudo or sop")
 	attacksOn := fs.Bool("attacks", true, "replay the §6.4 attack corpus")
 	uncached := fs.Bool("uncached", false, "disable the shared decision cache (baseline)")
+	httpAddr := fs.String("http", "", "also mount the origins on a real HTTP gateway at this address (e.g. 127.0.0.1:0) and replay the workloads over loopback sockets")
+	httpWorkers := fs.Int("http-workers", 4, "gateway per-origin worker count")
+	httpQueue := fs.Int("http-queue", 64, "gateway per-origin queue depth (overflow → 503)")
 	out := fs.String("out", "BENCH_engine.json", "output JSON path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -357,80 +688,29 @@ func run(args []string) error {
 	// repetitive decision stream.
 	if *mixedIters > 0 {
 		report.Phases = append(report.Phases, runPhase(pool, "mixed", func() {
-			pool.Each(func(s *engine.Session) error {
-				switch s.ID % 3 {
-				case 0: // phpBB browsing (logged in since phase 2).
-					for i := 0; i < *mixedIters; i++ {
-						if _, err := s.Browser.Navigate(forumOrigin.URL("/")); err != nil {
-							return err
-						}
-						if _, err := s.Browser.Navigate(forumOrigin.URL(fmt.Sprintf("/viewtopic?t=%d", topicID))); err != nil {
-							return err
-						}
-					}
-				case 1: // PHP-Calendar: log in, add events, re-render the month.
-					p, err := s.Browser.Navigate(calOrigin.URL("/"))
-					if err != nil {
-						return err
-					}
-					if form := p.Doc.ByID("loginform"); form != nil {
-						if _, err := p.SubmitForm(form, map[string][]string{
-							"username": {fmt.Sprintf("user%d", s.ID)}, "password": {"pw"},
-						}); err != nil {
-							return err
-						}
-					}
-					for i := 0; i < *mixedIters; i++ {
-						mp, err := s.Browser.Navigate(calOrigin.URL("/"))
-						if err != nil {
-							return err
-						}
-						if i%4 == 3 {
-							form := mp.Doc.ByID("newevent")
-							if form == nil {
-								return fmt.Errorf("no newevent form")
-							}
-							if _, err := mp.SubmitForm(form, map[string][]string{
-								"day": {fmt.Sprintf("%d", i%28+1)}, "text": {fmt.Sprintf("event s%d r%d", s.ID, i)},
-							}); err != nil {
-								return err
-							}
-						}
-					}
-				default: // mashup portal: host page + cross-origin widget frames.
-					for i := 0; i < *mixedIters; i++ {
-						p, err := s.Browser.Navigate(portalOrigin.URL("/"))
-						if err != nil {
-							return err
-						}
-						if len(p.ScriptErrors) > 0 {
-							return fmt.Errorf("portal script: %v", p.ScriptErrors[0])
-						}
-					}
-				}
-				return nil
-			})
+			pool.Each(mixedTask(forumOrigin, calOrigin, portalOrigin, topicID, *mixedIters))
 		}))
 	}
 
 	// Phase 4 — §6.4 attack corpus: every attack runs in a fresh
 	// environment, scheduled across the pool's sessions, with the
 	// shared cache plugged into each victim browser.
+	var memAttacks []attack.Result
 	if *attacksOn {
 		corpus := attack.Corpus()
-		results := make([]attack.Result, len(corpus))
+		memAttacks = make([]attack.Result, len(corpus))
 		ph := runPhase(pool, "attacks", func() {
 			for i, atk := range corpus {
 				i, atk := i, atk
 				pool.Submit(func(*engine.Session) error {
-					results[i] = attack.RunOneCached(atk, mode, pool.Cache())
-					return results[i].Err
+					memAttacks[i] = attack.RunOneCached(atk, mode, pool.Cache())
+					return memAttacks[i].Err
 				})
 			}
 			pool.Wait()
 		})
 		aj := &attacksJSON{Total: len(corpus)}
-		for _, r := range results {
+		for _, r := range memAttacks {
 			if r.Neutralized() {
 				aj.Neutralized++
 			} else {
@@ -439,6 +719,37 @@ func run(args []string) error {
 		}
 		ph.Attacks = aj
 		report.Phases = append(report.Phases, ph)
+	}
+
+	// HTTP section — the client/server split: the same origins served
+	// from a real net/http gateway, the same workloads replayed by
+	// fresh sessions over loopback sockets through the shared decision
+	// cache, and the attack corpus cross-checked transport-for-
+	// transport.
+	if *httpAddr != "" {
+		h, err := runHTTPSection(httpSectionConfig{
+			addr:       *httpAddr,
+			workers:    *httpWorkers,
+			queue:      *httpQueue,
+			sessions:   *sessionsN,
+			iters:      *iters,
+			mixedIters: *mixedIters,
+			attacksOn:  *attacksOn,
+			mode:       mode,
+			uncached:   *uncached,
+			cache:      pool.Cache(),
+			net:        net,
+			bench:      benchOrigin,
+			forum:      forumOrigin,
+			cal:        calOrigin,
+			portal:     portalOrigin,
+			topicID:    topicID,
+			memAttacks: memAttacks,
+		})
+		if err != nil {
+			return err
+		}
+		report.HTTP = h
 	}
 
 	report.TotalMs = ms(time.Since(total))
@@ -481,6 +792,32 @@ func run(args []string) error {
 		}
 		if ph.Errors > 0 {
 			return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
+		}
+	}
+	if h := report.HTTP; h != nil {
+		fmt.Printf("\nHTTP gateway at %s — %d workers, queue %d per origin\n\n",
+			h.Addr, h.Workers, h.QueueDepth)
+		ht := metrics.NewTable("Phase", "Tasks", "p50 (ms)", "p99 (ms)", "Reqs", "Reqs/s", "503s", "Queue max", "Cache hit rate")
+		for _, ph := range h.Phases {
+			ht.AddRow(ph.Name,
+				fmt.Sprintf("%d", ph.Tasks),
+				fmt.Sprintf("%.3f", ph.P50Ms),
+				fmt.Sprintf("%.3f", ph.P99Ms),
+				fmt.Sprintf("%d", ph.Requests),
+				fmt.Sprintf("%.0f", ph.ReqsPerSec),
+				fmt.Sprintf("%d", ph.Rejected503),
+				fmt.Sprintf("%d", ph.QueueDepthMax),
+				fmt.Sprintf("%.1f%%", 100*ph.CacheHitRate))
+		}
+		fmt.Print(ht.String())
+		if h.Attacks != nil {
+			fmt.Printf("\nAttack corpus over sockets: %d/%d neutralized under %s (verdicts match in-memory: %v)\n",
+				h.Attacks.Neutralized, h.Attacks.Total, report.Mode, *h.AttacksMatchMemory)
+		}
+		for _, ph := range h.Phases {
+			if ph.Errors > 0 {
+				return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
+			}
 		}
 	}
 	fmt.Printf("\nWrote %s (%.0f ms total)\n", *out, report.TotalMs)

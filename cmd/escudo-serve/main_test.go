@@ -132,3 +132,68 @@ func TestServeRejectsBadMode(t *testing.T) {
 		t.Fatal("bad -mode accepted")
 	}
 }
+
+// TestServeHTTPSection runs the driver with the gateway enabled and
+// checks the http section of the report: the loopback phases really
+// went over sockets (requests counted, latency measured), the page
+// cache saw the immutable fixtures, and the attack corpus over
+// sockets is fully neutralized with verdicts identical to in-memory.
+func TestServeHTTPSection(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	err := run([]string{"-sessions", "4", "-iters", "2", "-phpbb-iters", "2",
+		"-mixed-iters", "2", "-http", "127.0.0.1:0", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchJSON
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	h := report.HTTP
+	if h == nil {
+		t.Fatal("report has no http section")
+	}
+	if h.Addr == "" {
+		t.Fatal("http section has no gateway address")
+	}
+	byName := map[string]httpPhaseJSON{}
+	for _, ph := range h.Phases {
+		byName[ph.Name] = ph
+		if ph.Errors != 0 {
+			t.Errorf("phase %s had %d errors", ph.Name, ph.Errors)
+		}
+	}
+	fig, ok := byName["http-figure4"]
+	if !ok {
+		t.Fatalf("missing http-figure4 phase in %+v", h.Phases)
+	}
+	if fig.Requests == 0 || fig.ReqsPerSec <= 0 || fig.P50Ms <= 0 {
+		t.Fatalf("http-figure4 did not measure socket traffic: %+v", fig)
+	}
+	if fig.CacheHits == 0 {
+		t.Fatalf("scenario fixtures never hit the page cache: %+v", fig)
+	}
+	if mx, ok := byName["http-mixed"]; !ok || mx.Requests == 0 {
+		t.Fatalf("http-mixed missing or inert: %+v", mx)
+	}
+	if h.Attacks == nil {
+		t.Fatal("http section has no attack stats")
+	}
+	if atk, ok := byName["http-attacks"]; !ok || atk.Requests == 0 {
+		t.Fatalf("http-attacks phase missing or counted no per-env gateway traffic: %+v", atk)
+	}
+	if h.Attacks.Neutralized != h.Attacks.Total || h.Attacks.Succeeded != 0 {
+		t.Fatalf("over sockets: neutralized %d/%d (succeeded %d), want all",
+			h.Attacks.Neutralized, h.Attacks.Total, h.Attacks.Succeeded)
+	}
+	if h.AttacksMatchMemory == nil || !*h.AttacksMatchMemory {
+		t.Fatal("attack verdicts over sockets not confirmed against in-memory")
+	}
+	if h.Gateway.Served == 0 {
+		t.Fatalf("gateway served nothing: %+v", h.Gateway)
+	}
+}

@@ -122,13 +122,17 @@ const (
 	ModeSOP = browser.ModeSOP
 )
 
-// NewBrowser creates a browser on a network.
-func NewBrowser(net *Network, opts BrowserOptions) *Browser { return browser.New(net, opts) }
+// NewBrowser creates a browser on a transport (a *Network, or any
+// other Transport such as an HTTP gateway client).
+func NewBrowser(t Transport, opts BrowserOptions) *Browser { return browser.New(t, opts) }
 
 // Web substrate re-exports.
 type (
 	// Network routes requests to registered origins.
 	Network = web.Network
+	// Transport carries requests to the server side; *Network
+	// implements it in memory and httpd.ClientTransport over sockets.
+	Transport = web.Transport
 	// Request is one HTTP-shaped request.
 	Request = web.Request
 	// Response is one HTTP-shaped response.

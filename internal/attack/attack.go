@@ -70,6 +70,25 @@ type Env struct {
 	// evilPage is the markup the evil site serves at /; attacks set
 	// it before luring the victim there.
 	evilPage string
+	// cleanup tears down a wrapped transport (e.g. an HTTP gateway);
+	// nil for in-memory environments.
+	cleanup func()
+}
+
+// TransportWrapper puts a transport in front of an environment's
+// network — e.g. httpd gateway + client over loopback — so the same
+// attack corpus replays across a real socket. It returns the victim's
+// transport and a teardown function (either may rely on the network
+// already having all its origins registered).
+type TransportWrapper func(n *web.Network) (web.Transport, func(), error)
+
+// Close releases transport resources; in-memory environments need no
+// teardown and may skip it.
+func (e *Env) Close() {
+	if e.cleanup != nil {
+		e.cleanup()
+		e.cleanup = nil
+	}
 }
 
 // NewEnv builds a scenario for the given browser mode with unhardened
@@ -77,7 +96,7 @@ type Env struct {
 // (establishing the ring-1 session cookies), exactly the §6.4 setting
 // of "a victim user's active session with a trusted site".
 func NewEnv(mode browser.Mode) (*Env, error) {
-	return newEnv(mode, false, nil)
+	return newEnv(mode, false, nil, nil)
 }
 
 // NewEnvHardened builds the same scenario with the applications'
@@ -85,7 +104,7 @@ func NewEnv(mode browser.Mode) (*Env, error) {
 // the state the paper started from before removing them "to
 // facilitate the attacks".
 func NewEnvHardened(mode browser.Mode) (*Env, error) {
-	return newEnv(mode, true, nil)
+	return newEnv(mode, true, nil, nil)
 }
 
 // NewEnvCached is NewEnv with a shared decision cache plugged into the
@@ -93,10 +112,17 @@ func NewEnvHardened(mode browser.Mode) (*Env, error) {
 // concurrent environments share one verdict memo. All environments
 // sharing a cache must use the same mode.
 func NewEnvCached(mode browser.Mode, cache *core.DecisionCache) (*Env, error) {
-	return newEnv(mode, false, cache)
+	return newEnv(mode, false, cache, nil)
 }
 
-func newEnv(mode browser.Mode, hardened bool, cache *core.DecisionCache) (*Env, error) {
+// NewEnvOver is NewEnvCached with the victim's browser fetching
+// through the wrapped transport instead of the in-memory network.
+// Call Env.Close when done.
+func NewEnvOver(mode browser.Mode, cache *core.DecisionCache, wrap TransportWrapper) (*Env, error) {
+	return newEnv(mode, false, cache, wrap)
+}
+
+func newEnv(mode browser.Mode, hardened bool, cache *core.DecisionCache, wrap TransportWrapper) (*Env, error) {
 	e := &Env{
 		Net:         web.NewNetwork(),
 		ForumOrigin: origin.MustParse("http://forum.example"),
@@ -123,15 +149,30 @@ func newEnv(mode browser.Mode, hardened bool, cache *core.DecisionCache) (*Env, 
 		return web.HTML("")
 	}))
 
+	// The victim fetches through the wrapped transport when one is
+	// given; verdict predicates keep reading e.Net directly — the
+	// request log records server-side either way, which is exactly the
+	// transport-independence the gateway must preserve.
+	var transport web.Transport = e.Net
+	if wrap != nil {
+		t, cleanup, err := wrap(e.Net)
+		if err != nil {
+			return nil, fmt.Errorf("attack: wrapping transport: %w", err)
+		}
+		transport, e.cleanup = t, cleanup
+	}
+
 	// Attack verdicts are decided by scripts, DOM state, cookies, and
 	// the request log — never by layout — so the victim browser skips
 	// the render pass: every mediated path an attack can exercise
 	// still runs, and the replay doesn't bill text layout to the p50.
-	e.Victim = browser.New(e.Net, browser.Options{Mode: mode, Cache: cache, DisableRender: true})
+	e.Victim = browser.New(transport, browser.Options{Mode: mode, Cache: cache, DisableRender: true})
 	if err := e.login(e.ForumOrigin, "loginform"); err != nil {
+		e.Close()
 		return nil, fmt.Errorf("attack: forum login: %w", err)
 	}
 	if err := e.login(e.CalOrigin, "loginform"); err != nil {
+		e.Close()
 		return nil, fmt.Errorf("attack: calendar login: %w", err)
 	}
 	e.Net.ResetLog()
@@ -236,6 +277,21 @@ func RunOneCached(atk Attack, mode browser.Mode, cache *core.DecisionCache) Resu
 	if err != nil {
 		return Result{Attack: atk, Mode: mode, Err: err}
 	}
+	ok, err := atk.Run(env)
+	return Result{Attack: atk, Mode: mode, Succeeded: ok, Err: err}
+}
+
+// RunOneOver is RunOneCached with the victim fetching through the
+// wrapped transport — how the §6.4 corpus replays over real sockets
+// against an HTTP gateway. The verdict contract is unchanged: the
+// protection model is transport-independent, so an attack neutralized
+// in memory must be neutralized over the wire.
+func RunOneOver(atk Attack, mode browser.Mode, cache *core.DecisionCache, wrap TransportWrapper) Result {
+	env, err := NewEnvOver(mode, cache, wrap)
+	if err != nil {
+		return Result{Attack: atk, Mode: mode, Err: err}
+	}
+	defer env.Close()
 	ok, err := atk.Run(env)
 	return Result{Attack: atk, Mode: mode, Succeeded: ok, Err: err}
 }

@@ -81,20 +81,24 @@ type Options struct {
 }
 
 // Browser is one browsing session: a cookie jar, history, and a
-// protection mode, attached to a network.
+// protection mode, attached to a transport.
 type Browser struct {
-	net     *web.Network
-	jar     *cookie.Jar
-	history *History
-	opts    Options
+	transport web.Transport
+	jar       *cookie.Jar
+	history   *History
+	opts      Options
 	// Console receives script log output from every page.
 	Console *script.Console
 	// Audit receives every access-control decision.
 	Audit *core.AuditLog
 }
 
-// New creates a browser on the given network.
-func New(net *web.Network, opts Options) *Browser {
+// New creates a browser on the given transport. All mediation (cookie
+// attachment, DOM authorization, script confinement) happens on this
+// side of the transport, so the same session produces the same
+// verdicts whether the transport is the in-memory web.Network or a
+// real socket client against an httpd.Gateway.
+func New(t web.Transport, opts Options) *Browser {
 	if opts.Mode == 0 {
 		opts.Mode = ModeEscudo
 	}
@@ -108,12 +112,12 @@ func New(net *web.Network, opts Options) *Browser {
 		opts.MaxFrameDepth = 3
 	}
 	return &Browser{
-		net:     net,
-		jar:     &cookie.Jar{},
-		history: &History{},
-		opts:    opts,
-		Console: &script.Console{},
-		Audit:   &core.AuditLog{},
+		transport: t,
+		jar:       &cookie.Jar{},
+		history:   &History{},
+		opts:      opts,
+		Console:   &script.Console{},
+		Audit:     &core.AuditLog{},
 	}
 }
 
@@ -406,7 +410,7 @@ func (b *Browser) fetch(method, rawURL string, form url.Values, initiator core.C
 		return nil, fmt.Errorf("browser: fetch %q: %w", rawURL, err)
 	}
 	b.attachCookies(req, target, initiator)
-	resp, err := b.net.RoundTrip(req)
+	resp, err := b.transport.RoundTrip(req)
 	if err != nil {
 		return nil, err
 	}

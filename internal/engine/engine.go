@@ -24,8 +24,15 @@ import (
 type Config struct {
 	// Sessions is the number of concurrent sessions (default 8).
 	Sessions int
-	// Network is the shared web substrate (required).
+	// Network is the shared in-memory web substrate. It is required
+	// unless Transport is set.
 	Network *web.Network
+	// Transport, when non-nil, is the substrate the sessions fetch
+	// through instead of Network — e.g. an httpd.ClientTransport
+	// speaking real HTTP to a gateway over loopback. Exactly the same
+	// sessions, tasks, and stats run either way; only the carrier
+	// changes.
+	Transport web.Transport
 	// Options is the per-browser configuration. Options.Cache is
 	// overridden with the pool's shared cache unless Uncached is set.
 	Options browser.Options
@@ -89,8 +96,11 @@ var ErrClosed = errors.New("engine: pool closed")
 // NewPool builds the sessions and starts one worker goroutine per
 // session, each consuming from a shared queue.
 func NewPool(cfg Config) (*Pool, error) {
-	if cfg.Network == nil {
-		return nil, errors.New("engine: Config.Network is required")
+	if cfg.Transport == nil {
+		if cfg.Network == nil {
+			return nil, errors.New("engine: Config.Network or Config.Transport is required")
+		}
+		cfg.Transport = cfg.Network
 	}
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = 8
@@ -110,7 +120,7 @@ func NewPool(cfg Config) (*Pool, error) {
 	for i := 0; i < cfg.Sessions; i++ {
 		opts := cfg.Options
 		opts.Cache = p.cache
-		s := &Session{ID: i, Browser: browser.New(cfg.Network, opts)}
+		s := &Session{ID: i, Browser: browser.New(cfg.Transport, opts)}
 		p.sessions = append(p.sessions, s)
 		p.workers.Add(1)
 		go p.work(s)

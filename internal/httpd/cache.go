@@ -1,0 +1,189 @@
+package httpd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/web"
+)
+
+// CacheControlImmutable is the Cache-Control directive a handler sets
+// to opt a response into the gateway's cross-request page cache. Only
+// handlers whose bodies are genuinely immutable for a given (path,
+// query, cookie set) — the scenario and portal fixtures — set it; the
+// protected applications never do, so mediated application traffic is
+// never served from cache.
+const CacheControlImmutable = "immutable"
+
+// pageKey identifies one cacheable page variant. Origin, path, and
+// query are the natural key; the sorted cookie-name set is included
+// because some fixture handlers vary only their Set-Cookie side effect
+// on it (the scenario handler establishes the session cookie for
+// cookieless visitors), and serving a cookie-carrying variant to a
+// cookieless client would skip session establishment.
+type pageKey struct {
+	host    string
+	path    string
+	query   string
+	cookies string
+}
+
+// cachedPage is one stored response: the immutable body, the headers
+// it arrived with, the strong validator the gateway advertises, and
+// the precomputed X-Escudo-Orig-Keys value (the header set of an
+// immutable entry never changes, so the hit path need not rebuild it).
+type cachedPage struct {
+	status   int
+	header   web.Header
+	body     string
+	etag     string
+	origKeys string
+}
+
+// CacheStats counts page-cache traffic. Hits include 304
+// revalidations. Misses count cold fills only — a cacheable page the
+// handler had to build — so uncacheable application traffic (which is
+// most of a mixed workload) does not drag the hit rate down; the rate
+// answers "of the pages this cache could serve, how many did it?".
+type CacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	NotModified uint64 `json:"not_modified"`
+	Entries     int    `json:"entries"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 for an untouched cache.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Add sums two snapshots (aggregating several gateways' caches).
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{
+		Hits:        s.Hits + o.Hits,
+		Misses:      s.Misses + o.Misses,
+		NotModified: s.NotModified + o.NotModified,
+		Entries:     s.Entries + o.Entries,
+	}
+}
+
+// Sub returns the counter delta s-base (Entries stays absolute).
+func (s CacheStats) Sub(base CacheStats) CacheStats {
+	return CacheStats{
+		Hits:        s.Hits - base.Hits,
+		Misses:      s.Misses - base.Misses,
+		NotModified: s.NotModified - base.NotModified,
+		Entries:     s.Entries,
+	}
+}
+
+// maxCachedPages bounds the cache: the key includes the
+// client-controlled query string, so without a cap a remote client
+// could grow gateway memory one query variant at a time. The fixture
+// sets this cache exists for are tiny; when the cap is reached, new
+// variants are simply not stored (existing hot entries keep serving).
+const maxCachedPages = 4096
+
+// pageCache is the gateway's cross-request cache for immutable bodies.
+// Lookups vastly outnumber stores once warm, so reads share an RWMutex
+// read lock.
+type pageCache struct {
+	mu    sync.RWMutex
+	pages map[pageKey]*cachedPage
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	notModified atomic.Uint64
+}
+
+func newPageCache() *pageCache {
+	return &pageCache{pages: map[pageKey]*cachedPage{}}
+}
+
+// cookieKey canonicalizes the request's cookie-name set.
+func cookieKey(req *web.Request) string {
+	cookies := req.Cookies()
+	if len(cookies) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(cookies))
+	for name := range cookies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ";")
+}
+
+// get returns the cached page for the request, if any. Only GETs are
+// probed; the gateway never caches mutations. A hit is counted here;
+// a miss is counted only when the handler's response turns out
+// cacheable (the store site), so probes for uncacheable pages don't
+// pollute the hit rate.
+func (c *pageCache) get(key pageKey) (*cachedPage, bool) {
+	c.mu.RLock()
+	page, ok := c.pages[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return page, ok
+}
+
+// cacheable reports whether a response may be stored: a form-free 200
+// GET that the handler explicitly marked immutable and that carries no
+// Set-Cookie (a response that establishes state is not a pure function
+// of its key; a request carrying form fields is not pure either —
+// GET-form submissions must always reach the server and its log).
+func cacheable(req *web.Request, resp *web.Response) bool {
+	if req.Method != "GET" || len(req.Form) > 0 || resp.Status != 200 {
+		return false
+	}
+	if len(resp.Header.Values("Set-Cookie")) > 0 {
+		return false
+	}
+	return strings.Contains(strings.ToLower(resp.Header.Get("Cache-Control")), CacheControlImmutable)
+}
+
+// put stores a response under key and returns the entry's ETag, or ""
+// when the cache is at capacity and declines the entry. The response
+// headers are cloned so later per-request mutation cannot corrupt the
+// shared entry.
+func (c *pageCache) put(key pageKey, resp *web.Response) string {
+	h := fnv.New64a()
+	h.Write([]byte(resp.Body))
+	page := &cachedPage{
+		status:   resp.Status,
+		header:   resp.Header.Clone(),
+		body:     resp.Body,
+		etag:     fmt.Sprintf("\"%016x\"", h.Sum64()),
+		origKeys: origKeysValue(resp.Header),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.pages[key]; !exists && len(c.pages) >= maxCachedPages {
+		return ""
+	}
+	c.pages[key] = page
+	return page.etag
+}
+
+// stats snapshots the counters.
+func (c *pageCache) stats() CacheStats {
+	c.mu.RLock()
+	entries := len(c.pages)
+	c.mu.RUnlock()
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		NotModified: c.notModified.Load(),
+		Entries:     entries,
+	}
+}

@@ -1,0 +1,180 @@
+package httpd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/web"
+)
+
+// ClientTransport implements web.Transport over real HTTP: every
+// round trip dials the gateway's loopback address, names the target
+// origin in the Host header, and carries the initiator metadata in
+// X-Escudo-Initiator-* headers. Connections are pooled with
+// keep-alive, so a session's request stream reuses sockets the way a
+// real browser does.
+//
+// Redirects are NOT followed here — redirect policy belongs to the
+// browser (which must preserve the original initiator across 303
+// hops, see browser.loadDepth) — and no cookie jar is attached: the
+// mediated jar in the browser is the only cookie store.
+type ClientTransport struct {
+	addr   string
+	client *http.Client
+}
+
+var _ web.Transport = (*ClientTransport)(nil)
+
+// NewClientTransport builds a pooled client for the gateway at addr
+// (as returned by Gateway.Addr).
+func NewClientTransport(addr string) *ClientTransport {
+	return &ClientTransport{
+		addr: addr,
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+			Timeout: 30 * time.Second,
+		},
+	}
+}
+
+// Addr returns the gateway address this transport dials.
+func (c *ClientTransport) Addr() string { return c.addr }
+
+// WrapNetwork is the canonical "put a socket in front of this
+// network" constructor: it mounts every origin of n on a fresh
+// gateway listening at addr ("127.0.0.1:0" for an ephemeral loopback
+// port) and returns the gateway, a pooled client transport dialing
+// it, and a teardown that closes both. cfg.Inner is set from n.
+func WrapNetwork(n *web.Network, cfg Config, addr string) (*Gateway, *ClientTransport, func(), error) {
+	cfg.Inner = n
+	g, err := New(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := g.MountNetwork(n); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := g.Start(addr); err != nil {
+		return nil, nil, nil, err
+	}
+	ct := NewClientTransport(g.Addr())
+	cleanup := func() {
+		ct.Close()
+		g.Close() //nolint:errcheck // teardown; the deadline error is not actionable
+	}
+	return g, ct, cleanup, nil
+}
+
+// Close releases pooled idle connections.
+func (c *ClientTransport) Close() {
+	if t, ok := c.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// RoundTrip sends the request to the gateway and translates the
+// answer back into a web.Response. Gateway-synthesized no-server
+// responses are mapped back onto web.ErrNoServer so callers see the
+// in-memory error contract.
+func (c *ClientTransport) RoundTrip(req *web.Request) (*web.Response, error) {
+	target, err := req.TargetOrigin()
+	if err != nil {
+		return nil, fmt.Errorf("httpd: routing %q: %w", req.URL, err)
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: parsing %q: %w", req.URL, err)
+	}
+	dial := "http://" + c.addr + u.EscapedPath()
+	if u.RawQuery != "" {
+		dial += "?" + u.RawQuery
+	}
+
+	// Form fields travel as a urlencoded body for ANY method: the
+	// in-memory substrate keeps req.Form distinct from the URL query
+	// even on GET form submissions, and the wire must preserve that
+	// distinction or server-side handlers (and the request log's Form
+	// column — a CSRF verdict input) would diverge by transport.
+	var body io.Reader
+	if len(req.Form) > 0 {
+		body = strings.NewReader(req.Form.Encode())
+	}
+	hreq, err := http.NewRequest(req.Method, dial, body)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: building request for %q: %w", req.URL, err)
+	}
+	// Virtual hosting: the wire connects to the loopback listener, the
+	// Host header names the origin.
+	hreq.Host = hostKey(target)
+	for k, vs := range req.Header {
+		for _, v := range vs {
+			hreq.Header.Add(k, v)
+		}
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	if !req.InitiatorOrigin.IsNull() {
+		hreq.Header.Set(HeaderInitiatorOrigin, req.InitiatorOrigin.String())
+	}
+	if req.InitiatorLabel != "" {
+		hreq.Header.Set(HeaderInitiatorLabel, req.InitiatorLabel)
+	}
+
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: round trip %s: %w", req.URL, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: reading %s: %w", req.URL, err)
+	}
+	if hresp.Header.Get(HeaderGateway) == gatewayNoServer {
+		return nil, fmt.Errorf("%w: %s (via gateway %s)", web.ErrNoServer, target, c.addr)
+	}
+	return translateResponse(hresp, data), nil
+}
+
+// translateResponse rebuilds the origin's web.Response from the wire.
+// When the gateway advertised the origin's own header-key set, every
+// header the HTTP plumbing added (Date, Content-Length, sniffed
+// Content-Type, the gateway's own markers) is stripped, so the
+// response — Set-Cookie attribute strings included — round-trips
+// byte-for-byte. Responses from foreign servers (no key list) keep
+// all their headers.
+func translateResponse(hresp *http.Response, body []byte) *web.Response {
+	resp := &web.Response{Status: hresp.StatusCode, Header: web.Header{}, Body: string(body)}
+	var keep map[string]bool
+	if list, ok := hresp.Header[HeaderOrigKeys]; ok {
+		keep = map[string]bool{}
+		for _, l := range list {
+			for _, k := range strings.Split(l, ",") {
+				if k != "" {
+					keep[k] = true
+				}
+			}
+		}
+	}
+	for k, vs := range hresp.Header {
+		if keep != nil && !keep[k] {
+			continue
+		}
+		if keep == nil && (k == HeaderGateway || k == HeaderOrigKeys) {
+			continue
+		}
+		resp.Header[web.CanonicalKey(k)] = append([]string(nil), vs...)
+	}
+	return resp
+}

@@ -1,0 +1,237 @@
+package httpd
+
+import (
+	"fmt"
+	"net/url"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps/phpbb"
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/nonce"
+	"repro/internal/origin"
+	"repro/internal/scenarios"
+	"repro/internal/web"
+)
+
+// buildSubstrate assembles one deterministic test substrate: the
+// Figure-4 scenario server plus a phpBB instance with sequenced
+// nonces, so two fresh substrates serve byte-identical traffic.
+func buildSubstrate() (*web.Network, origin.Origin, origin.Origin, int) {
+	n := web.NewNetwork()
+	bench := origin.MustParse("http://bench.example")
+	n.Register(bench, scenarios.Handler())
+	forumO := origin.MustParse("http://forum.example")
+	forum := phpbb.New(phpbb.Config{
+		Origin: forumO, Hardened: false, Escudo: true, Nonces: nonce.NewSeqSource(1000),
+	})
+	forum.AddUser("alice", "pw")
+	topic := forum.SeedTopic("alice", "Welcome", "first post")
+	n.Register(forumO, forum)
+	return n, bench, forumO, topic
+}
+
+// runFixedSession drives one deterministic session over the given
+// transport: every Figure-4 scenario page (twice, so the session
+// cookie exercises use mediation), then a phpBB login, browse, and
+// reply. It returns the browser for audit/jar inspection.
+func runFixedSession(t *testing.T, transport web.Transport, bench, forumO origin.Origin, topic int) *browser.Browser {
+	t.Helper()
+	b := browser.New(transport, browser.Options{Mode: browser.ModeEscudo})
+	for round := 0; round < 2; round++ {
+		for _, path := range scenarios.Paths() {
+			if _, err := b.Navigate(bench.URL(path)); err != nil {
+				t.Fatalf("navigate %s: %v", path, err)
+			}
+		}
+	}
+	p, err := b.Navigate(forumO.URL("/"))
+	if err != nil {
+		t.Fatalf("forum index: %v", err)
+	}
+	form := p.Doc.ByID("loginform")
+	if form == nil {
+		t.Fatal("no loginform")
+	}
+	if _, err := p.SubmitForm(form, url.Values{"username": {"alice"}, "password": {"pw"}}); err != nil {
+		t.Fatalf("login: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Navigate(forumO.URL("/")); err != nil {
+			t.Fatalf("forum browse: %v", err)
+		}
+		tp, err := b.Navigate(forumO.URL(fmt.Sprintf("/viewtopic?t=%d", topic)))
+		if err != nil {
+			t.Fatalf("viewtopic: %v", err)
+		}
+		if i == 1 {
+			reply := tp.Doc.ByID("replyform")
+			if reply == nil {
+				t.Fatal("no replyform")
+			}
+			if _, err := tp.SubmitForm(reply, url.Values{"message": {"equivalence probe"}}); err != nil {
+				t.Fatalf("reply: %v", err)
+			}
+		}
+	}
+	return b
+}
+
+// auditTally folds an audit log into a comparable multiset: decision
+// counts keyed by (op, allowed, rule).
+func auditTally(b *browser.Browser) map[string]int {
+	tally := map[string]int{}
+	for _, d := range b.Audit.All() {
+		tally[fmt.Sprintf("%s|%v|%s", d.Op, d.Allowed, d.Rule)]++
+	}
+	return tally
+}
+
+// TestTransportEquivalence is the PR's core invariant: the same
+// session over the in-memory network and over a real HTTP gateway
+// produces identical Escudo verdicts and audit-log decision counts.
+func TestTransportEquivalence(t *testing.T) {
+	memNet, bench, forumO, topic := buildSubstrate()
+	memBrowser := runFixedSession(t, memNet, bench, forumO, topic)
+
+	httpNet, hBench, hForumO, hTopic := buildSubstrate()
+	g := startGateway(t, httpNet, Config{})
+	ct := NewClientTransport(g.Addr())
+	defer ct.Close()
+	httpBrowser := runFixedSession(t, ct, hBench, hForumO, hTopic)
+
+	memDecisions, httpDecisions := memBrowser.Audit.Len(), httpBrowser.Audit.Len()
+	if memDecisions == 0 {
+		t.Fatal("in-memory session recorded no decisions; workload broken")
+	}
+	if memDecisions != httpDecisions {
+		t.Fatalf("decision counts diverge: in-memory %d, http %d", memDecisions, httpDecisions)
+	}
+	memTally, httpTally := auditTally(memBrowser), auditTally(httpBrowser)
+	if !reflect.DeepEqual(memTally, httpTally) {
+		t.Fatalf("audit tallies diverge:\n  in-memory: %v\n  http:      %v", memTally, httpTally)
+	}
+	if mem, http := len(memBrowser.Audit.Denials()), len(httpBrowser.Audit.Denials()); mem != http {
+		t.Fatalf("denial counts diverge: in-memory %d, http %d", mem, http)
+	}
+
+	// The cookie jars must agree exactly too — labels, attributes,
+	// values (the transports carried identical Set-Cookie streams).
+	memJar, httpJar := memBrowser.Jar().All(), httpBrowser.Jar().All()
+	if !reflect.DeepEqual(memJar, httpJar) {
+		t.Fatalf("jars diverge:\n  in-memory: %+v\n  http:      %+v", memJar, httpJar)
+	}
+}
+
+// TestCookieFidelityAcrossBoundary pins the Set-Cookie round trip
+// byte-for-byte: attributes (Path, HttpOnly) and Escudo ring
+// annotations must land in the jar identically whether the response
+// crossed a socket or not.
+func TestCookieFidelityAcrossBoundary(t *testing.T) {
+	build := func() (*web.Network, origin.Origin) {
+		n := web.NewNetwork()
+		o := origin.MustParse("http://cookies.example")
+		n.Register(o, web.HandlerFunc(func(req *web.Request) *web.Response {
+			resp := web.HTML("<html><body>cookies</body></html>")
+			resp.Header.Set(core.HeaderMaxRing, "3")
+			resp.Header.Add(core.HeaderCookie, core.FormatCookieHeader(core.CookieConfig{
+				Name: "sess", Ring: 1, ACL: core.UniformACL(1),
+			}))
+			resp.Header.Add(core.HeaderCookie, core.FormatCookieHeader(core.CookieConfig{
+				Name: "prefs", Ring: 3, ACL: core.UniformACL(3),
+			}))
+			resp.Header.Add("Set-Cookie", "sess=deadbeef; Path=/; HttpOnly")
+			resp.Header.Add("Set-Cookie", "prefs=dark; Path=/settings")
+			resp.Header.Add("Set-Cookie", "plain=1")
+			return resp
+		}))
+		return n, o
+	}
+
+	memNet, memO := build()
+	memB := browser.New(memNet, browser.Options{Mode: browser.ModeEscudo})
+	if _, err := memB.Navigate(memO.URL("/")); err != nil {
+		t.Fatalf("in-memory navigate: %v", err)
+	}
+
+	httpNet, httpO := build()
+	g := startGateway(t, httpNet, Config{})
+	ct := NewClientTransport(g.Addr())
+	defer ct.Close()
+	httpB := browser.New(ct, browser.Options{Mode: browser.ModeEscudo})
+	if _, err := httpB.Navigate(httpO.URL("/")); err != nil {
+		t.Fatalf("http navigate: %v", err)
+	}
+
+	memJar, httpJar := memB.Jar().All(), httpB.Jar().All()
+	if len(memJar) != 3 {
+		t.Fatalf("in-memory jar has %d cookies, want 3", len(memJar))
+	}
+	if !reflect.DeepEqual(memJar, httpJar) {
+		t.Fatalf("jar state diverges across the HTTP boundary:\n  in-memory: %+v\n  http:      %+v", memJar, httpJar)
+	}
+	// Spot-check the attributes the round trip must not flatten.
+	for _, c := range httpJar {
+		switch c.Name {
+		case "sess":
+			if !c.HTTPOnly || c.Path != "/" || c.Ring != 1 {
+				t.Fatalf("sess cookie mangled: %+v", c)
+			}
+		case "prefs":
+			if c.Path != "/settings" || c.Ring != 3 {
+				t.Fatalf("prefs cookie mangled: %+v", c)
+			}
+		case "plain":
+			if c.Ring != 0 {
+				t.Fatalf("plain cookie mangled: %+v", c)
+			}
+		}
+	}
+}
+
+// gatewayWrapper runs each attack environment's network behind its
+// own loopback gateway.
+func gatewayWrapper() attack.TransportWrapper {
+	return func(n *web.Network) (web.Transport, func(), error) {
+		_, ct, cleanup, err := WrapNetwork(n, Config{}, "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		return ct, cleanup, nil
+	}
+}
+
+// TestAttackCorpusOverSockets replays the full §6.4 corpus through a
+// real gateway in both modes and demands verdicts identical to the
+// in-memory replay: all 18 neutralized under Escudo, and the SOP
+// verdicts unchanged too (the gateway must not accidentally defend).
+func TestAttackCorpusOverSockets(t *testing.T) {
+	for _, mode := range []browser.Mode{browser.ModeEscudo, browser.ModeSOP} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			neutralized := 0
+			for _, atk := range attack.Corpus() {
+				mem := attack.RunOne(atk, mode)
+				if mem.Err != nil {
+					t.Fatalf("%s in-memory: %v", atk.Name, mem.Err)
+				}
+				overHTTP := attack.RunOneOver(atk, mode, nil, gatewayWrapper())
+				if overHTTP.Err != nil {
+					t.Fatalf("%s over sockets: %v", atk.Name, overHTTP.Err)
+				}
+				if mem.Succeeded != overHTTP.Succeeded {
+					t.Errorf("%s verdict diverges: in-memory succeeded=%v, sockets succeeded=%v",
+						atk.Name, mem.Succeeded, overHTTP.Succeeded)
+				}
+				if overHTTP.Neutralized() {
+					neutralized++
+				}
+			}
+			if mode == browser.ModeEscudo && neutralized != len(attack.Corpus()) {
+				t.Errorf("Escudo over sockets neutralized %d/%d", neutralized, len(attack.Corpus()))
+			}
+		})
+	}
+}

@@ -1,0 +1,634 @@
+// Package httpd mounts the in-memory web substrate on real sockets:
+// a Gateway serves registered origins from one net/http listener with
+// Host-header virtual hosting, per-origin bounded worker queues, a
+// cross-request page cache for immutable fixture bodies, and admin
+// endpoints; a ClientTransport implements web.Transport over loopback
+// so a mediating browser on one side of a socket drives the same
+// applications as the in-memory network.
+//
+// The protection model itself never moves: complete mediation (§4.2)
+// happens in the browser's reference monitors and the applications'
+// configuration headers, both of which the gateway carries opaquely.
+// Verdicts and audit records are therefore transport-independent — the
+// equivalence tests in this package pin that invariant down.
+package httpd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/origin"
+	"repro/internal/web"
+)
+
+// maxFormBytes bounds a form body read (a million-user gateway must
+// not buffer unbounded request bodies).
+const maxFormBytes = 10 << 20
+
+// Gateway-control headers. HeaderGateway marks responses synthesized
+// by the gateway itself (routing failures, overload) so a
+// ClientTransport can map them back to the in-memory error contract;
+// the initiator headers carry the web.Request initiator metadata
+// across the socket so the server-side request log stays as
+// informative as the in-memory one.
+const (
+	HeaderGateway         = "X-Escudo-Gateway"
+	HeaderInitiatorOrigin = "X-Escudo-Initiator-Origin"
+	HeaderInitiatorLabel  = "X-Escudo-Initiator-Label"
+	// HeaderOrigKeys lists the header keys the origin's web.Response
+	// actually carried, so ClientTransport can strip everything the
+	// HTTP plumbing added (Date, Content-Length, sniffed Content-Type)
+	// and reconstruct the response header set byte-for-byte.
+	HeaderOrigKeys = "X-Escudo-Orig-Keys"
+)
+
+// HeaderGateway values.
+const (
+	gatewayNoServer     = "no-server"
+	gatewayOverloaded   = "overloaded"
+	gatewayBadRequest   = "bad-request"
+	gatewayShuttingDown = "shutting-down"
+)
+
+// OriginConfig sizes one origin's worker queue.
+type OriginConfig struct {
+	// Workers is the origin's concurrency: how many requests the
+	// origin's handler serves at once (default Config.DefaultWorkers).
+	Workers int
+	// QueueDepth bounds the origin's wait queue; an arriving request
+	// that finds it full is rejected with 503 instead of starving
+	// other origins' workers (default Config.DefaultQueueDepth).
+	QueueDepth int
+}
+
+// Config configures a Gateway.
+type Config struct {
+	// Inner serves the mounted origins — normally a *web.Network. The
+	// gateway adds transport, scheduling, and caching; routing
+	// semantics (including the request log and 502-for-unregistered)
+	// stay Inner's.
+	Inner web.Transport
+	// DefaultWorkers is the per-origin worker count when Mount is not
+	// given one (default 4).
+	DefaultWorkers int
+	// DefaultQueueDepth is the per-origin queue bound when Mount is
+	// not given one (default 64).
+	DefaultQueueDepth int
+	// DisableCache turns the cross-request page cache off.
+	DisableCache bool
+	// StatsFunc, when non-nil, is invoked by /metricsz and its result
+	// embedded in the JSON under "engine" — the load driver plugs
+	// engine.Pool.Stats in here.
+	StatsFunc func() any
+}
+
+// vhost is one mounted origin: its identity and its bounded queue.
+type vhost struct {
+	origin  origin.Origin
+	cfg     OriginConfig
+	jobs    chan *job
+	served  atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// job carries one translated request to an origin worker.
+type job struct {
+	req  *web.Request
+	done chan jobResult
+}
+
+type jobResult struct {
+	resp *web.Response
+	err  error
+}
+
+// Stats counts gateway traffic.
+type Stats struct {
+	// Served counts origin responses written (cache hits included;
+	// 503 rejections and admin endpoints excluded).
+	Served uint64 `json:"served"`
+	// Rejected503 counts requests dropped because their origin's
+	// queue was full.
+	Rejected503 uint64 `json:"rejected_503"`
+	// MaxQueueDepth is the deepest any origin queue has been since
+	// Start or the last ResetQueueHighWater.
+	MaxQueueDepth int64 `json:"max_queue_depth"`
+	// Cache is the page-cache traffic.
+	Cache CacheStats `json:"page_cache"`
+}
+
+// Sub returns the counter delta s-base. MaxQueueDepth and
+// Cache.Entries are running high-water/absolute values and pass
+// through unchanged.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Served:        s.Served - base.Served,
+		Rejected503:   s.Rejected503 - base.Rejected503,
+		MaxQueueDepth: s.MaxQueueDepth,
+		Cache:         s.Cache.Sub(base.Cache),
+	}
+}
+
+// Add sums two snapshots — used to aggregate a fleet of short-lived
+// gateways (the per-environment attack replay) into one section.
+func (s Stats) Add(o Stats) Stats {
+	out := Stats{
+		Served:        s.Served + o.Served,
+		Rejected503:   s.Rejected503 + o.Rejected503,
+		MaxQueueDepth: s.MaxQueueDepth,
+		Cache:         s.Cache.Add(o.Cache),
+	}
+	if o.MaxQueueDepth > out.MaxQueueDepth {
+		out.MaxQueueDepth = o.MaxQueueDepth
+	}
+	return out
+}
+
+// Gateway serves a web substrate over a real net/http listener.
+type Gateway struct {
+	cfg   Config
+	inner web.Transport
+	cache *pageCache
+
+	mu      sync.RWMutex
+	vhosts  map[string]*vhost        // Host-header key → vhost
+	mounts  map[origin.Origin]*vhost // one vhost per origin
+	started bool
+
+	srv      *http.Server
+	ln       net.Listener
+	quit     chan struct{}
+	stopOnce sync.Once
+	workers  sync.WaitGroup
+
+	served   atomic.Uint64
+	rejected atomic.Uint64
+	maxDepth atomic.Int64
+}
+
+// New builds a gateway over the inner transport.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Inner == nil {
+		return nil, errors.New("httpd: Config.Inner is required")
+	}
+	if cfg.DefaultWorkers <= 0 {
+		cfg.DefaultWorkers = 4
+	}
+	if cfg.DefaultQueueDepth <= 0 {
+		cfg.DefaultQueueDepth = 64
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		inner:  cfg.Inner,
+		vhosts: map[string]*vhost{},
+		mounts: map[origin.Origin]*vhost{},
+		quit:   make(chan struct{}),
+	}
+	if !cfg.DisableCache {
+		g.cache = newPageCache()
+	}
+	return g, nil
+}
+
+// hostKey is the Host-header form of an origin ("forum.example" for
+// default-port http, "forum.example:8080" otherwise).
+func hostKey(o origin.Origin) string {
+	if o.Port == 80 {
+		return o.Host
+	}
+	return fmt.Sprintf("%s:%d", o.Host, o.Port)
+}
+
+// Mount registers an origin for virtual hosting with the default
+// queue shape. Mount before Start; the gateway only terminates plain
+// HTTP, so only http-scheme origins can be mounted.
+func (g *Gateway) Mount(o origin.Origin) error {
+	return g.MountOpts(o, OriginConfig{})
+}
+
+// MountOpts is Mount with an explicit queue shape.
+func (g *Gateway) MountOpts(o origin.Origin, cfg OriginConfig) error {
+	if o.Scheme != "http" {
+		return fmt.Errorf("httpd: cannot mount %s: only http origins are served", o)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = g.cfg.DefaultWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = g.cfg.DefaultQueueDepth
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started {
+		return errors.New("httpd: Mount after Start")
+	}
+	vh := &vhost{origin: o, cfg: cfg, jobs: make(chan *job, cfg.QueueDepth)}
+	g.mounts[o] = vh
+	g.vhosts[hostKey(o)] = vh
+	// A client that spells the default port explicitly still lands on
+	// the same origin.
+	if o.Port == 80 {
+		g.vhosts[o.Host+":80"] = vh
+	}
+	return nil
+}
+
+// MountNetwork mounts every origin currently registered on the
+// network with the default queue shape.
+func (g *Gateway) MountNetwork(n *web.Network) error {
+	for _, o := range n.Origins() {
+		if err := g.Mount(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral loopback
+// port), spawns every mounted origin's workers, and serves in the
+// background until Shutdown.
+func (g *Gateway) Start(addr string) error {
+	g.mu.Lock()
+	if g.started {
+		g.mu.Unlock()
+		return errors.New("httpd: already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		g.mu.Unlock()
+		return fmt.Errorf("httpd: listen %s: %w", addr, err)
+	}
+	g.ln = ln
+	g.srv = &http.Server{Handler: g, ReadHeaderTimeout: 10 * time.Second}
+	g.started = true
+	for _, vh := range g.mounts {
+		for i := 0; i < vh.cfg.Workers; i++ {
+			g.workers.Add(1)
+			go g.work(vh)
+		}
+	}
+	g.mu.Unlock()
+	go g.srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown.
+	return nil
+}
+
+// Addr returns the listener address ("127.0.0.1:41234").
+func (g *Gateway) Addr() string {
+	if g.ln == nil {
+		return ""
+	}
+	return g.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the gateway: the listener closes, in-flight
+// requests finish, then the origin workers exit.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	var err error
+	if g.srv != nil {
+		err = g.srv.Shutdown(ctx)
+	}
+	g.stopOnce.Do(func() { close(g.quit) })
+	g.workers.Wait()
+	return err
+}
+
+// Close is Shutdown with a 5-second deadline.
+func (g *Gateway) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return g.Shutdown(ctx)
+}
+
+// ResetQueueHighWater zeroes the max-queue-depth gauge, so a
+// measurement phase can record its own high-water mark instead of
+// inheriting an earlier phase's spike.
+func (g *Gateway) ResetQueueHighWater() { g.maxDepth.Store(0) }
+
+// Stats snapshots the gateway counters.
+func (g *Gateway) Stats() Stats {
+	st := Stats{
+		Served:        g.served.Load(),
+		Rejected503:   g.rejected.Load(),
+		MaxQueueDepth: g.maxDepth.Load(),
+	}
+	if g.cache != nil {
+		st.Cache = g.cache.stats()
+	}
+	return st
+}
+
+// work is one origin worker: pull a translated request, round-trip it
+// on the inner transport, hand the result back.
+func (g *Gateway) work(vh *vhost) {
+	defer g.workers.Done()
+	for {
+		select {
+		case j := <-vh.jobs:
+			resp, err := g.inner.RoundTrip(j.req)
+			j.done <- jobResult{resp: resp, err: err}
+		case <-g.quit:
+			return
+		}
+	}
+}
+
+// lookupVhost resolves the Host header to a mounted origin.
+func (g *Gateway) lookupVhost(host string) (*vhost, bool) {
+	g.mu.RLock()
+	vh, ok := g.vhosts[strings.ToLower(host)]
+	g.mu.RUnlock()
+	return vh, ok
+}
+
+// requestHeaderSkip are HTTP-plumbing request headers that in-memory
+// requests never carry; dropping them keeps the translated request —
+// and hence the server-side request log — identical to the in-memory
+// path. The initiator headers are consumed into request fields.
+var requestHeaderSkip = map[string]bool{
+	"Accept-Encoding":     true,
+	"Connection":          true,
+	"Content-Length":      true,
+	"Content-Type":        true,
+	"User-Agent":          true,
+	HeaderInitiatorOrigin: true,
+	HeaderInitiatorLabel:  true,
+}
+
+// translate builds the web.Request an incoming HTTP request denotes
+// for the given target origin.
+func translate(r *http.Request, target origin.Origin) *web.Request {
+	req := web.NewRequest(r.Method, target.URL(r.URL.RequestURI()))
+	for k, vs := range r.Header {
+		if requestHeaderSkip[k] {
+			continue
+		}
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	if initiator := r.Header.Get(HeaderInitiatorOrigin); initiator != "" {
+		if o, err := origin.Parse(initiator); err == nil {
+			req.InitiatorOrigin = o
+		}
+	}
+	req.InitiatorLabel = r.Header.Get(HeaderInitiatorLabel)
+	// Forms travel as application/x-www-form-urlencoded bodies for
+	// every method (see ClientTransport.RoundTrip): parse the body
+	// directly rather than via r.ParseForm, which ignores GET bodies
+	// and would fold the URL query into the form.
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-www-form-urlencoded") {
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxFormBytes))
+		if err == nil {
+			if form, err := url.ParseQuery(string(data)); err == nil && len(form) > 0 {
+				req.Form = form
+			}
+		}
+	}
+	return req
+}
+
+// origKeysValue renders a response's header-key set as the
+// X-Escudo-Orig-Keys value.
+func origKeysValue(h web.Header) string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// writeResponse writes a web.Response out as HTTP, advertising the
+// origin's own header-key set so the client side can reconstruct it
+// exactly. origKeys may be precomputed (cache hits); "" computes it.
+func (g *Gateway) writeResponse(w http.ResponseWriter, resp *web.Response, etag, origKeys string) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if origKeys == "" {
+		origKeys = origKeysValue(resp.Header)
+	}
+	w.Header().Set(HeaderOrigKeys, origKeys)
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
+	w.WriteHeader(resp.Status)
+	if resp.Body != "" {
+		fmt.Fprint(w, resp.Body) //nolint:errcheck // client went away; nothing to do
+	}
+	g.served.Add(1)
+}
+
+// gatewayError writes a gateway-synthesized error response, marked so
+// ClientTransport can restore the in-memory error contract.
+func (g *Gateway) gatewayError(w http.ResponseWriter, kind string, status int, msg string) {
+	w.Header().Set(HeaderGateway, kind)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, msg, status)
+}
+
+// ServeHTTP routes by Host header: mounted origins go through their
+// worker queue (with a page-cache probe first), the admin endpoints
+// answer only on the listener's own address (so a web-origin Host can
+// never reach them — an unregistered origin's /healthz must 502
+// exactly as it does in memory), and every other unmapped host falls
+// back to the inner transport inline (late-registered or unregistered
+// origins behave exactly as in memory, 502 log entry included).
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if vh, ok := g.lookupVhost(r.Host); ok {
+		g.serveOrigin(w, r, vh)
+		return
+	}
+	if strings.EqualFold(r.Host, g.Addr()) {
+		switch r.URL.Path {
+		case "/healthz":
+			g.serveHealthz(w)
+		case "/metricsz":
+			g.serveMetricsz(w)
+		default:
+			http.NotFound(w, r)
+		}
+		return
+	}
+	g.serveFallback(w, r)
+}
+
+// serveOrigin is the mounted-origin path: cache probe, bounded
+// enqueue, worker round trip, response translation.
+func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost) {
+	req := translate(r, vh.origin)
+
+	// GET-form submissions (non-empty Form) bypass the cache entirely:
+	// they must reach the server and its request log like any other
+	// form, whatever was cached under the same path and query.
+	var key pageKey
+	if g.cache != nil && r.Method == "GET" && len(req.Form) == 0 {
+		key = pageKey{
+			host:    hostKey(vh.origin),
+			path:    req.Path(),
+			query:   r.URL.RawQuery,
+			cookies: cookieKey(req),
+		}
+		if page, ok := g.cache.get(key); ok {
+			if r.Header.Get("If-None-Match") == page.etag {
+				g.cache.notModified.Add(1)
+				w.Header().Set("ETag", page.etag)
+				w.WriteHeader(http.StatusNotModified)
+				vh.served.Add(1)
+				g.served.Add(1)
+				return
+			}
+			cached := &web.Response{Status: page.status, Header: page.header, Body: page.body}
+			vh.served.Add(1)
+			g.writeResponse(w, cached, page.etag, page.origKeys)
+			return
+		}
+	}
+
+	j := &job{req: req, done: make(chan jobResult, 1)}
+	select {
+	case vh.jobs <- j:
+	default:
+		vh.dropped.Add(1)
+		g.rejected.Add(1)
+		g.gatewayError(w, gatewayOverloaded, http.StatusServiceUnavailable,
+			fmt.Sprintf("origin %s queue full", vh.origin))
+		return
+	}
+	for depth := int64(len(vh.jobs)); ; {
+		cur := g.maxDepth.Load()
+		if depth <= cur || g.maxDepth.CompareAndSwap(cur, depth) {
+			break
+		}
+	}
+	// Also watch quit: a deadline-expired Shutdown may stop the
+	// workers while this job is still queued, and an abandoned job
+	// must not strand its handler (done is buffered, so a worker that
+	// did pick the job up can still deliver and move on).
+	var res jobResult
+	select {
+	case res = <-j.done:
+	case <-g.quit:
+		g.gatewayError(w, gatewayShuttingDown, http.StatusServiceUnavailable, "gateway shutting down")
+		return
+	}
+	if res.err != nil {
+		g.routeError(w, res.err)
+		return
+	}
+	var etag string
+	if g.cache != nil && cacheable(req, res.resp) {
+		etag = g.cache.put(key, res.resp)
+		g.cache.misses.Add(1)
+	}
+	vh.served.Add(1)
+	g.writeResponse(w, res.resp, etag, "")
+}
+
+// serveFallback handles hosts with no mounted vhost by deriving the
+// origin from the Host header and round-tripping inline on the inner
+// transport. An unregistered origin then takes exactly the in-memory
+// path: the network logs a 502 entry and returns ErrNoServer, which
+// comes back as a marked 502.
+func (g *Gateway) serveFallback(w http.ResponseWriter, r *http.Request) {
+	target, err := origin.Parse("http://" + r.Host)
+	if err != nil {
+		g.gatewayError(w, gatewayBadRequest, http.StatusBadRequest,
+			fmt.Sprintf("unusable Host %q", r.Host))
+		return
+	}
+	resp, err := g.inner.RoundTrip(translate(r, target))
+	if err != nil {
+		g.routeError(w, err)
+		return
+	}
+	g.writeResponse(w, resp, "", "")
+}
+
+// routeError maps inner-transport errors onto marked HTTP statuses.
+func (g *Gateway) routeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, web.ErrNoServer) {
+		g.gatewayError(w, gatewayNoServer, http.StatusBadGateway, err.Error())
+		return
+	}
+	g.gatewayError(w, gatewayBadRequest, http.StatusBadGateway, err.Error())
+}
+
+// healthzJSON is the /healthz document.
+type healthzJSON struct {
+	Status  string `json:"status"`
+	Origins int    `json:"origins"`
+	Addr    string `json:"addr"`
+}
+
+func (g *Gateway) serveHealthz(w http.ResponseWriter) {
+	g.mu.RLock()
+	origins := len(g.mounts)
+	g.mu.RUnlock()
+	writeJSON(w, healthzJSON{Status: "ok", Origins: origins, Addr: g.Addr()})
+}
+
+// vhostJSON is one origin's row in /metricsz.
+type vhostJSON struct {
+	Origin   string `json:"origin"`
+	Workers  int    `json:"workers"`
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+	Served   uint64 `json:"served"`
+	Dropped  uint64 `json:"dropped_503"`
+}
+
+// metricszJSON is the /metricsz document: gateway counters, per-origin
+// queue state, and whatever the configured StatsFunc reports (the load
+// driver wires engine.Pool.Stats here).
+type metricszJSON struct {
+	Gateway Stats       `json:"gateway"`
+	Origins []vhostJSON `json:"origins"`
+	Engine  any         `json:"engine,omitempty"`
+}
+
+func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
+	doc := metricszJSON{Gateway: g.Stats()}
+	g.mu.RLock()
+	for _, vh := range g.mounts {
+		doc.Origins = append(doc.Origins, vhostJSON{
+			Origin:   vh.origin.String(),
+			Workers:  vh.cfg.Workers,
+			QueueLen: len(vh.jobs),
+			QueueCap: cap(vh.jobs),
+			Served:   vh.served.Load(),
+			Dropped:  vh.dropped.Load(),
+		})
+	}
+	g.mu.RUnlock()
+	sort.Slice(doc.Origins, func(a, b int) bool { return doc.Origins[a].Origin < doc.Origins[b].Origin })
+	if g.cfg.StatsFunc != nil {
+		doc.Engine = g.cfg.StatsFunc()
+	}
+	writeJSON(w, doc)
+}
+
+func writeJSON(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(doc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(data) //nolint:errcheck // client went away; nothing to do
+}

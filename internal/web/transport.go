@@ -1,0 +1,36 @@
+package web
+
+import "repro/internal/origin"
+
+// Transport carries one HTTP-shaped request to the server side and
+// returns its response. It is the seam between the browser and
+// whatever network substrate serves the origins: the in-memory
+// *Network implements it directly, and httpd.ClientTransport
+// implements it over real sockets against an httpd.Gateway.
+//
+// The protection model is transport-independent (complete mediation
+// happens in the browser and per-page reference monitors, not in the
+// carrier), so two transports serving the same origins must produce
+// identical Escudo verdicts and audit records for the same session —
+// the invariant the httpd equivalence tests pin down.
+type Transport interface {
+	// RoundTrip delivers the request to its target origin's server and
+	// returns the response. Implementations must not mutate req after
+	// returning and must not require the caller to retry redirects —
+	// redirect following is browser policy, not transport policy.
+	RoundTrip(req *Request) (*Response, error)
+}
+
+var _ Transport = (*Network)(nil)
+
+// Origins returns the origins with registered handlers, in no
+// particular order. Gateways use it to mount every origin of a network
+// without the caller re-listing them.
+func (n *Network) Origins() []origin.Origin {
+	table := *n.servers.Load()
+	out := make([]origin.Origin, 0, len(table))
+	for o := range table {
+		out = append(out, o)
+	}
+	return out
+}
