@@ -6,10 +6,18 @@
 //
 // Usage:
 //
-//	escudo-inspect [-maxring N] [-query ring:op:id] [file]
+//	escudo-inspect [-maxring N] [-policy policy.json]
+//	               [-query ring:op:id[@guest-origin]] [file]
 //
 // With no file, a built-in demonstration page (the paper's Figure 3
 // blog shape) is inspected. -query may repeat.
+//
+// -policy loads a unified escudo.Policy document (the JSON a gateway
+// serves per-origin at /.well-known/escudo-policy): the document is
+// validated, its summary printed, its ring count used for labeling,
+// and its §7 delegations mounted into the query monitor — a query
+// suffixed @guest-origin then asks as a principal of that origin, so
+// delegation floors can be inspected before deployment.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	escudo "repro"
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/html"
@@ -51,9 +60,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("escudo-inspect", flag.ContinueOnError)
-	maxRing := fs.Int("maxring", 3, "page ring count N")
+	maxRing := fs.Int("maxring", 3, "page ring count N (overridden by -policy)")
+	policyFile := fs.String("policy", "", "unified escudo.Policy JSON document to validate and mount")
 	var queries queryList
-	fs.Var(&queries, "query", "access query ring:op:id (repeatable), e.g. 3:write:post")
+	fs.Var(&queries, "query", "access query ring:op:id[@guest-origin] (repeatable), e.g. 3:write:post or 0:write:slot@http://widget.example")
 	showRender := fs.Bool("render", false, "also print the text rendering")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,15 +79,42 @@ func run(args []string) error {
 	}
 
 	pageOrigin := origin.MustParse("http://inspected.example")
+	ringCount := core.Ring(*maxRing)
+
+	// The query monitor: a plain ERM, or — with a policy document —
+	// the composed pipeline with the document's delegations mounted.
+	monitor := escudo.Compose(&core.ERM{})
+	if *policyFile != "" {
+		data, err := os.ReadFile(*policyFile)
+		if err != nil {
+			return err
+		}
+		pol, err := escudo.ParsePolicy(data)
+		if err != nil {
+			return err
+		}
+		pageOrigin, err = origin.Parse(pol.Origin)
+		if err != nil {
+			return err
+		}
+		ringCount = pol.MaxRing
+		dp, err := pol.DelegationPolicy()
+		if err != nil {
+			return err
+		}
+		monitor = escudo.Compose(&core.ERM{}, escudo.DelegationLayer(dp))
+		fmt.Printf("Policy document %s: valid\n\n%s\n", *policyFile, pol.Summary())
+	}
+
 	doc := dom.NewDocument(pageOrigin, markup, html.Options{
 		Escudo:  true,
-		MaxRing: core.Ring(*maxRing),
+		MaxRing: ringCount,
 		// Top-level unlabeled content takes the fail-safe default.
-		BaseRing: core.Ring(*maxRing),
+		BaseRing: ringCount,
 		BaseACL:  core.ACL{},
 	})
 
-	fmt.Printf("Labeled DOM (N=%d, origin %s):\n\n", *maxRing, pageOrigin)
+	fmt.Printf("Labeled DOM (N=%d, origin %s):\n\n", ringCount, pageOrigin)
 	dumpTree(doc.Root, 0)
 
 	if bad := doc.CheckScopingInvariant(); bad != nil {
@@ -88,9 +125,8 @@ func run(args []string) error {
 
 	if len(queries) > 0 {
 		fmt.Println("\nAccess queries:")
-		erm := &core.ERM{}
 		for _, q := range queries {
-			if err := answerQuery(erm, doc, pageOrigin, q); err != nil {
+			if err := answerQuery(monitor, doc, pageOrigin, ringCount, q); err != nil {
 				return err
 			}
 		}
@@ -139,11 +175,11 @@ func describe(n *html.Node) string {
 	return n.Tag
 }
 
-// answerQuery evaluates one ring:op:id query.
-func answerQuery(erm *core.ERM, doc *dom.Document, o origin.Origin, q string) error {
+// answerQuery evaluates one ring:op:id[@guest-origin] query.
+func answerQuery(m core.Monitor, doc *dom.Document, o origin.Origin, maxRing core.Ring, q string) error {
 	parts := strings.Split(q, ":")
-	if len(parts) != 3 {
-		return fmt.Errorf("bad query %q (want ring:op:id)", q)
+	if len(parts) < 3 {
+		return fmt.Errorf("bad query %q (want ring:op:id[@guest-origin])", q)
 	}
 	ring, err := core.ParseRing(parts[0], core.MaxSupportedRing)
 	if err != nil {
@@ -160,11 +196,29 @@ func answerQuery(erm *core.ERM, doc *dom.Document, o origin.Origin, q string) er
 	default:
 		return fmt.Errorf("bad op %q", parts[1])
 	}
-	node := doc.ByID(parts[2])
-	if node == nil {
-		return fmt.Errorf("no element with id %q", parts[2])
+	// The id may carry a guest-origin suffix; the origin itself
+	// contains ':', so rejoin the remaining parts before splitting on
+	// '@'.
+	idAndGuest := strings.Join(parts[2:], ":")
+	id := idAndGuest
+	principalOrigin := o
+	label := fmt.Sprintf("ring-%d principal", ring)
+	if at := strings.Index(idAndGuest, "@"); at >= 0 {
+		id = idAndGuest[:at]
+		principalOrigin, err = origin.Parse(idAndGuest[at+1:])
+		if err != nil {
+			return fmt.Errorf("bad guest origin in %q: %w", q, err)
+		}
+		label = fmt.Sprintf("ring-%d principal of %s", ring, principalOrigin)
 	}
-	d := erm.Authorize(core.Principal(o, ring, fmt.Sprintf("ring-%d principal", ring)), op, doc.NodeContext(node))
+	node := doc.ByID(id)
+	if node == nil {
+		return fmt.Errorf("no element with id %q", id)
+	}
+	if ring > maxRing {
+		return fmt.Errorf("query ring %d exceeds page ring count %d", ring, maxRing)
+	}
+	d := m.Authorize(core.Principal(principalOrigin, ring, label), op, doc.NodeContext(node))
 	fmt.Printf("  %s\n", d)
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	escudo "repro"
 )
 
 func TestRunDemoPage(t *testing.T) {
@@ -33,6 +35,54 @@ func TestRunErrors(t *testing.T) {
 		{"-bogus"},
 	}
 	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+// TestRunWithPolicy exercises the -policy path: a unified document is
+// loaded, its ring count labels the page, and delegation queries
+// answer through the mounted §7 layer.
+func TestRunWithPolicy(t *testing.T) {
+	dir := t.TempDir()
+	pol := escudo.NewPolicy(escudo.MustParseOrigin("http://portal.example"), 3)
+	pol.Cookies["portalsession"] = escudo.UniformAssignment(1)
+	pol.Delegate(escudo.MustParseOrigin("http://widget.example"), 2)
+	data, err := pol.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	polPath := filepath.Join(dir, "policy.json")
+	if err := os.WriteFile(polPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pagePath := filepath.Join(dir, "page.html")
+	page := `<div ring=1 r=1 w=1 x=1 id=chrome>chrome</div><div ring=2 r=2 w=2 x=2 id=slot>slot</div>`
+	if err := os.WriteFile(pagePath, []byte(page), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"-policy", polPath,
+		"-query", "0:write:slot@http://widget.example",
+		"-query", "0:write:chrome@http://widget.example",
+		"-query", "0:read:slot@http://rogue.example",
+		"-query", "1:write:chrome",
+		pagePath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid documents and bad guest origins fail loudly.
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"version":7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-policy", badPath},
+		{"-policy", filepath.Join(dir, "missing.json")},
+		{"-policy", polPath, "-query", "0:read:slot@::nope::", pagePath},
+		{"-policy", polPath, "-query", "9:read:slot", pagePath},
+	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v): want error", args)
 		}

@@ -30,8 +30,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -46,6 +48,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nonce"
 	"repro/internal/origin"
+	"repro/internal/policy"
 	"repro/internal/scenarios"
 	"repro/internal/template"
 	"repro/internal/web"
@@ -122,6 +125,7 @@ type httpPhaseJSON struct {
 	CacheHits     uint64  `json:"page_cache_hits"`
 	CacheMisses   uint64  `json:"page_cache_misses"`
 	CacheHitRate  float64 `json:"page_cache_hit_rate"`
+	CacheEvicted  uint64  `json:"page_cache_evictions"`
 }
 
 // httpJSON is the http section of BENCH_engine.json: the same
@@ -132,11 +136,29 @@ type httpJSON struct {
 	QueueDepth int             `json:"queue_depth_per_origin"`
 	Phases     []httpPhaseJSON `json:"phases"`
 	Gateway    httpd.Stats     `json:"gateway"`
-	Attacks    *attacksJSON    `json:"attacks,omitempty"`
+	// PolicyzOrigins counts the policy documents the admin /policyz
+	// endpoint served, cross-checked against the mounted set.
+	PolicyzOrigins int          `json:"policyz_origins"`
+	Attacks        *attacksJSON `json:"attacks,omitempty"`
 	// AttacksMatchMemory reports that every attack's verdict over
 	// sockets equaled its in-memory verdict — the transport-
 	// independence invariant, asserted at runtime.
 	AttacksMatchMemory *bool `json:"attacks_match_memory,omitempty"`
+}
+
+// policyJSON is the policy section of BENCH_engine.json: the unified
+// documents derived for the substrate's origins, a serialization
+// round-trip check, and the delegated-session phase — the §7 monitor
+// mounted into a pool of real sessions via MonitorFactory.
+type policyJSON struct {
+	// Origins lists the origins with a derived policy document.
+	Origins []string `json:"origins"`
+	// Delegations counts delegation rows across the documents.
+	Delegations int `json:"delegations"`
+	// RoundTripOK reports Parse(Marshal(p)) == p for every document.
+	RoundTripOK bool `json:"round_trip_ok"`
+	// Phases holds the delegated-session phase measurements.
+	Phases []phaseJSON `json:"phases"`
 }
 
 // benchJSON is the whole BENCH_engine.json document.
@@ -150,6 +172,7 @@ type benchJSON struct {
 	ProcsRequested int         `json:"procs_requested,omitempty"`
 	GoMaxProcs     int         `json:"gomaxprocs"`
 	Phases         []phaseJSON `json:"phases"`
+	Policy         *policyJSON `json:"policy,omitempty"`
 	HTTP           *httpJSON   `json:"http,omitempty"`
 	TotalMs        float64     `json:"total_ms"`
 }
@@ -319,6 +342,7 @@ type httpSectionConfig struct {
 	uncached       bool
 	cache          *core.DecisionCache
 	net            *web.Network
+	policies       map[string]policy.Policy
 	bench          origin.Origin
 	forum          origin.Origin
 	cal            origin.Origin
@@ -337,6 +361,7 @@ func fillGatewayStats(ph *httpPhaseJSON, st httpd.Stats) {
 	ph.CacheHits = st.Cache.Hits
 	ph.CacheMisses = st.Cache.Misses
 	ph.CacheHitRate = st.Cache.HitRate()
+	ph.CacheEvicted = st.Cache.Evictions
 	ph.ReqsPerSec = 0
 	if secs := ph.ElapsedMs / 1000; secs > 0 {
 		ph.ReqsPerSec = float64(st.Served) / secs
@@ -380,15 +405,42 @@ func runHTTPPhase(pool *engine.Pool, gw *httpd.Gateway, name string, fn func()) 
 	return ph
 }
 
+// fetchPolicyz reads the admin /policyz endpoint.
+func fetchPolicyz(addr string) (map[string]policy.Policy, error) {
+	resp, err := http.Get("http://" + addr + "/policyz")
+	if err != nil {
+		return nil, fmt.Errorf("fetching /policyz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/policyz: status %d", resp.StatusCode)
+	}
+	var served map[string]policy.Policy
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		return nil, fmt.Errorf("decoding /policyz: %w", err)
+	}
+	return served, nil
+}
+
 // runHTTPSection mounts the substrate on a gateway, replays the
 // figure-4 and mixed workloads through fresh sessions speaking real
 // HTTP over loopback, replays the attack corpus against per-
 // environment gateways, and cross-checks every verdict against the
 // in-memory run.
 func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
+	// Every origin with a derived policy document gets it mounted, so
+	// the gateway serves it at the well-known path and lists it on
+	// /policyz — policy as data on the wire, enforcement staying
+	// browser-side.
+	originCfgs := map[string]httpd.OriginConfig{}
+	for o, doc := range cfg.policies {
+		doc := doc
+		originCfgs[o] = httpd.OriginConfig{Policy: &doc}
+	}
 	gwCfg := httpd.Config{
 		DefaultWorkers:    cfg.workers,
 		DefaultQueueDepth: cfg.queue,
+		Origins:           originCfgs,
 	}
 	gw, ct, gwCleanup, err := httpd.WrapNetwork(cfg.net, gwCfg, cfg.addr)
 	if err != nil {
@@ -409,6 +461,23 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 	defer httpPool.Close()
 
 	section := &httpJSON{Addr: gw.Addr(), Workers: cfg.workers, QueueDepth: cfg.queue}
+
+	// Wire-delivery cross-check: /policyz must serve every mounted
+	// document back equal to what was mounted.
+	served, err := fetchPolicyz(gw.Addr())
+	if err != nil {
+		return nil, err
+	}
+	if len(served) != len(cfg.policies) {
+		return nil, fmt.Errorf("policyz served %d documents, mounted %d", len(served), len(cfg.policies))
+	}
+	for o, doc := range cfg.policies {
+		got, ok := served[o]
+		if !ok || !got.Equal(doc) {
+			return nil, fmt.Errorf("policyz document for %s diverges from the mounted one", o)
+		}
+	}
+	section.PolicyzOrigins = len(served)
 
 	// Unmeasured warm round: establish the scenario session cookie and
 	// the phpBB logins the mixed workload's browsing arm assumes.
@@ -595,6 +664,18 @@ func run(args []string) error {
 		return web.HTML(`<html><body><p id=w>widget content</p></body></html>`)
 	}))
 
+	// The unified policy documents for the substrate: derived from the
+	// apps' Table 3/Table 5 configurations and the scenario server, plus
+	// the portal's §7 delegation of ring 2 to the widget origin.
+	portalPolicy := policy.New(portalOrigin, core.DefaultMaxRing)
+	portalPolicy.Delegate(widgetOrigin, 2)
+	policies := map[string]policy.Policy{
+		benchOrigin.String():  scenarios.Policy(benchOrigin),
+		forumOrigin.String():  forum.Policy(),
+		calOrigin.String():    cal.Policy(),
+		portalOrigin.String(): portalPolicy,
+	}
+
 	pool, err := engine.NewPool(engine.Config{
 		Sessions: *sessionsN,
 		Network:  net,
@@ -721,6 +802,77 @@ func run(args []string) error {
 		report.Phases = append(report.Phases, ph)
 	}
 
+	// Policy section — the unified documents round-trip-checked, and
+	// the delegated-session phase: a second pool whose sessions mount
+	// the §7 delegation monitor through browser.Options.MonitorFactory
+	// (sharing the main pool's decision cache), so the delegated widget
+	// renders into its portal slot across real concurrent sessions
+	// while its overreach is denied. ESCUDO mode only: delegation is
+	// meaningless under the flat SOP baseline.
+	polSection := &policyJSON{RoundTripOK: true}
+	for o, doc := range policies {
+		polSection.Origins = append(polSection.Origins, o)
+		polSection.Delegations += len(doc.Delegations)
+		data, err := doc.Marshal()
+		if err != nil {
+			return err
+		}
+		back, err := policy.Parse(data)
+		if err != nil || !back.Equal(doc) {
+			polSection.RoundTripOK = false
+		}
+	}
+	sort.Strings(polSection.Origins)
+	if mode == browser.ModeEscudo {
+		delPol, err := portalPolicy.DelegationPolicy()
+		if err != nil {
+			return err
+		}
+		sharedCache := pool.Cache()
+		delPool, err := engine.NewPool(engine.Config{
+			Sessions: *sessionsN,
+			Network:  net,
+			Cache:    sharedCache,
+			Uncached: *uncached,
+			Options: browser.Options{
+				Mode: mode,
+				MonitorFactory: func(browser.PageRef) core.Monitor {
+					return core.Compose(&core.ERM{}, core.WithCache(sharedCache), core.WithDelegations(delPol))
+				},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer delPool.Close()
+		delIters := *mixedIters
+		if delIters <= 0 {
+			delIters = 1
+		}
+		polSection.Phases = append(polSection.Phases, runPhase(delPool, "delegated-session", func() {
+			delPool.Each(func(s *engine.Session) error {
+				widgetP := core.Principal(widgetOrigin, 0, "widget")
+				for i := 0; i < delIters; i++ {
+					p, err := s.Browser.Navigate(portalOrigin.URL("/"))
+					if err != nil {
+						return err
+					}
+					if err := p.RunScriptAs(widgetP, fmt.Sprintf(
+						`document.getElementById("slot%d").innerHTML = "forecast s%d r%d";`,
+						i%8, s.ID, i)); err != nil {
+						return fmt.Errorf("delegated slot write denied: %w", err)
+					}
+					if err := p.RunScriptAs(widgetP,
+						`document.getElementById("chrome").innerHTML = "pwned";`); err == nil {
+						return fmt.Errorf("delegation failed to confine the widget to its floor")
+					}
+				}
+				return nil
+			})
+		}))
+	}
+	report.Policy = polSection
+
 	// HTTP section — the client/server split: the same origins served
 	// from a real net/http gateway, the same workloads replayed by
 	// fresh sessions over loopback sockets through the shared decision
@@ -739,6 +891,7 @@ func run(args []string) error {
 			uncached:   *uncached,
 			cache:      pool.Cache(),
 			net:        net,
+			policies:   policies,
 			bench:      benchOrigin,
 			forum:      forumOrigin,
 			cal:        calOrigin,
@@ -792,6 +945,20 @@ func run(args []string) error {
 		}
 		if ph.Errors > 0 {
 			return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
+		}
+	}
+	if pol := report.Policy; pol != nil {
+		fmt.Printf("\nPolicy: %d origin documents (%d delegations), round-trip ok=%v\n",
+			len(pol.Origins), pol.Delegations, pol.RoundTripOK)
+		if !pol.RoundTripOK {
+			return fmt.Errorf("policy documents failed the serialization round trip")
+		}
+		for _, ph := range pol.Phases {
+			fmt.Printf("  %s: %d tasks, p50 %.3f ms, %d decisions\n",
+				ph.Name, ph.Tasks, ph.P50Ms, ph.Decisions)
+			if ph.Errors > 0 {
+				return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
+			}
 		}
 	}
 	if h := report.HTTP; h != nil {

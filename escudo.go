@@ -13,7 +13,11 @@
 // This package is the public facade over the implementation:
 //
 //   - the access-control core (rings, ACLs, contexts, the ERM and the
-//     baseline SOP monitor),
+//     baseline SOP monitor) and the composable monitor pipeline
+//     (Compose with cache/delegation/audit/trace layers),
+//   - the unified Policy document (ring count, cookie/API assignments,
+//     §7 delegations) with validation, lossless JSON round-tripping,
+//     and wire delivery via the HTTP gateway,
 //   - a simulated browser stack (HTML parser with AC-tag labeling and
 //     the nonce node-splitting defense, mediated DOM, mini-JavaScript
 //     interpreter, cookie jar, layout renderer, in-memory network),
@@ -28,11 +32,14 @@
 package escudo
 
 import (
+	"errors"
+
 	"repro/internal/attack"
 	"repro/internal/browser"
 	"repro/internal/core"
 	"repro/internal/mashup"
 	"repro/internal/origin"
+	"repro/internal/policy"
 	"repro/internal/scenarios"
 	"repro/internal/sifgen"
 	"repro/internal/web"
@@ -63,7 +70,48 @@ type (
 	// PageConfig is a page's ESCUDO configuration (ring count,
 	// cookie and API assignments).
 	PageConfig = core.PageConfig
+	// BatchAuthorizer is a Monitor that can decide a whole region in
+	// one call, deduplicating computation by equivalence class; every
+	// pipeline layer implements it.
+	BatchAuthorizer = core.BatchAuthorizer
+	// MonitorLayer is one composable stage of a monitor pipeline.
+	MonitorLayer = core.Layer
+	// DelegationSource resolves §7 delegation floors for the
+	// delegation layer; *DelegationPolicy implements it.
+	DelegationSource = core.DelegationSource
+	// DecisionCache memoizes monitor verdicts; share one across
+	// sessions enforcing the same policy.
+	DecisionCache = core.DecisionCache
 )
+
+// Monitor pipeline. The reference monitor is an open composition: a
+// base monitor (ERM, SOPMonitor, ...) wrapped by layers. The canonical
+// enforcement stack is
+//
+//	Compose(&ERM{}, CacheLayer(cache), DelegationLayer(pol), AuditLayer(log))
+//
+// Every layer implements BatchAuthorizer, so batched region
+// authorizations keep one audited decision per node and one
+// computation per equivalence class through any stack.
+
+// Compose wraps base with layers, first layer innermost.
+func Compose(base Monitor, layers ...MonitorLayer) Monitor { return core.Compose(base, layers...) }
+
+// CacheLayer memoizes verdicts in the shared cache.
+func CacheLayer(c *DecisionCache) MonitorLayer { return core.WithCache(c) }
+
+// AuditLayer records every decision in the log; mount it outermost.
+func AuditLayer(log *AuditLog) MonitorLayer { return core.WithAudit(log) }
+
+// TraceLayer feeds every decision to fn.
+func TraceLayer(fn func(Decision)) MonitorLayer { return core.WithTrace(fn) }
+
+// DelegationLayer re-homes delegated cross-origin accesses (§7);
+// mount it outside CacheLayer.
+func DelegationLayer(src DelegationSource) MonitorLayer { return core.WithDelegations(src) }
+
+// NewDecisionCache returns an empty shared decision cache.
+func NewDecisionCache() *DecisionCache { return core.NewDecisionCache() }
 
 // Operations.
 const (
@@ -124,7 +172,144 @@ const (
 
 // NewBrowser creates a browser on a transport (a *Network, or any
 // other Transport such as an HTTP gateway client).
+//
+// Deprecated: use New, which validates its inputs and wires unified
+// Policy documents and monitor pipelines in one place:
+//
+//	b, err := escudo.New(net, escudo.WithPolicy(pol))
+//
+// NewBrowser remains for callers that assemble BrowserOptions by hand.
 func NewBrowser(t Transport, opts BrowserOptions) *Browser { return browser.New(t, opts) }
+
+// PageRef identifies the page a MonitorFactory builds a monitor for.
+type PageRef = browser.PageRef
+
+// MonitorFactory builds the policy stack mediating one page.
+type MonitorFactory = browser.MonitorFactory
+
+// Option configures New.
+type Option func(*newConfig) error
+
+type newConfig struct {
+	opts BrowserOptions
+	pol  *Policy
+}
+
+// WithMode selects the protection model (default ModeEscudo).
+func WithMode(m BrowserMode) Option {
+	return func(c *newConfig) error { c.opts.Mode = m; return nil }
+}
+
+// WithDecisionCache plugs a shared decision cache into the monitor
+// stack (every session sharing it must enforce the same policy).
+func WithDecisionCache(cache *DecisionCache) Option {
+	return func(c *newConfig) error { c.opts.Cache = cache; return nil }
+}
+
+// WithPolicy mounts a unified policy document: the document is
+// validated, and its delegations are compiled into a delegation-aware
+// monitor pipeline (base monitor → cache layer → delegation layer)
+// built for every page. The ring count and cookie/API assignments
+// still arrive per-response in the X-Escudo headers — WithPolicy
+// governs the monitor side, the wire document the configuration side.
+func WithPolicy(p Policy) Option {
+	return func(c *newConfig) error {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		c.pol = &p
+		return nil
+	}
+}
+
+// WithMonitorFactory installs a custom per-page monitor stack. The
+// browser composes its audit layer around whatever the factory
+// returns. Mutually exclusive with WithPolicy.
+func WithMonitorFactory(f MonitorFactory) Option {
+	return func(c *newConfig) error { c.opts.MonitorFactory = f; return nil }
+}
+
+// WithoutRender skips the layout pass (parse-only workloads).
+func WithoutRender() Option {
+	return func(c *newConfig) error { c.opts.DisableRender = true; return nil }
+}
+
+// WithoutScripts skips script execution.
+func WithoutScripts() Option {
+	return func(c *newConfig) error { c.opts.DisableScripts = true; return nil }
+}
+
+// WithViewportWidth sets the layout width.
+func WithViewportWidth(w int) Option {
+	return func(c *newConfig) error {
+		if w <= 0 {
+			return errors.New("escudo: viewport width must be positive")
+		}
+		c.opts.ViewportWidth = w
+		return nil
+	}
+}
+
+// WithMaxFrameDepth bounds nested iframe loading.
+func WithMaxFrameDepth(d int) Option {
+	return func(c *newConfig) error {
+		if d <= 0 {
+			return errors.New("escudo: frame depth must be positive")
+		}
+		c.opts.MaxFrameDepth = d
+		return nil
+	}
+}
+
+// New builds a browsing session on the transport with functional
+// options over the monitor pipeline — the facade's one constructor.
+// With no options it is an ESCUDO-mode browser, exactly like
+// NewBrowser(t, BrowserOptions{}); WithPolicy mounts a unified policy
+// document (delegations included) into every page's monitor stack.
+func New(t Transport, options ...Option) (*Browser, error) {
+	if t == nil {
+		return nil, errors.New("escudo: New requires a transport")
+	}
+	var cfg newConfig
+	for _, opt := range options {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.pol != nil {
+		if cfg.opts.MonitorFactory != nil {
+			return nil, errors.New("escudo: WithPolicy and WithMonitorFactory are mutually exclusive")
+		}
+		// Delegations are an ESCUDO-mode concept: the delegation layer
+		// re-homes guest principals into the host origin, which under
+		// the flat SOP baseline would grant them FULL same-origin
+		// privilege instead of a floored ring. Fail loud rather than
+		// widen silently.
+		if cfg.opts.Mode == ModeSOP && len(cfg.pol.Delegations) > 0 {
+			return nil, errors.New("escudo: a policy with delegations requires ModeEscudo")
+		}
+		dp, err := cfg.pol.DelegationPolicy()
+		if err != nil {
+			return nil, err
+		}
+		mode, cache := cfg.opts.Mode, cfg.opts.Cache
+		var delegations MonitorLayer
+		if len(cfg.pol.Delegations) > 0 {
+			delegations = DelegationLayer(dp)
+		}
+		cfg.opts.MonitorFactory = func(PageRef) Monitor {
+			var base Monitor = &ERM{}
+			if mode == ModeSOP {
+				base = &SOPMonitor{}
+			}
+			return Compose(base, CacheLayer(cache), delegations)
+		}
+	}
+	return browser.New(t, cfg.opts), nil
+}
 
 // Web substrate re-exports.
 type (
@@ -184,6 +369,34 @@ func Figure4AverageOverhead(rows []Figure4Row) float64 { return scenarios.Averag
 // Figure4Table renders rows as a text table.
 func Figure4Table(rows []Figure4Row) string { return scenarios.Table(rows) }
 
+// Unified policy document re-exports. Policy is the single
+// serializable shape the three older policy carriers (PageConfig
+// headers, DelegationPolicy, sifgen output) converge on; it validates,
+// round-trips through JSON losslessly, and travels the wire (the httpd
+// gateway serves it per-origin and at /policyz).
+type (
+	// Policy is one origin's versioned ESCUDO policy document.
+	Policy = policy.Policy
+	// PolicyAssignment labels one cookie: ring plus ACL ceilings.
+	PolicyAssignment = policy.Assignment
+	// PolicyDelegation is one §7 delegation row of a document.
+	PolicyDelegation = policy.Delegation
+)
+
+// NewPolicy returns an empty policy document for the origin.
+func NewPolicy(o Origin, maxRing Ring) Policy { return policy.New(o, maxRing) }
+
+// ParsePolicy deserializes and validates a policy document.
+func ParsePolicy(data []byte) (Policy, error) { return policy.Parse(data) }
+
+// PolicyFromPageConfig lifts a header-carried configuration into a
+// policy document.
+func PolicyFromPageConfig(o Origin, cfg PageConfig) Policy { return policy.FromPageConfig(o, cfg) }
+
+// UniformAssignment builds a cookie assignment whose ACL equals its
+// ring.
+func UniformAssignment(r Ring) PolicyAssignment { return policy.Uniform(r) }
+
 // Mashup extension re-exports (§7).
 type (
 	// Delegation grants a guest origin a floored ring inside a host
@@ -226,3 +439,10 @@ const (
 // NewConfigCompiler returns a compiler for the default four-ring
 // layout (nil nonce source uses crypto/rand).
 func NewConfigCompiler() *ConfigCompiler { return sifgen.New(nil) }
+
+// CompilePolicy derives both the compiled page and the unified policy
+// document from annotations — the §6.2 derivation path landing in the
+// one policy shape.
+func CompilePolicy(c *ConfigCompiler, o Origin, fragments []AnnotatedFragment) (sifgen.Compiled, Policy, error) {
+	return c.CompilePolicy(o, fragments)
+}

@@ -1,12 +1,19 @@
-// The mashup example demonstrates the §7 extension: a portal embeds a
-// third-party widget from a different origin, and instead of the
-// all-or-nothing choices the same-origin policy offers (full iframe
-// isolation or full script inclusion), the portal *delegates* a
-// bounded ring to the widget's origin: the widget may act inside the
-// portal page, but never more privileged than ring 2. The example
-// shows the widget doing its legitimate job, then failing to touch
-// the portal's ring-1 content and session cookie, while an undeclared
-// origin gets nothing at all.
+// The mashup example demonstrates the §7 extension through the public
+// facade: a portal embeds a third-party widget from a different
+// origin, and instead of the all-or-nothing choices the same-origin
+// policy offers (full iframe isolation or full script inclusion), the
+// portal's unified policy document *delegates* a bounded ring to the
+// widget's origin: the widget may act inside the portal page, but
+// never more privileged than ring 2.
+//
+// Unlike the original version of this example — which exercised the
+// delegation monitor against a hand-built DOM — the policy here is
+// mounted into a REAL browsing session via escudo.New(WithPolicy):
+// the page is fetched over the (in-memory) network, labeled by the
+// parser, and every access below flows through the same monitor
+// pipeline a production session uses. The document itself is shown
+// serialized: it is exactly what an HTTP gateway serves per-origin at
+// /.well-known/escudo-policy.
 //
 // Run with:
 //
@@ -16,11 +23,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/dom"
-	"repro/internal/html"
-	"repro/internal/mashup"
-	"repro/internal/origin"
+	escudo "repro"
 )
 
 const portalPage = `<html><body>
@@ -30,69 +33,82 @@ const portalPage = `<html><body>
 </body></html>`
 
 func main() {
-	portal := origin.MustParse("http://portal.example")
-	widget := origin.MustParse("http://weather.example")
-	rogue := origin.MustParse("http://rogue.example")
+	portal := escudo.MustParseOrigin("http://portal.example")
+	widget := escudo.MustParseOrigin("http://weather.example")
+	rogue := escudo.MustParseOrigin("http://rogue.example")
 
-	doc := dom.NewDocument(portal, portalPage, html.Options{
-		Escudo: true, MaxRing: 3, BaseRing: 3, BaseACL: core.ACL{},
-	})
+	// The portal's unified policy document: ring-1 session cookie and
+	// one delegation — weather.example may act inside portal pages,
+	// floored at ring 2, exactly the slot it rented.
+	pol := escudo.NewPolicy(portal, escudo.DefaultMaxRing)
+	pol.Cookies["portalsession"] = escudo.UniformAssignment(1)
+	pol.Delegate(widget, 2)
 
-	// The portal's delegation: weather.example may act inside this
-	// page, floored at ring 2 — exactly the slot it rented.
-	policy := mashup.NewPolicy()
-	policy.Delegate(mashup.Delegation{Host: portal, Guest: widget, Floor: 2})
-	monitor := &mashup.Monitor{Policy: policy}
-
-	fmt.Println("Delegations in force:")
-	for _, d := range policy.All() {
-		fmt.Printf("  %s\n", d)
+	doc, err := pol.MarshalIndent()
+	if err != nil {
+		panic(err)
 	}
+	fmt.Println("The portal's policy document (as served per-origin by a gateway):")
+	fmt.Println(string(doc))
 	fmt.Println()
 
-	// The widget's principal (ring 0 at its own origin — its
-	// trustworthiness at home is irrelevant here; the floor governs).
-	widgetPrincipal := core.Principal(widget, 0, "weather widget")
-	api := dom.NewAPI(doc, widgetPrincipal, monitor)
-
-	// Legitimate: render the forecast into the rented slot.
-	slot := doc.ByID("weather-slot")
-	if err := api.SetInnerHTML(slot, "<p id=forecast>Sunny, 22°C</p>"); err != nil {
-		fmt.Println("  unexpected:", err)
+	// Serve the portal and open a real session with the policy mounted.
+	net := escudo.NewNetwork()
+	net.Register(portal, escudo.HandlerFunc(func(req *escudo.Request) *escudo.Response {
+		resp := escudo.HTMLResponse(portalPage)
+		resp.Header.Set("X-Escudo-Maxring", "3")
+		resp.Header.Add("Set-Cookie", "portalsession=s3cr3t; Path=/")
+		resp.Header.Add("X-Escudo-Cookie", "portalsession; ring=1; r=1; w=1; x=1")
+		return resp
+	}))
+	b, err := escudo.New(net, escudo.WithPolicy(pol))
+	if err != nil {
+		panic(err)
 	}
-	fmt.Printf("widget renders its slot:   %q\n", html.InnerText(doc.ByID("weather-slot")))
+	page, err := b.Navigate("http://portal.example/")
+	if err != nil {
+		panic(err)
+	}
+
+	// Legitimate: the widget renders the forecast into the rented slot.
+	err = page.RunScriptAs(escudo.Principal(widget, 0, "weather widget"),
+		`document.getElementById("weather-slot").innerHTML = "<p id=forecast>Sunny, 22°C</p>";`)
+	fmt.Printf("widget renders its slot:   %v\n", verdict(err))
 
 	// Overreach 1: rewrite the portal's ring-1 chrome.
-	err := api.SetText(doc.ByID("title"), "WEATHER CORP PRESENTS")
-	fmt.Printf("widget rewrites the title: %v\n", short(err))
+	err = page.RunScriptAs(escudo.Principal(widget, 0, "weather widget"),
+		`document.getElementById("title").innerHTML = "WEATHER CORP PRESENTS";`)
+	fmt.Printf("widget rewrites the title: %v\n", verdict(err))
 
-	// Overreach 2: read the portal's session cookie object.
-	sessionCookie := core.Object(portal, 1, core.UniformACL(1), "cookie portalsession")
-	d := monitor.Authorize(widgetPrincipal, core.OpRead, sessionCookie)
-	fmt.Printf("widget reads the session:  %v\n", verdict(d))
+	// Overreach 2: use the portal's ring-1 session cookie.
+	d := page.Monitor.Authorize(
+		escudo.Principal(widget, 0, "weather widget"),
+		escudo.OpUse,
+		escudo.Object(portal, 1, escudo.UniformACL(1), "cookie portalsession"))
+	fmt.Printf("widget uses the session:   %v\n", decision(d))
 
 	// An origin with no delegation gets pure origin-rule denials.
-	rogueAPI := dom.NewAPI(doc, core.Principal(rogue, 0, "rogue script"), monitor)
-	_, err = rogueAPI.InnerText(doc.ByID("footer"))
-	fmt.Printf("rogue origin reads footer: %v\n", short(err))
+	err = page.RunScriptAs(escudo.Principal(rogue, 0, "rogue script"),
+		`var x = document.getElementById("footer").innerHTML;`)
+	fmt.Printf("rogue origin reads footer: %v\n", verdict(err))
 
+	fmt.Println()
+	fmt.Printf("Audit: %d decisions recorded, %d denials.\n",
+		b.Audit.Len(), len(b.Audit.Denials()))
 	fmt.Println()
 	fmt.Println("The delegation grants the widget exactly ring-2 authority inside")
 	fmt.Println("the portal — enough for its slot, nothing toward rings 0-1 — and")
 	fmt.Println("origins without a delegation remain fully isolated (paper §7).")
 }
 
-func short(err error) string {
+func verdict(err error) string {
 	if err == nil {
 		return "ALLOWED"
 	}
-	if de, ok := err.(*dom.DeniedError); ok {
-		return "DENIED (" + de.Decision.Rule.String() + ")"
-	}
-	return err.Error()
+	return "DENIED (" + err.Error() + ")"
 }
 
-func verdict(d core.Decision) string {
+func decision(d escudo.Decision) string {
 	if d.Allowed {
 		return "ALLOWED"
 	}

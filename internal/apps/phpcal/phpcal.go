@@ -22,6 +22,7 @@ import (
 	"repro/internal/html"
 	"repro/internal/nonce"
 	"repro/internal/origin"
+	"repro/internal/policy"
 	"repro/internal/template"
 	"repro/internal/web"
 )
@@ -320,6 +321,16 @@ func (a *App) decorate(resp *web.Response) {
 	resp.Header.Set(core.HeaderMaxRing, "3")
 	resp.Header.Add(core.HeaderCookie, fmt.Sprintf("%s; ring=1; r=1; w=1; x=1", CookieSession))
 	resp.Header.Add(core.HeaderAPI, "xmlhttprequest; ring=1")
+}
+
+// Policy returns the app's unified policy document — the Table 5
+// configuration (the same assignments decorate attaches as headers) as
+// one serializable, validated artifact a gateway can mount and serve.
+func (a *App) Policy() policy.Policy {
+	p := policy.New(a.cfg.Origin, core.DefaultMaxRing)
+	p.Cookies[CookieSession] = policy.Uniform(RingApp)
+	p.APIs[core.APIXMLHTTPRequest] = RingApp
+	return p
 }
 
 func atoiDefault(s string, def int) int {

@@ -78,7 +78,33 @@ type Options struct {
 	// must run in the same Mode — ERM and SOP verdicts are not
 	// interchangeable.
 	Cache *core.DecisionCache
+	// MonitorFactory, when non-nil, builds the policy stack mediating
+	// each page instead of the default (the Mode's base monitor under
+	// the shared Cache). The browser composes its audit layer around
+	// whatever the factory returns, so complete mediation stays
+	// recorded whatever the stack — a factory returning a delegation-
+	// aware pipeline (core.Compose with core.WithDelegations, or a
+	// *mashup.Monitor) runs the §7 model inside real sessions.
+	//
+	// The factory must return a monitor consistent with Mode: the mode
+	// still governs configuration parsing and cookie attachment
+	// semantics.
+	MonitorFactory MonitorFactory
 }
+
+// PageRef identifies what a monitor is being built for: a page load
+// (URL and page origin) or a request-scoped mediation such as cookie
+// attachment (initiator origin only, empty URL).
+type PageRef struct {
+	// URL is the page URL; empty for request-scoped monitors.
+	URL string
+	// Origin is the page origin (page loads) or the initiating
+	// principal's origin (request-scoped mediation).
+	Origin origin.Origin
+}
+
+// MonitorFactory builds the reference-monitor stack for one page.
+type MonitorFactory func(ref PageRef) core.Monitor
 
 // Browser is one browsing session: a cookie jar, history, and a
 // protection mode, attached to a transport.
@@ -176,22 +202,27 @@ type Frame struct {
 	Page *Page
 }
 
-// monitor builds the page's reference monitor. With a decision cache
-// configured, the monitor's hot path is a sharded cache lookup and the
-// rule evaluation only runs on misses; the audit trace fires for every
-// decision either way.
-func (b *Browser) monitor() core.Monitor {
-	if b.opts.Cache != nil {
-		var inner core.Monitor = &core.ERM{}
-		if b.opts.Mode == ModeSOP {
-			inner = &core.SOPMonitor{}
-		}
-		return &core.CachedMonitor{Inner: inner, Cache: b.opts.Cache, Trace: b.Audit.Record, TraceBatch: b.Audit.RecordAll}
+// monitorFor builds the reference monitor for a page (or a
+// request-scoped mediation): the policy stack — from Options.
+// MonitorFactory when set, else the Mode's base monitor under the
+// shared decision cache — composed under the browser's audit layer, so
+// every decision is recorded exactly once whatever the stack. With a
+// decision cache configured, the hot path is a sharded cache lookup
+// and the rule evaluation only runs on misses.
+func (b *Browser) monitorFor(ref PageRef) core.Monitor {
+	return core.Compose(b.policyMonitor(ref), core.WithAudit(b.Audit))
+}
+
+// policyMonitor is the stack below the audit layer.
+func (b *Browser) policyMonitor(ref PageRef) core.Monitor {
+	if b.opts.MonitorFactory != nil {
+		return b.opts.MonitorFactory(ref)
 	}
+	var base core.Monitor = &core.ERM{}
 	if b.opts.Mode == ModeSOP {
-		return &core.SOPMonitor{Trace: b.Audit.Record, TraceBatch: b.Audit.RecordAll}
+		base = &core.SOPMonitor{}
 	}
-	return &core.ERM{Trace: b.Audit.Record, TraceBatch: b.Audit.RecordAll}
+	return core.Compose(base, core.WithCache(b.opts.Cache))
 }
 
 // browserPrincipal is the browser itself acting at ring 0 within an
@@ -352,7 +383,7 @@ func (b *Browser) buildPage(rawURL string, resp *web.Response) (*Page, error) {
 	if err != nil {
 		return nil, fmt.Errorf("browser: %w", err)
 	}
-	page := &Page{browser: b, URL: rawURL, Origin: pageOrigin, Monitor: b.monitor()}
+	page := &Page{browser: b, URL: rawURL, Origin: pageOrigin, Monitor: b.monitorFor(PageRef{URL: rawURL, Origin: pageOrigin})}
 
 	// Extract ESCUDO configuration (ignored entirely in SOP mode —
 	// a legacy browser does not know these headers, §6.3).
@@ -453,7 +484,7 @@ func (b *Browser) attachCookies(req *web.Request, target origin.Origin, initiato
 	if len(matching) == 0 {
 		return
 	}
-	monitor := b.monitor()
+	monitor := b.monitorFor(PageRef{Origin: initiator.Origin})
 	var attached []cookie.Cookie
 	for _, c := range matching {
 		if b.opts.Mode == ModeSOP {

@@ -225,6 +225,13 @@ func (c *DecisionCache) Stats() CacheStats {
 // Leave the inner monitor's Trace nil and set it here instead:
 // CachedMonitor fires Trace for every decision, hit or miss, so audit
 // logs see the same stream they would without the cache.
+//
+// Deprecated: building monitor stacks out of CachedMonitor literals
+// (with the Trace/TraceBatch hooks wired by hand) is superseded by the
+// pipeline: Compose(inner, WithCache(cache), WithAudit(log)) builds
+// the same stack with the same decision stream, and composes with the
+// delegation and trace layers. The type remains as the caching layer's
+// implementation and for existing callers.
 type CachedMonitor struct {
 	// Inner computes decisions on cache misses.
 	Inner Monitor

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/browser"
 	"repro/internal/core"
+	"repro/internal/mashup"
 	"repro/internal/origin"
 	"repro/internal/scenarios"
 	"repro/internal/web"
@@ -272,4 +273,75 @@ func BenchmarkPoolNavigate(b *testing.B) {
 		})
 	}
 	pool.Wait()
+}
+
+// TestPoolRunsDelegatedSessions mounts the §7 delegation monitor into
+// every pooled session via browser.Options.MonitorFactory: the widget
+// renders into its delegated slot across all sessions while its
+// overreach is denied, and the shared decision cache keeps working
+// under the re-homed queries.
+func TestPoolRunsDelegatedSessions(t *testing.T) {
+	net := web.NewNetwork()
+	portal := origin.MustParse("http://portal.example")
+	widget := origin.MustParse("http://widget.example")
+	net.Register(portal, web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML(`<html><body>` +
+			`<div ring=1 r=1 w=1 x=1 id=chrome>portal chrome</div>` +
+			`<div ring=2 r=2 w=2 x=2 id=slot>loading</div>` +
+			`</body></html>`)
+		resp.Header.Set(core.HeaderMaxRing, "3")
+		return resp
+	}))
+
+	pol := mashup.NewPolicy()
+	pol.Delegate(mashup.Delegation{Host: portal, Guest: widget, Floor: 2})
+	cache := core.NewDecisionCache()
+	pool, err := NewPool(Config{
+		Sessions: 4,
+		Network:  net,
+		Cache:    cache,
+		Options: browser.Options{
+			Mode: browser.ModeEscudo,
+			MonitorFactory: func(browser.PageRef) core.Monitor {
+				return core.Compose(&core.ERM{}, core.WithCache(cache), core.WithDelegations(pol))
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	pool.Each(func(s *Session) error {
+		p, err := s.Browser.Navigate(portal.URL("/"))
+		if err != nil {
+			return err
+		}
+		if err := p.RunScriptAs(core.Principal(widget, 0, "widget"),
+			`document.getElementById("slot").innerHTML = "rendered";`); err != nil {
+			return fmt.Errorf("delegated slot write denied: %w", err)
+		}
+		if err := p.RunScriptAs(core.Principal(widget, 0, "widget"),
+			`document.getElementById("chrome").innerHTML = "pwned";`); err == nil {
+			return fmt.Errorf("floored guest rewrote ring-1 chrome")
+		}
+		return nil
+	})
+	st := pool.Stats()
+	if len(st.Errors) > 0 {
+		t.Fatalf("errors: %v", st.Errors)
+	}
+	if st.Decisions == 0 {
+		t.Fatal("no decisions audited across the pool")
+	}
+	denials := 0
+	for _, s := range pool.Sessions() {
+		denials += len(s.Browser.Audit.Denials())
+	}
+	if denials < 4 {
+		t.Fatalf("denials = %d, want at least one per session", denials)
+	}
+	if cs := cache.Stats(); cs.Hits == 0 {
+		t.Fatalf("shared cache unused under delegation: %+v", cs)
+	}
 }

@@ -1,6 +1,7 @@
 package httpd
 
 import (
+	"container/list"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -44,16 +45,32 @@ type cachedPage struct {
 	origKeys string
 }
 
+// size approximates the entry's memory footprint for the byte bound.
+func (p *cachedPage) size() int64 {
+	n := int64(len(p.body) + len(p.etag) + len(p.origKeys))
+	for k, vs := range p.header {
+		n += int64(len(k))
+		for _, v := range vs {
+			n += int64(len(v))
+		}
+	}
+	return n
+}
+
 // CacheStats counts page-cache traffic. Hits include 304
 // revalidations. Misses count cold fills only — a cacheable page the
 // handler had to build — so uncacheable application traffic (which is
 // most of a mixed workload) does not drag the hit rate down; the rate
 // answers "of the pages this cache could serve, how many did it?".
+// Evictions counts entries displaced by the LRU bound; Bytes is the
+// current approximate resident size.
 type CacheStats struct {
 	Hits        uint64 `json:"hits"`
 	Misses      uint64 `json:"misses"`
 	NotModified uint64 `json:"not_modified"`
 	Entries     int    `json:"entries"`
+	Evictions   uint64 `json:"evictions"`
+	Bytes       int64  `json:"bytes"`
 }
 
 // HitRate returns hits/(hits+misses), or 0 for an untouched cache.
@@ -72,40 +89,73 @@ func (s CacheStats) Add(o CacheStats) CacheStats {
 		Misses:      s.Misses + o.Misses,
 		NotModified: s.NotModified + o.NotModified,
 		Entries:     s.Entries + o.Entries,
+		Evictions:   s.Evictions + o.Evictions,
+		Bytes:       s.Bytes + o.Bytes,
 	}
 }
 
-// Sub returns the counter delta s-base (Entries stays absolute).
+// Sub returns the counter delta s-base (Entries and Bytes stay
+// absolute).
 func (s CacheStats) Sub(base CacheStats) CacheStats {
 	return CacheStats{
 		Hits:        s.Hits - base.Hits,
 		Misses:      s.Misses - base.Misses,
 		NotModified: s.NotModified - base.NotModified,
 		Entries:     s.Entries,
+		Evictions:   s.Evictions - base.Evictions,
+		Bytes:       s.Bytes,
 	}
 }
 
-// maxCachedPages bounds the cache: the key includes the
-// client-controlled query string, so without a cap a remote client
-// could grow gateway memory one query variant at a time. The fixture
-// sets this cache exists for are tiny; when the cap is reached, new
-// variants are simply not stored (existing hot entries keep serving).
-const maxCachedPages = 4096
+// Default cache bounds. The key includes the client-controlled query
+// string, so without bounds a remote client could grow gateway memory
+// one query variant at a time. The fixture sets this cache exists for
+// are tiny; the bounds are a working-set limit for hostile or merely
+// large key populations, enforced by LRU eviction (new variants
+// displace the coldest entries instead of being refused).
+const (
+	defaultCacheMaxEntries = 4096
+	defaultCacheMaxBytes   = 32 << 20
+)
 
-// pageCache is the gateway's cross-request cache for immutable bodies.
-// Lookups vastly outnumber stores once warm, so reads share an RWMutex
-// read lock.
+// pageCache is the gateway's cross-request cache for immutable bodies:
+// a strict-LRU bounded map. One mutex guards the map and the recency
+// list; the critical sections are a handful of pointer moves, which is
+// noise next to the socket round trip on either side of them.
 type pageCache struct {
-	mu    sync.RWMutex
-	pages map[pageKey]*cachedPage
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	entries    map[pageKey]*list.Element
+	lru        *list.List // front = most recently used
 
 	hits        atomic.Uint64
 	misses      atomic.Uint64
 	notModified atomic.Uint64
+	evictions   atomic.Uint64
 }
 
-func newPageCache() *pageCache {
-	return &pageCache{pages: map[pageKey]*cachedPage{}}
+// lruEntry is one recency-list node.
+type lruEntry struct {
+	key  pageKey
+	page *cachedPage
+	size int64
+}
+
+func newPageCache(maxEntries int, maxBytes int64) *pageCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultCacheMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultCacheMaxBytes
+	}
+	return &pageCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    map[pageKey]*list.Element{},
+		lru:        list.New(),
+	}
 }
 
 // cookieKey canonicalizes the request's cookie-name set.
@@ -122,19 +172,26 @@ func cookieKey(req *web.Request) string {
 	return strings.Join(names, ";")
 }
 
-// get returns the cached page for the request, if any. Only GETs are
-// probed; the gateway never caches mutations. A hit is counted here;
-// a miss is counted only when the handler's response turns out
-// cacheable (the store site), so probes for uncacheable pages don't
-// pollute the hit rate.
+// get returns the cached page for the request, if any, refreshing its
+// recency. Only GETs are probed; the gateway never caches mutations. A
+// hit is counted here; a miss is counted only when the handler's
+// response turns out cacheable (the store site), so probes for
+// uncacheable pages don't pollute the hit rate.
 func (c *pageCache) get(key pageKey) (*cachedPage, bool) {
-	c.mu.RLock()
-	page, ok := c.pages[key]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
+	var page *cachedPage
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		// Read the page pointer under the lock: put mutates the entry
+		// in place when a concurrent cold fill races a hit.
+		page = el.Value.(*lruEntry).page
 	}
-	return page, ok
+	c.mu.Unlock()
+	if page == nil {
+		return nil, false
+	}
+	c.hits.Add(1)
+	return page, true
 }
 
 // cacheable reports whether a response may be stored: a form-free 200
@@ -153,9 +210,10 @@ func cacheable(req *web.Request, resp *web.Response) bool {
 }
 
 // put stores a response under key and returns the entry's ETag, or ""
-// when the cache is at capacity and declines the entry. The response
-// headers are cloned so later per-request mutation cannot corrupt the
-// shared entry.
+// when the entry alone exceeds the byte bound and is declined. The
+// response headers are cloned so later per-request mutation cannot
+// corrupt the shared entry. Inserting past the entry or byte bound
+// evicts from the cold end of the LRU list.
 func (c *pageCache) put(key pageKey, resp *web.Response) string {
 	h := fnv.New64a()
 	h.Write([]byte(resp.Body))
@@ -166,24 +224,44 @@ func (c *pageCache) put(key pageKey, resp *web.Response) string {
 		etag:     fmt.Sprintf("\"%016x\"", h.Sum64()),
 		origKeys: origKeysValue(resp.Header),
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.pages[key]; !exists && len(c.pages) >= maxCachedPages {
+	size := page.size()
+	if size > c.maxBytes {
 		return ""
 	}
-	c.pages[key] = page
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, exists := c.entries[key]; exists {
+		old := el.Value.(*lruEntry)
+		c.bytes += size - old.size
+		old.page, old.size = page, size
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&lruEntry{key: key, page: page, size: size})
+		c.bytes += size
+	}
+	for (c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes) && c.lru.Len() > 1 {
+		cold := c.lru.Back()
+		e := cold.Value.(*lruEntry)
+		c.lru.Remove(cold)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.evictions.Add(1)
+	}
 	return page.etag
 }
 
 // stats snapshots the counters.
 func (c *pageCache) stats() CacheStats {
-	c.mu.RLock()
-	entries := len(c.pages)
-	c.mu.RUnlock()
+	c.mu.Lock()
+	entries := c.lru.Len()
+	bytes := c.bytes
+	c.mu.Unlock()
 	return CacheStats{
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
 		NotModified: c.notModified.Load(),
 		Entries:     entries,
+		Evictions:   c.evictions.Load(),
+		Bytes:       bytes,
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/browser"
 	"repro/internal/core"
+	"repro/internal/mashup"
 	"repro/internal/nonce"
 	"repro/internal/origin"
 	"repro/internal/scenarios"
@@ -233,5 +234,87 @@ func TestAttackCorpusOverSockets(t *testing.T) {
 				t.Errorf("Escudo over sockets neutralized %d/%d", neutralized, len(attack.Corpus()))
 			}
 		})
+	}
+}
+
+// buildPortalSubstrate assembles a deterministic mashup substrate: a
+// portal host page (ring-1 chrome, ring-2 slot) and a widget origin.
+func buildPortalSubstrate() (*web.Network, origin.Origin, origin.Origin) {
+	n := web.NewNetwork()
+	portal := origin.MustParse("http://portal.example")
+	widget := origin.MustParse("http://widget.example")
+	n.Register(portal, web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML(`<html><body>` +
+			`<div ring=1 r=1 w=1 x=1 id=chrome><h1 id=title>Portal</h1></div>` +
+			`<div ring=2 r=2 w=2 x=2 id=slot>loading</div>` +
+			`</body></html>`)
+		resp.Header.Set(core.HeaderMaxRing, "3")
+		return resp
+	}))
+	n.Register(widget, web.HandlerFunc(func(req *web.Request) *web.Response {
+		return web.HTML(`<html><body><p id=w>widget</p></body></html>`)
+	}))
+	return n, portal, widget
+}
+
+// runDelegatedSession drives one deterministic §7 session over the
+// given transport: the MashupMonitor is mounted through
+// browser.Options.MonitorFactory, the delegated widget renders into
+// its slot, overreaches into ring-1 chrome (denied), and an
+// undelegated rogue origin is denied by the origin rule. It returns
+// the browser and the three verdict outcomes.
+func runDelegatedSession(t *testing.T, transport web.Transport, portal, widget origin.Origin) (*browser.Browser, [3]bool) {
+	t.Helper()
+	pol := mashup.NewPolicy()
+	pol.Delegate(mashup.Delegation{Host: portal, Guest: widget, Floor: 2})
+	b := browser.New(transport, browser.Options{
+		Mode: browser.ModeEscudo,
+		MonitorFactory: func(browser.PageRef) core.Monitor {
+			return &mashup.Monitor{Policy: pol}
+		},
+	})
+	p, err := b.Navigate(portal.URL("/"))
+	if err != nil {
+		t.Fatalf("portal navigate: %v", err)
+	}
+	var verdicts [3]bool
+	verdicts[0] = p.RunScriptAs(core.Principal(widget, 0, "widget"),
+		`document.getElementById("slot").innerHTML = "<p id=forecast>Sunny</p>";`) == nil
+	verdicts[1] = p.RunScriptAs(core.Principal(widget, 0, "widget"),
+		`document.getElementById("title").innerHTML = "pwned";`) == nil
+	verdicts[2] = p.RunScriptAs(core.Principal(origin.MustParse("http://rogue.example"), 0, "rogue"),
+		`var x = document.getElementById("slot").innerHTML;`) == nil
+	return b, verdicts
+}
+
+// TestDelegationTransportEquivalence extends the transport-
+// independence invariant to the §7 delegation model: the same
+// delegated mashup session over the in-memory network and over a real
+// HTTP gateway yields identical verdicts and audit decision counts.
+func TestDelegationTransportEquivalence(t *testing.T) {
+	memNet, memPortal, memWidget := buildPortalSubstrate()
+	memB, memVerdicts := runDelegatedSession(t, memNet, memPortal, memWidget)
+
+	httpNet, hPortal, hWidget := buildPortalSubstrate()
+	g := startGateway(t, httpNet, Config{})
+	ct := NewClientTransport(g.Addr())
+	defer ct.Close()
+	httpB, httpVerdicts := runDelegatedSession(t, ct, hPortal, hWidget)
+
+	if memVerdicts != [3]bool{true, false, false} {
+		t.Fatalf("in-memory verdicts = %v, want slot allowed, chrome and rogue denied", memVerdicts)
+	}
+	if memVerdicts != httpVerdicts {
+		t.Fatalf("verdicts diverge: in-memory %v, http %v", memVerdicts, httpVerdicts)
+	}
+	if mem, http := memB.Audit.Len(), httpB.Audit.Len(); mem == 0 || mem != http {
+		t.Fatalf("audit decision counts diverge: in-memory %d, http %d", mem, http)
+	}
+	memTally, httpTally := auditTally(memB), auditTally(httpB)
+	if !reflect.DeepEqual(memTally, httpTally) {
+		t.Fatalf("audit tallies diverge:\n  in-memory: %v\n  http:      %v", memTally, httpTally)
+	}
+	if mem, http := len(memB.Audit.Denials()), len(httpB.Audit.Denials()); mem == 0 || mem != http {
+		t.Fatalf("denial counts diverge: in-memory %d, http %d", mem, http)
 	}
 }

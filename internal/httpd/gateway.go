@@ -29,8 +29,16 @@ import (
 	"time"
 
 	"repro/internal/origin"
+	"repro/internal/policy"
 	"repro/internal/web"
 )
+
+// PolicyPath is the well-known path at which the gateway serves a
+// mounted origin's unified policy document (policy.Policy as JSON).
+// Policy travels the wire as DATA: the gateway delivers the document,
+// and every enforcement decision stays in the browser-side monitors —
+// the transport-independence invariant is untouched.
+const PolicyPath = "/.well-known/escudo-policy"
 
 // maxFormBytes bounds a form body read (a million-user gateway must
 // not buffer unbounded request bodies).
@@ -61,15 +69,27 @@ const (
 	gatewayShuttingDown = "shutting-down"
 )
 
-// OriginConfig sizes one origin's worker queue.
+// OriginConfig sizes one origin's worker queue and carries its policy
+// document.
 type OriginConfig struct {
 	// Workers is the origin's concurrency: how many requests the
-	// origin's handler serves at once (default Config.DefaultWorkers).
+	// origin's handler serves at once (default Weight ×
+	// Config.DefaultWorkers).
 	Workers int
 	// QueueDepth bounds the origin's wait queue; an arriving request
 	// that finds it full is rejected with 503 instead of starving
-	// other origins' workers (default Config.DefaultQueueDepth).
+	// other origins' workers (default Weight × Config.DefaultQueueDepth).
 	QueueDepth int
+	// Weight is the origin's admission weight: a multiplier applied to
+	// the gateway defaults when Workers/QueueDepth are unset, so a hot
+	// origin can get a deeper queue and more workers than a cold one
+	// without every origin being sized by hand (default 1). Explicit
+	// Workers/QueueDepth values win over the weight.
+	Weight int
+	// Policy, when non-nil, is the origin's unified policy document.
+	// It is validated at mount time, served at PolicyPath on the
+	// origin, and listed by the admin /policyz endpoint.
+	Policy *policy.Policy
 }
 
 // Config configures a Gateway.
@@ -87,6 +107,17 @@ type Config struct {
 	DefaultQueueDepth int
 	// DisableCache turns the cross-request page cache off.
 	DisableCache bool
+	// CacheMaxEntries bounds the page cache's entry count (default
+	// 4096); past it the least recently used entries are evicted.
+	CacheMaxEntries int
+	// CacheMaxBytes bounds the page cache's approximate resident size
+	// (default 32 MiB), enforced the same way.
+	CacheMaxBytes int64
+	// Origins carries per-origin configuration (queue shape, weight,
+	// policy document) keyed by origin string ("http://forum.example"),
+	// applied when Mount/MountNetwork register that origin without an
+	// explicit OriginConfig.
+	Origins map[string]OriginConfig
 	// StatsFunc, when non-nil, is invoked by /metricsz and its result
 	// embedded in the JSON under "engine" — the load driver plugs
 	// engine.Pool.Stats in here.
@@ -196,7 +227,7 @@ func New(cfg Config) (*Gateway, error) {
 		quit:   make(chan struct{}),
 	}
 	if !cfg.DisableCache {
-		g.cache = newPageCache()
+		g.cache = newPageCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes)
 	}
 	return g, nil
 }
@@ -210,23 +241,40 @@ func hostKey(o origin.Origin) string {
 	return fmt.Sprintf("%s:%d", o.Host, o.Port)
 }
 
-// Mount registers an origin for virtual hosting with the default
-// queue shape. Mount before Start; the gateway only terminates plain
-// HTTP, so only http-scheme origins can be mounted.
+// Mount registers an origin for virtual hosting with the queue shape
+// from Config.Origins (or the defaults). Mount before Start; the
+// gateway only terminates plain HTTP, so only http-scheme origins can
+// be mounted.
 func (g *Gateway) Mount(o origin.Origin) error {
+	if pre, ok := g.cfg.Origins[o.String()]; ok {
+		return g.MountOpts(o, pre)
+	}
 	return g.MountOpts(o, OriginConfig{})
 }
 
-// MountOpts is Mount with an explicit queue shape.
+// MountOpts is Mount with an explicit queue shape and policy. Unset
+// Workers/QueueDepth derive from the gateway defaults scaled by the
+// origin's admission weight.
 func (g *Gateway) MountOpts(o origin.Origin, cfg OriginConfig) error {
 	if o.Scheme != "http" {
 		return fmt.Errorf("httpd: cannot mount %s: only http origins are served", o)
 	}
+	if cfg.Weight <= 0 {
+		cfg.Weight = 1
+	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = g.cfg.DefaultWorkers
+		cfg.Workers = cfg.Weight * g.cfg.DefaultWorkers
 	}
 	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = g.cfg.DefaultQueueDepth
+		cfg.QueueDepth = cfg.Weight * g.cfg.DefaultQueueDepth
+	}
+	if cfg.Policy != nil {
+		if err := cfg.Policy.Validate(); err != nil {
+			return fmt.Errorf("httpd: mounting %s: %w", o, err)
+		}
+		if cfg.Policy.Origin != o.String() {
+			return fmt.Errorf("httpd: mounting %s: policy document names origin %q", o, cfg.Policy.Origin)
+		}
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -460,6 +508,8 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			g.serveHealthz(w)
 		case "/metricsz":
 			g.serveMetricsz(w)
+		case "/policyz":
+			g.servePolicyz(w, r)
 		default:
 			http.NotFound(w, r)
 		}
@@ -468,9 +518,19 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	g.serveFallback(w, r)
 }
 
-// serveOrigin is the mounted-origin path: cache probe, bounded
-// enqueue, worker round trip, response translation.
+// serveOrigin is the mounted-origin path: policy delivery, cache
+// probe, bounded enqueue, worker round trip, response translation.
 func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost) {
+	// Wire delivery of the origin's policy document. The document is
+	// data — the browser-side monitors consume it; the gateway decides
+	// nothing. Origins without a mounted policy fall through to their
+	// handler (which may well serve its own).
+	if r.Method == "GET" && r.URL.Path == PolicyPath && vh.cfg.Policy != nil {
+		g.servePolicyDoc(w, *vh.cfg.Policy)
+		vh.served.Add(1)
+		g.served.Add(1)
+		return
+	}
 	req := translate(r, vh.origin)
 
 	// GET-form submissions (non-empty Form) bypass the cache entirely:
@@ -587,6 +647,7 @@ func (g *Gateway) serveHealthz(w http.ResponseWriter) {
 type vhostJSON struct {
 	Origin   string `json:"origin"`
 	Workers  int    `json:"workers"`
+	Weight   int    `json:"weight"`
 	QueueLen int    `json:"queue_len"`
 	QueueCap int    `json:"queue_cap"`
 	Served   uint64 `json:"served"`
@@ -609,6 +670,7 @@ func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
 		doc.Origins = append(doc.Origins, vhostJSON{
 			Origin:   vh.origin.String(),
 			Workers:  vh.cfg.Workers,
+			Weight:   vh.cfg.Weight,
 			QueueLen: len(vh.jobs),
 			QueueCap: cap(vh.jobs),
 			Served:   vh.served.Load(),
@@ -621,6 +683,50 @@ func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
 		doc.Engine = g.cfg.StatsFunc()
 	}
 	writeJSON(w, doc)
+}
+
+// servePolicyDoc writes one origin's policy document (the PolicyPath
+// response body).
+func (g *Gateway) servePolicyDoc(w http.ResponseWriter, p policy.Policy) {
+	data, err := p.MarshalIndent()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // client went away; nothing to do
+}
+
+// servePolicyz is the admin inspection endpoint: the policy documents
+// of every mounted origin that has one, keyed by origin. With
+// ?origin=http://forum.example it returns that origin's document alone
+// (404 when the origin is unmounted or policy-less).
+func (g *Gateway) servePolicyz(w http.ResponseWriter, r *http.Request) {
+	if want := r.URL.Query().Get("origin"); want != "" {
+		o, err := origin.Parse(want)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad origin %q", want), http.StatusBadRequest)
+			return
+		}
+		g.mu.RLock()
+		vh, ok := g.mounts[o]
+		g.mu.RUnlock()
+		if !ok || vh.cfg.Policy == nil {
+			http.NotFound(w, r)
+			return
+		}
+		g.servePolicyDoc(w, *vh.cfg.Policy)
+		return
+	}
+	docs := map[string]policy.Policy{}
+	g.mu.RLock()
+	for _, vh := range g.mounts {
+		if vh.cfg.Policy != nil {
+			docs[vh.origin.String()] = *vh.cfg.Policy
+		}
+	}
+	g.mu.RUnlock()
+	writeJSON(w, docs)
 }
 
 func writeJSON(w http.ResponseWriter, doc any) {

@@ -1,0 +1,374 @@
+package httpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/origin"
+	"repro/internal/policy"
+	"repro/internal/web"
+)
+
+// forumPolicy builds a representative policy document for an origin.
+func forumPolicy(o origin.Origin) policy.Policy {
+	p := policy.New(o, 3)
+	p.Cookies["sid"] = policy.Uniform(1)
+	p.APIs["xmlhttprequest"] = 1
+	p.Delegate(origin.MustParse("http://widget.example"), 2)
+	return p
+}
+
+// TestPolicyWireDelivery pins the unified document's trip over the
+// wire: the well-known per-origin path and the admin /policyz endpoint
+// both serve a document that parses back equal to the mounted one.
+func TestPolicyWireDelivery(t *testing.T) {
+	n := web.NewNetwork()
+	forum := origin.MustParse("http://forum.example")
+	bare := origin.MustParse("http://bare.example")
+	n.Register(forum, echoHandler("forum"))
+	n.Register(bare, echoHandler("bare"))
+
+	doc := forumPolicy(forum)
+	g := startGateway(t, n, Config{
+		Origins: map[string]OriginConfig{forum.String(): {Policy: &doc}},
+	})
+
+	// Per-origin wire delivery at the well-known path.
+	resp := rawGet(t, g, "forum.example", PolicyPath, nil)
+	body := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d %s", PolicyPath, resp.StatusCode, body)
+	}
+	got, err := policy.Parse([]byte(body))
+	if err != nil {
+		t.Fatalf("served policy does not parse: %v\n%s", err, body)
+	}
+	if !got.Equal(doc) {
+		t.Fatalf("served policy diverges:\n want %+v\n got  %+v", doc, got)
+	}
+
+	// An origin without a mounted policy falls through to its handler.
+	resp = rawGet(t, g, "bare.example", PolicyPath, nil)
+	if body := readBody(t, resp); resp.StatusCode != 200 || !strings.Contains(body, "host=bare") {
+		t.Fatalf("policy-less origin hijacked: %d %q", resp.StatusCode, body)
+	}
+
+	// Admin /policyz lists every mounted document...
+	resp = rawGet(t, g, g.Addr(), "/policyz", nil)
+	var docs map[string]policy.Policy
+	if err := json.Unmarshal([]byte(readBody(t, resp)), &docs); err != nil {
+		t.Fatalf("policyz: %v", err)
+	}
+	if len(docs) != 1 || !docs[forum.String()].Equal(doc) {
+		t.Fatalf("policyz = %+v", docs)
+	}
+	// ...and answers per-origin queries.
+	resp = rawGet(t, g, g.Addr(), "/policyz?origin=http://forum.example", nil)
+	single, err := policy.Parse([]byte(readBody(t, resp)))
+	if err != nil || !single.Equal(doc) {
+		t.Fatalf("policyz?origin: %v %+v", err, single)
+	}
+	resp = rawGet(t, g, g.Addr(), "/policyz?origin=http://bare.example", nil)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("policyz for policy-less origin: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMountRejectsBadPolicy pins mount-time validation: invalid
+// documents and documents naming a different origin never mount.
+func TestMountRejectsBadPolicy(t *testing.T) {
+	n := web.NewNetwork()
+	forum := origin.MustParse("http://forum.example")
+	n.Register(forum, echoHandler("forum"))
+	g, err := New(Config{Inner: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := forumPolicy(forum)
+	bad.MaxRing = -1
+	if err := g.MountOpts(forum, OriginConfig{Policy: &bad}); err == nil {
+		t.Fatal("mounted an invalid policy")
+	}
+	other := forumPolicy(origin.MustParse("http://other.example"))
+	if err := g.MountOpts(forum, OriginConfig{Policy: &other}); err == nil {
+		t.Fatal("mounted a policy naming a different origin")
+	}
+}
+
+// TestAdmissionWeightsShapeQueues pins the weight arithmetic: unset
+// workers/queue scale from the defaults by the origin's weight,
+// explicit values win.
+func TestAdmissionWeightsShapeQueues(t *testing.T) {
+	n := web.NewNetwork()
+	a := origin.MustParse("http://a.example")
+	b := origin.MustParse("http://b.example")
+	c := origin.MustParse("http://c.example")
+	for _, o := range []origin.Origin{a, b, c} {
+		n.Register(o, echoHandler(o.Host))
+	}
+	g, err := New(Config{Inner: n, DefaultWorkers: 2, DefaultQueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Mount(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.MountOpts(b, OriginConfig{Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.MountOpts(c, OriginConfig{Weight: 3, Workers: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[origin.Origin][2]int{a: {2, 8}, b: {6, 24}, c: {1, 2}}
+	for o, shape := range want {
+		vh := g.mounts[o]
+		if vh.cfg.Workers != shape[0] || cap(vh.jobs) != shape[1] {
+			t.Errorf("%s: workers=%d queue=%d, want %v", o, vh.cfg.Workers, cap(vh.jobs), shape)
+		}
+	}
+}
+
+// TestOverflowFairnessAcrossWeights wedges two origins — one default
+// weight, one weight-2 — and floods both to capacity: the light origin
+// overflows to 503 at its own bound while the heavy origin absorbs
+// twice the load, and neither origin's overflow shows up on the
+// other's counters.
+func TestOverflowFairnessAcrossWeights(t *testing.T) {
+	n := web.NewNetwork()
+	light := origin.MustParse("http://light.example")
+	heavy := origin.MustParse("http://heavy.example")
+	release := make(chan struct{})
+	started := make(chan string, 16)
+	wedge := func(name string) web.Handler {
+		return web.HandlerFunc(func(req *web.Request) *web.Response {
+			started <- name
+			<-release
+			return web.HTML("done " + name)
+		})
+	}
+	n.Register(light, wedge("light"))
+	n.Register(heavy, wedge("heavy"))
+
+	g, err := New(Config{
+		Inner:             n,
+		DefaultWorkers:    1,
+		DefaultQueueDepth: 1,
+		Origins:           map[string]OriginConfig{heavy.String(): {Weight: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.MountNetwork(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	var releaseOnce sync.Once
+	releaseFn := func() { releaseOnce.Do(func() { close(release) }) }
+	t.Cleanup(releaseFn)
+
+	get := func(host string) int {
+		req, _ := http.NewRequest("GET", "http://"+g.Addr()+"/", nil)
+		req.Host = host
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return -1
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// fill launches in-flight requests until the origin's workers are
+	// busy and its queue is full, deterministically: workers signal via
+	// started, queued jobs are observed through the queue length.
+	var wg sync.WaitGroup
+	fill := func(o origin.Origin, workers, depth int) {
+		t.Helper()
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); get(hostKey(o)) }()
+			select {
+			case <-started:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%s worker %d never started", o, i)
+			}
+		}
+		vh := g.mounts[o]
+		for i := 0; i < depth; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); get(hostKey(o)) }()
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for len(vh.jobs) < depth {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s queue never filled (%d/%d)", o, len(vh.jobs), depth)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	fill(light, 1, 1) // capacity 2
+	fill(heavy, 2, 2) // capacity 4: twice the admission
+
+	// Both origins at capacity: each overflows within its own bound.
+	if code := get(hostKey(light)); code != 503 {
+		t.Fatalf("light overflow: %d, want 503", code)
+	}
+	if code := get(hostKey(heavy)); code != 503 {
+		t.Fatalf("heavy overflow: %d, want 503", code)
+	}
+
+	// Fairness: the drops landed on the origin that overflowed, not on
+	// its neighbor, and the weighted origin absorbed twice the traffic.
+	lightVH, heavyVH := g.mounts[light], g.mounts[heavy]
+	if lightVH.dropped.Load() != 1 || heavyVH.dropped.Load() != 1 {
+		t.Fatalf("dropped: light=%d heavy=%d, want 1 each",
+			lightVH.dropped.Load(), heavyVH.dropped.Load())
+	}
+	releaseFn()
+	wg.Wait()
+	if ls, hs := lightVH.served.Load(), heavyVH.served.Load(); ls != 2 || hs != 4 {
+		t.Fatalf("served: light=%d heavy=%d, want 2 and 4", ls, hs)
+	}
+	if st := g.Stats(); st.Rejected503 != 2 {
+		t.Fatalf("Rejected503 = %d, want 2", st.Rejected503)
+	}
+}
+
+// immutableHandler serves distinct immutable bodies per query.
+func immutableHandler() web.Handler {
+	return web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML(fmt.Sprintf("<html><body>variant %s</body></html>", req.Query().Get("v")))
+		resp.Header.Set("Cache-Control", "public, immutable")
+		return resp
+	})
+}
+
+// TestPageCacheLRUEviction pins the bounded cache: past the entry
+// bound the coldest variant is evicted (recency refreshed by hits),
+// and the evictions counter reports it.
+func TestPageCacheLRUEviction(t *testing.T) {
+	n := web.NewNetwork()
+	o := origin.MustParse("http://fixtures.example")
+	n.Register(o, immutableHandler())
+	g := startGateway(t, n, Config{CacheMaxEntries: 2})
+
+	fetch := func(v string) string {
+		resp := rawGet(t, g, "fixtures.example", "/?v="+v, nil)
+		body := readBody(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET v=%s: %d", v, resp.StatusCode)
+		}
+		return body
+	}
+
+	fetch("1") // fill
+	fetch("2") // fill: cache at bound {1,2}
+	fetch("1") // hit: refreshes 1's recency
+	st := g.Stats().Cache
+	if st.Entries != 2 || st.Hits != 1 || st.Misses != 2 || st.Evictions != 0 {
+		t.Fatalf("pre-eviction stats: %+v", st)
+	}
+
+	fetch("3") // over bound: evicts variant 2 (the coldest), not 1
+	st = g.Stats().Cache
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("post-eviction stats: %+v", st)
+	}
+	before := st
+	fetch("1") // still cached
+	fetch("2") // evicted: cold fill again
+	st = g.Stats().Cache
+	if d := st.Sub(before); d.Hits != 1 || d.Misses != 1 {
+		t.Fatalf("recency order wrong: delta %+v", d)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("bytes gauge not tracked: %+v", st)
+	}
+}
+
+// TestPageCacheByteBound pins the size bound: a tiny byte budget evicts
+// by size, and an entry larger than the whole budget is declined
+// outright (no ETag advertised).
+func TestPageCacheByteBound(t *testing.T) {
+	n := web.NewNetwork()
+	o := origin.MustParse("http://fixtures.example")
+	big := strings.Repeat("x", 4096)
+	n.Register(o, web.HandlerFunc(func(req *web.Request) *web.Response {
+		body := "small " + req.Query().Get("v")
+		if req.Query().Get("big") != "" {
+			body = big
+		}
+		resp := web.HTML(body)
+		resp.Header.Set("Cache-Control", "public, immutable")
+		return resp
+	}))
+	g := startGateway(t, n, Config{CacheMaxBytes: 256})
+
+	get := func(path string) *http.Response {
+		resp := rawGet(t, g, "fixtures.example", path, nil)
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp
+	}
+	// An entry alone exceeding the budget is declined: no validator.
+	if resp := get("/?big=1"); resp.Header.Get("ETag") != "" {
+		t.Fatal("oversized entry was cached")
+	}
+	if st := g.Stats().Cache; st.Entries != 0 {
+		t.Fatalf("oversized entry resident: %+v", st)
+	}
+	// Small variants cache; enough of them trip byte-bound eviction.
+	for i := 0; i < 8; i++ {
+		get(fmt.Sprintf("/?v=%d", i))
+	}
+	st := g.Stats().Cache
+	if st.Evictions == 0 || st.Bytes > 256 {
+		t.Fatalf("byte bound not enforced: %+v", st)
+	}
+	if !reflect.DeepEqual(st.Sub(st), CacheStats{Entries: st.Entries, Bytes: st.Bytes}) {
+		t.Fatalf("Sub must zero the counters and keep gauges: %+v", st.Sub(st))
+	}
+}
+
+// TestPageCacheGetPutRace hammers one key from concurrent readers and
+// writers; run under -race this pins that get reads the entry under
+// the lock while put mutates it in place.
+func TestPageCacheGetPutRace(t *testing.T) {
+	c := newPageCache(8, 1<<20)
+	key := pageKey{host: "x.example", path: "/"}
+	resp := web.HTML("<html><body>fixture</body></html>")
+	resp.Header.Set("Cache-Control", "public, immutable")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.put(key, resp)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if page, ok := c.get(key); ok && page.status != 200 {
+					t.Error("torn read")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -76,6 +76,15 @@ func (p *Policy) Lookup(host, guest origin.Origin) (Delegation, bool) {
 	return d, ok
 }
 
+// DelegationFloor implements core.DelegationSource, so a Policy plugs
+// straight into the monitor pipeline via core.WithDelegations.
+func (p *Policy) DelegationFloor(host, guest origin.Origin) (core.Ring, bool) {
+	d, ok := p.Lookup(host, guest)
+	return d.Floor, ok
+}
+
+var _ core.DelegationSource = (*Policy)(nil)
+
 // All returns a copy of every delegation.
 func (p *Policy) All() []Delegation {
 	p.mu.Lock()
@@ -90,48 +99,47 @@ func (p *Policy) All() []Delegation {
 // Monitor is the delegation-aware reference monitor. Same-origin
 // accesses follow the plain ESCUDO rules; cross-origin accesses are
 // admitted only under a declared delegation, with the guest's ring
-// floored.
+// floored. It is now a pre-composed pipeline —
+// core.Compose(&core.ERM{}, core.WithDelegations(policy),
+// core.WithTrace(trace)) — kept as a named type so it can be handed to
+// browser.Options.MonitorFactory (and existing callers) directly.
+// Like every pipeline layer it implements core.BatchAuthorizer, so
+// region reads inside a real browser session keep their per-class
+// dedup and per-node audit semantics.
 type Monitor struct {
 	// Policy holds the delegations; nil behaves like an empty
-	// policy (plain ERM).
+	// policy (plain ERM). Read on every call, so it may be assigned
+	// between calls.
 	Policy *Policy
-	// Trace, when non-nil, receives every decision.
+	// Trace, when non-nil, receives every decision. Read on every
+	// call, like Policy.
 	Trace func(core.Decision)
 }
 
-var _ core.Monitor = (*Monitor)(nil)
+var (
+	_ core.Monitor         = (*Monitor)(nil)
+	_ core.BatchAuthorizer = (*Monitor)(nil)
+)
+
+// monitor builds the underlying pipeline. It is rebuilt per call —
+// the layers are two small structs — so the fields keep their
+// historical read-on-every-call semantics.
+func (m *Monitor) monitor() core.Monitor {
+	var src core.DelegationSource
+	if m.Policy != nil {
+		src = m.Policy
+	}
+	return core.Compose(&core.ERM{}, core.WithDelegations(src), core.WithTrace(m.Trace))
+}
 
 // Authorize implements core.Monitor.
 func (m *Monitor) Authorize(p core.Context, op core.Op, o core.Context) core.Decision {
-	erm := &core.ERM{}
-	if p.Origin.SameOrigin(o.Origin) || m.Policy == nil {
-		d := erm.Authorize(p, op, o)
-		if m.Trace != nil {
-			m.Trace(d)
-		}
-		return d
-	}
-	del, ok := m.Policy.Lookup(o.Origin, p.Origin)
-	if !ok {
-		d := core.Decision{Principal: p, Op: op, Object: o, Rule: core.RuleOrigin}
-		if m.Trace != nil {
-			m.Trace(d)
-		}
-		return d
-	}
-	// Evaluate ring and ACL rules with the floored ring by
-	// re-homing the guest principal into the host origin at its
-	// delegated privilege.
-	floored := p
-	floored.Origin = o.Origin
-	floored.Ring = p.Ring.Outermost(del.Floor)
-	floored.Label = p.Label + "→" + del.String()
-	d := erm.Authorize(floored, op, o)
-	// Report the original principal in the decision for honest
-	// audit trails.
-	d.Principal = p
-	if m.Trace != nil {
-		m.Trace(d)
-	}
-	return d
+	return m.monitor().Authorize(p, op, o)
+}
+
+// AuthorizeBatch implements core.BatchAuthorizer: one decision
+// computation per (origin, ring, ACL) equivalence class after the
+// delegation rewrite, one decision per node.
+func (m *Monitor) AuthorizeBatch(p core.Context, op core.Op, objects []core.Context) []core.Decision {
+	return core.AuthorizeBatch(m.monitor(), p, op, objects)
 }

@@ -156,3 +156,29 @@ func TestTraceHook(t *testing.T) {
 		t.Errorf("decision principal = %v, want original guest", all[0].Principal)
 	}
 }
+
+// TestMonitorFieldsReadPerCall pins the historical semantics: Policy
+// and Trace assigned after a first Authorize are honored by later
+// calls (the pipeline is rebuilt per call, not latched).
+func TestMonitorFieldsReadPerCall(t *testing.T) {
+	host := origin.MustParse("http://portal.example")
+	guest := origin.MustParse("http://widget.example")
+	slot := core.Object(host, 2, core.UniformACL(2), "slot")
+	gp := core.Principal(guest, 0, "widget")
+
+	m := &Monitor{}
+	if d := m.Authorize(gp, core.OpWrite, slot); d.Allowed {
+		t.Fatalf("empty monitor allowed a cross-origin write: %v", d)
+	}
+	pol := NewPolicy()
+	pol.Delegate(Delegation{Host: host, Guest: guest, Floor: 2})
+	var traced int
+	m.Policy = pol
+	m.Trace = func(core.Decision) { traced++ }
+	if d := m.Authorize(gp, core.OpWrite, slot); !d.Allowed {
+		t.Fatalf("late-assigned policy ignored: %v", d)
+	}
+	if traced != 1 {
+		t.Fatalf("late-assigned trace ignored: %d calls", traced)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/origin"
+	"repro/internal/policy"
 	"repro/internal/web"
 )
 
@@ -19,6 +21,15 @@ func Paths() []string {
 		out = append(out, "/"+strings.ToLower(sc.Name))
 	}
 	return out
+}
+
+// Policy returns the scenario server's unified policy document for
+// the origin it is mounted at: the default ring count with the ring-1
+// session cookie — the same configuration Handler carries in headers.
+func Policy(o origin.Origin) policy.Policy {
+	p := policy.New(o, core.DefaultMaxRing)
+	p.Cookies[SessionCookie] = policy.Uniform(1)
+	return p
 }
 
 // Handler serves the Figure-4 scenario pages over the web substrate:

@@ -23,6 +23,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nonce"
+	"repro/internal/origin"
+	"repro/internal/policy"
 	"repro/internal/template"
 )
 
@@ -186,6 +188,22 @@ func (c *Compiler) Compile(fragments []Fragment) (Compiled, error) {
 	}
 	out.Body = body.String()
 	return out, nil
+}
+
+// CompilePolicy compiles fragments and additionally derives the
+// unified policy document for the origin the page will be served from
+// — the §6.2 derivation path expressed in the repo's one policy shape.
+// The returned document validates by construction.
+func (c *Compiler) CompilePolicy(o origin.Origin, fragments []Fragment) (Compiled, policy.Policy, error) {
+	out, err := c.Compile(fragments)
+	if err != nil {
+		return Compiled{}, policy.Policy{}, err
+	}
+	p := policy.FromPageConfig(o, out.Config)
+	if err := p.Validate(); err != nil {
+		return Compiled{}, policy.Policy{}, fmt.Errorf("sifgen: derived policy invalid: %w", err)
+	}
+	return out, p, nil
 }
 
 // Summary renders a human-readable derivation table (the developer's

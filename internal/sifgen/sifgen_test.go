@@ -7,6 +7,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/html"
 	"repro/internal/nonce"
+	"repro/internal/origin"
+	"repro/internal/policy"
 )
 
 func compiler() *Compiler { return New(nonce.NewSeqSource(1)) }
@@ -159,5 +161,40 @@ func TestSummary(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// TestCompilePolicyDerivesUnifiedDocument checks the §6.2 derivation
+// lands in the unified policy document: same assignments as the
+// header config, validated, and JSON round-trippable.
+func TestCompilePolicyDerivesUnifiedDocument(t *testing.T) {
+	o := origin.MustParse("http://forum.example")
+	out, pol, err := compiler().CompilePolicy(o, phpbbAnnotations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Origin != o.String() || pol.MaxRing != core.DefaultMaxRing {
+		t.Fatalf("policy header: %+v", pol)
+	}
+	if a, ok := pol.Cookies["phpbb2mysql_sid"]; !ok || a.Ring != 1 {
+		t.Fatalf("sid assignment: %+v ok=%v", a, ok)
+	}
+	if r, ok := pol.APIs["xmlhttprequest"]; !ok || r != 1 {
+		t.Fatalf("xhr assignment: %d ok=%v", r, ok)
+	}
+	// The derived document and the derived header config agree.
+	if got := pol.PageConfig().Cookies["phpbb2mysql_data"]; got != out.Config.Cookies["phpbb2mysql_data"] {
+		t.Fatalf("page-config divergence: %+v vs %+v", got, out.Config.Cookies["phpbb2mysql_data"])
+	}
+	data, err := pol.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := policy.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pol.Equal(back) {
+		t.Fatal("derived policy does not round-trip")
 	}
 }
