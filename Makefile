@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare lint fmt-check vet serve serve-http clean
+.PHONY: all build test race bench bench-compare lint fmt-check vet serve serve-http serve-cluster clean
 
 all: build lint test
 
@@ -39,6 +39,15 @@ serve:
 # replayed over sockets, http section added to BENCH_engine.json.
 serve-http:
 	$(GO) run ./cmd/escudo-serve -http 127.0.0.1:0
+
+# Multi-process deployment: fork/exec one serve-only gateway process
+# (TLS-terminating, ephemeral in-memory CA) plus CLUSTER_WORKERS
+# loadgen worker processes, replay figure-4 and the §6.4 corpus over
+# https across the process boundary, and merge the shards into the
+# cluster section of BENCH_engine.json (other sections preserved).
+CLUSTER_WORKERS ?= 2
+serve-cluster:
+	$(GO) run ./cmd/escudo-serve -cluster $(CLUSTER_WORKERS) -tls
 
 # Run the driver fresh and print phase-by-phase p50/p99 deltas against
 # the committed BENCH_engine.json. Override NEW_BENCH/OLD_BENCH to

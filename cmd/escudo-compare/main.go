@@ -29,13 +29,40 @@ type phase struct {
 	Decisions uint64  `json:"decisions"`
 }
 
+// clusterPhase mirrors one merged phase of the cluster section.
+type clusterPhase struct {
+	Name       string  `json:"name"`
+	Tasks      uint64  `json:"tasks"`
+	ReqsPerSec float64 `json:"reqs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// clusterWorker mirrors one row of the per-process breakdown.
+type clusterWorker struct {
+	Worker     int     `json:"worker"`
+	ReqsPerSec float64 `json:"reqs_per_sec"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// clusterSection mirrors the subset of the cluster section compared.
+type clusterSection struct {
+	Workers            int             `json:"workers"`
+	TLS                bool            `json:"tls"`
+	Phases             []clusterPhase  `json:"phases"`
+	PerWorker          []clusterWorker `json:"per_worker"`
+	AttacksTotal       int             `json:"attacks_total"`
+	AttacksNeutralized int             `json:"attacks_neutralized"`
+}
+
 // report mirrors the subset of BENCH_engine.json being compared.
 type report struct {
-	Sessions   int     `json:"sessions"`
-	Mode       string  `json:"mode"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	Phases     []phase `json:"phases"`
-	TotalMs    float64 `json:"total_ms"`
+	Sessions   int             `json:"sessions"`
+	Mode       string          `json:"mode"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Phases     []phase         `json:"phases"`
+	Cluster    *clusterSection `json:"cluster"`
+	TotalMs    float64         `json:"total_ms"`
 }
 
 func main() {
@@ -118,5 +145,75 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	fmt.Fprint(out, t.String())
+	compareCluster(out, oldR.Cluster, newR.Cluster)
 	return nil
+}
+
+// compareCluster diffs the multi-process sections: aggregate
+// throughput and merged percentiles per phase, then per-worker p99 —
+// the per-process breakdown is where a single slow worker hides.
+func compareCluster(out *os.File, oldC, newC *clusterSection) {
+	if oldC == nil && newC == nil {
+		return
+	}
+	fmt.Fprintf(out, "\ncluster: ")
+	switch {
+	case oldC == nil:
+		fmt.Fprintf(out, "old report has none; new runs %d workers (tls=%v)\n", newC.Workers, newC.TLS)
+	case newC == nil:
+		fmt.Fprintf(out, "new report has none; old ran %d workers (tls=%v)\n", oldC.Workers, oldC.TLS)
+	default:
+		fmt.Fprintf(out, "%d → %d workers, tls %v → %v, attacks %d/%d → %d/%d\n",
+			oldC.Workers, newC.Workers, oldC.TLS, newC.TLS,
+			oldC.AttacksNeutralized, oldC.AttacksTotal, newC.AttacksNeutralized, newC.AttacksTotal)
+	}
+	if newC == nil {
+		return
+	}
+
+	oldPhases := map[string]clusterPhase{}
+	if oldC != nil {
+		for _, p := range oldC.Phases {
+			oldPhases[p.Name] = p
+		}
+	}
+	t := metrics.NewTable("Cluster phase", "Tasks", "Aggregate reqs/s", "p50 (ms)", "p99 (ms)")
+	for _, np := range newC.Phases {
+		op, ok := oldPhases[np.Name]
+		if !ok {
+			t.AddRow(np.Name+" (new)",
+				fmt.Sprintf("%d", np.Tasks),
+				fmt.Sprintf("%.0f", np.ReqsPerSec),
+				fmt.Sprintf("%.3f", np.P50Ms),
+				fmt.Sprintf("%.3f", np.P99Ms))
+			continue
+		}
+		t.AddRow(np.Name,
+			fmt.Sprintf("%d", np.Tasks),
+			delta(op.ReqsPerSec, np.ReqsPerSec),
+			delta(op.P50Ms, np.P50Ms),
+			delta(op.P99Ms, np.P99Ms))
+	}
+	fmt.Fprint(out, t.String())
+
+	oldWorkers := map[int]clusterWorker{}
+	if oldC != nil {
+		for _, w := range oldC.PerWorker {
+			oldWorkers[w.Worker] = w
+		}
+	}
+	wt := metrics.NewTable("Worker", "Reqs/s", "p99 (ms)")
+	for _, nw := range newC.PerWorker {
+		ow, ok := oldWorkers[nw.Worker]
+		if !ok {
+			wt.AddRow(fmt.Sprintf("worker-%d (new)", nw.Worker),
+				fmt.Sprintf("%.0f", nw.ReqsPerSec),
+				fmt.Sprintf("%.3f", nw.P99Ms))
+			continue
+		}
+		wt.AddRow(fmt.Sprintf("worker-%d", nw.Worker),
+			delta(ow.ReqsPerSec, nw.ReqsPerSec),
+			delta(ow.P99Ms, nw.P99Ms))
+	}
+	fmt.Fprint(out, wt.String())
 }

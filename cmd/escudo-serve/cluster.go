@@ -1,0 +1,606 @@
+// The multi-process modes of escudo-serve: -serve-only (a gateway
+// process that mounts the substrate and serves until SIGTERM),
+// -connect (a loadgen worker process driving a remote gateway and
+// writing a BENCH shard), and -cluster N (a supervisor that fork/execs
+// one server plus N workers and merges the shards into the `cluster`
+// section of BENCH_engine.json).
+//
+// Enforcement placement is the whole point: the reference monitors run
+// inside the worker processes' browsers, and the server process is a
+// dumb policy-serving transport — so the cluster benchmark measures
+// Escudo mediation with client and server genuinely across a process
+// (and, with -tls, a cryptographic) boundary.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/apps/phpbb"
+	"repro/internal/apps/phpcal"
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/httpd"
+	"repro/internal/metrics"
+	"repro/internal/nonce"
+	"repro/internal/origin"
+	"repro/internal/policy"
+	"repro/internal/scenarios"
+	"repro/internal/web"
+)
+
+// parseMode maps the -mode flag onto a browser mode.
+func parseMode(s string) (browser.Mode, error) {
+	switch s {
+	case "escudo":
+		return browser.ModeEscudo, nil
+	case "sop":
+		return browser.ModeSOP, nil
+	default:
+		return 0, fmt.Errorf("unknown -mode %q", s)
+	}
+}
+
+// substrate is the shared benchmark world: the Figure-4 scenario
+// server, phpBB, PHP-Calendar, the mashup portal and its widget, and
+// the origins' unified policy documents. Server and worker processes
+// agree on it by construction — the origins are fixed names, and the
+// worker only ever talks to them through the gateway.
+type substrate struct {
+	net                               *web.Network
+	bench, forum, cal, portal, widget origin.Origin
+	topicID                           int
+	portalPolicy                      policy.Policy
+	policies                          map[string]policy.Policy
+}
+
+// substrateOrigins and substratePolicies are the counts the cluster
+// supervisor cross-checks against /metricsz and /policyz.
+const (
+	substrateOrigins  = 5
+	substratePolicies = 4
+)
+
+// buildSubstrate assembles the substrate with one phpBB/PHP-Calendar
+// account per session.
+func buildSubstrate(users int) *substrate {
+	s := &substrate{
+		net:    web.NewNetwork(),
+		bench:  origin.MustParse("http://bench.example"),
+		forum:  origin.MustParse("http://forum.example"),
+		cal:    origin.MustParse("http://cal.example"),
+		portal: origin.MustParse("http://portal.example"),
+		widget: origin.MustParse("http://widget.example"),
+	}
+	s.net.Register(s.bench, scenarios.Handler())
+
+	forum := phpbb.New(phpbb.Config{
+		Origin: s.forum, Hardened: false, Escudo: true, Nonces: nonce.CryptoSource{},
+	})
+	for i := 0; i < users; i++ {
+		forum.AddUser(fmt.Sprintf("user%d", i), "pw")
+	}
+	s.topicID = forum.SeedTopic("user0", "Welcome", "first post")
+	s.net.Register(s.forum, forum)
+
+	cal := phpcal.New(phpcal.Config{
+		Origin: s.cal, Hardened: false, Escudo: true, Nonces: nonce.CryptoSource{},
+	})
+	for i := 0; i < users; i++ {
+		cal.AddUser(fmt.Sprintf("user%d", i), "pw")
+	}
+	cal.SeedEvent("user0", 1, "kickoff")
+	s.net.Register(s.cal, cal)
+
+	s.net.Register(s.portal, portalHandler())
+	s.net.Register(s.widget, web.HandlerFunc(func(req *web.Request) *web.Response {
+		return web.HTML(`<html><body><p id=w>widget content</p></body></html>`)
+	}))
+
+	// The unified policy documents: derived from the apps' Table 3/
+	// Table 5 configurations and the scenario server, plus the
+	// portal's §7 delegation of ring 2 to the widget origin.
+	s.portalPolicy = policy.New(s.portal, core.DefaultMaxRing)
+	s.portalPolicy.Delegate(s.widget, 2)
+	s.policies = map[string]policy.Policy{
+		s.bench.String():  scenarios.Policy(s.bench),
+		s.forum.String():  forum.Policy(),
+		s.cal.String():    cal.Policy(),
+		s.portal.String(): s.portalPolicy,
+	}
+	return s
+}
+
+// serveOnlyConfig parameterizes the server process.
+type serveOnlyConfig struct {
+	addr           string
+	sessions       int
+	workers, queue int
+	tls            bool
+	tlsCAOut       string
+	addrFile       string
+	statsFile      string
+}
+
+// runServeOnly mounts the substrate on a gateway and serves until the
+// stop channel closes (SIGTERM in production), then shuts down
+// gracefully and writes its gateway-side stats. Readiness protocol:
+// the gateway starts in HoldReady, the address file is written as soon
+// as the listener is bound (so a supervisor can begin polling), and
+// /healthz flips from "starting" to ok only after a warm self-check
+// round-trips a scenario page through the full stack.
+func runServeOnly(cfg serveOnlyConfig, stop <-chan struct{}) error {
+	sub := buildSubstrate(cfg.sessions)
+	originCfgs := map[string]httpd.OriginConfig{}
+	for o, doc := range sub.policies {
+		doc := doc
+		originCfgs[o] = httpd.OriginConfig{Policy: &doc}
+	}
+	gwCfg := httpd.Config{
+		Inner:             sub.net,
+		DefaultWorkers:    cfg.workers,
+		DefaultQueueDepth: cfg.queue,
+		Origins:           originCfgs,
+		HoldReady:         true,
+	}
+	var ca *httpd.CA
+	if cfg.tls {
+		c, err := httpd.NewCA()
+		if err != nil {
+			return err
+		}
+		ca = c
+		gwCfg.TLS = ca
+	}
+	gw, err := httpd.New(gwCfg)
+	if err != nil {
+		return err
+	}
+	if err := gw.MountNetwork(sub.net); err != nil {
+		return err
+	}
+	if err := gw.Start(cfg.addr); err != nil {
+		return err
+	}
+	defer gw.Close() //nolint:errcheck // second Shutdown is a no-op
+
+	// Publish the trust anchor before the address: a worker that can
+	// read the address must already be able to read the CA.
+	if cfg.tlsCAOut != "" {
+		if ca == nil {
+			return fmt.Errorf("-tls-ca-out given without -tls")
+		}
+		if err := ca.WriteCertPEM(cfg.tlsCAOut); err != nil {
+			return err
+		}
+	}
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(gw.Addr()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	// Warm self-check: one scenario page through the real stack
+	// (socket, vhosting, worker queue, and TLS when on) before
+	// declaring readiness.
+	var ct *httpd.ClientTransport
+	if ca != nil {
+		ct = httpd.NewClientTransportTLS(gw.Addr(), ca.Pool())
+	} else {
+		ct = httpd.NewClientTransport(gw.Addr())
+	}
+	resp, err := ct.RoundTrip(web.NewRequest("GET", sub.bench.URL(scenarios.Paths()[0])))
+	ct.Close()
+	if err != nil {
+		return fmt.Errorf("self-check: %w", err)
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("self-check: scenario page answered %d", resp.Status)
+	}
+	gw.SetReady(true)
+	fmt.Printf("escudo-serve: serving %d origins at %s (tls=%v), ready\n",
+		substrateOrigins, gw.Addr(), cfg.tls)
+
+	<-stop
+	fmt.Println("escudo-serve: SIGTERM, draining")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if cfg.statsFile != "" {
+		st := cluster.ServerStats{
+			Addr:    gw.Addr(),
+			TLS:     cfg.tls,
+			Origins: substrateOrigins,
+			Gateway: gw.Stats(),
+		}
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.statsFile, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Println("escudo-serve: shut down cleanly")
+	return nil
+}
+
+// connectConfig parameterizes a loadgen worker process.
+type connectConfig struct {
+	addr            string
+	sessions, iters int
+	mode            browser.Mode
+	uncached        bool
+	attacksOn       bool
+	tls             bool
+	tlsCAFile       string
+	workerID        int
+	httpWorkers     int
+	httpQueue       int
+	out             string
+}
+
+// runShardPhase measures one worker phase: per-task latency across
+// the pool (point percentiles AND the mergeable histogram) plus the
+// client transport's request delta for throughput.
+func runShardPhase(pool *engine.Pool, ct *httpd.ClientTransport, name string, fn func()) (cluster.ShardPhase, []error) {
+	pool.ResetStats()
+	before := ct.Stats()
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	st := pool.Stats()
+	wire := ct.Stats().Sub(before)
+	ph := cluster.ShardPhase{
+		Name:      name,
+		Tasks:     st.Tasks,
+		Errors:    len(st.Errors),
+		P50Ms:     ms(st.P50),
+		P99Ms:     ms(st.P99),
+		MeanMs:    ms(st.Mean),
+		ElapsedMs: ms(elapsed),
+		Requests:  wire.Requests,
+		Hist:      st.Hist,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		ph.ReqsPerSec = float64(wire.Requests) / secs
+	}
+	return ph, st.Errors
+}
+
+// runConnect is the worker process: it trusts the remote gateway (via
+// the CA bundle when TLS), replays the figure-4 workload over the
+// process boundary, replays the §6.4 attack corpus over per-
+// environment local gateways (TLS when -tls), cross-checks every
+// socket verdict against an in-memory run of the same attack, and
+// writes its BENCH shard.
+func runConnect(cfg connectConfig) error {
+	start := time.Now()
+	if cfg.tls && cfg.tlsCAFile == "" {
+		return fmt.Errorf("-connect with -tls needs -tls-ca (the server's CA bundle)")
+	}
+	// One source of truth: the CA bundle decides TLS for the main
+	// transport, the shard label, and the attack-env gateways alike.
+	cfg.tls = cfg.tlsCAFile != ""
+	var ct *httpd.ClientTransport
+	if cfg.tls {
+		pool, err := httpd.LoadCAPool(cfg.tlsCAFile)
+		if err != nil {
+			return err
+		}
+		ct = httpd.NewClientTransportTLS(cfg.addr, pool)
+	} else {
+		ct = httpd.NewClientTransport(cfg.addr)
+	}
+	defer ct.Close()
+
+	pool, err := engine.NewPool(engine.Config{
+		Sessions:  cfg.sessions,
+		Transport: ct,
+		Options:   browser.Options{Mode: cfg.mode},
+		Uncached:  cfg.uncached,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	shard := cluster.Shard{
+		Worker:   cfg.workerID,
+		PID:      os.Getpid(),
+		Sessions: cfg.sessions,
+		Mode:     cfg.mode.String(),
+		TLS:      cfg.tls,
+	}
+	bench := origin.MustParse("http://bench.example")
+	paths := scenarios.Paths()
+
+	// Unmeasured warm round: session cookies exist before measurement.
+	pool.Each(func(s *engine.Session) error {
+		_, err := s.Browser.Navigate(bench.URL(paths[0]))
+		return err
+	})
+	if st := pool.Stats(); len(st.Errors) > 0 {
+		return fmt.Errorf("worker %d warmup: %w", cfg.workerID, st.Errors[0])
+	}
+
+	ph, errs := runShardPhase(pool, ct, "figure4", func() {
+		for r := 0; r < cfg.iters; r++ {
+			for _, path := range paths {
+				p := path
+				pool.Submit(func(s *engine.Session) error {
+					_, err := s.Browser.Navigate(bench.URL(p))
+					return err
+				})
+			}
+		}
+		pool.Wait()
+	})
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "escudo-serve: worker %d figure4: %v\n", cfg.workerID, err)
+	}
+	shard.Phases = append(shard.Phases, ph)
+	if ph.Errors > 0 {
+		return fmt.Errorf("worker %d: figure4 had %d task errors", cfg.workerID, ph.Errors)
+	}
+
+	// Attack replay: each environment is a private substrate, so it
+	// runs behind its own local gateway — still real sockets (and TLS
+	// when -tls), inside this worker process. The verdict of every
+	// socket run must equal the in-memory run's: the transport-
+	// independence invariant, asserted per worker.
+	var attackWire httpd.ClientStats
+	if cfg.attacksOn {
+		envCfg := httpd.Config{
+			DefaultWorkers:    cfg.httpWorkers,
+			DefaultQueueDepth: cfg.httpQueue,
+		}
+		if cfg.tls {
+			envCA, err := httpd.NewCA()
+			if err != nil {
+				return err
+			}
+			envCfg.TLS = envCA
+		}
+		// The attack environments use their own transports; fold their
+		// wire traffic into the phase and shard accounting so the
+		// numbers cover everything this worker put on sockets.
+		var envWire struct {
+			mu sync.Mutex
+			st httpd.ClientStats
+		}
+		wrapper := func(n *web.Network) (web.Transport, func(), error) {
+			_, c, cleanup, err := httpd.WrapNetwork(n, envCfg, "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, func() {
+				envWire.mu.Lock()
+				envWire.st = envWire.st.Add(c.Stats())
+				envWire.mu.Unlock()
+				cleanup()
+			}, nil
+		}
+		corpus := attack.Corpus()
+		memResults := make([]attack.Result, len(corpus))
+		sockResults := make([]attack.Result, len(corpus))
+		ph, errs := runShardPhase(pool, ct, "attacks", func() {
+			for i, atk := range corpus {
+				i, atk := i, atk
+				pool.Submit(func(*engine.Session) error {
+					memResults[i] = attack.RunOneCached(atk, cfg.mode, pool.Cache())
+					if memResults[i].Err != nil {
+						return memResults[i].Err
+					}
+					sockResults[i] = attack.RunOneOver(atk, cfg.mode, pool.Cache(), wrapper)
+					return sockResults[i].Err
+				})
+			}
+			pool.Wait()
+		})
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "escudo-serve: worker %d attacks: %v\n", cfg.workerID, err)
+		}
+		envWire.mu.Lock()
+		envSt := envWire.st
+		envWire.mu.Unlock()
+		ph.Requests += envSt.Requests
+		if secs := ph.ElapsedMs / 1000; secs > 0 {
+			ph.ReqsPerSec = float64(ph.Requests) / secs
+		}
+		attackWire = envSt
+		shard.Phases = append(shard.Phases, ph)
+		if ph.Errors > 0 {
+			return fmt.Errorf("worker %d: attacks had %d task errors", cfg.workerID, ph.Errors)
+		}
+		tally := &cluster.ShardAttacks{Total: len(corpus), MatchMemory: true}
+		for i, r := range sockResults {
+			if r.Neutralized() {
+				tally.Neutralized++
+			} else {
+				tally.Succeeded++
+			}
+			if memResults[i].Succeeded != r.Succeeded {
+				tally.MatchMemory = false
+				fmt.Fprintf(os.Stderr,
+					"escudo-serve: worker %d VERDICT DIVERGENCE %s: in-memory succeeded=%v, sockets succeeded=%v\n",
+					cfg.workerID, corpus[i].Name, memResults[i].Succeeded, r.Succeeded)
+			}
+		}
+		shard.Attacks = tally
+		if !tally.MatchMemory {
+			return fmt.Errorf("worker %d: attack verdicts diverge between in-memory and socket transports", cfg.workerID)
+		}
+	}
+
+	shard.Client = cluster.FromClientStats(ct.Stats().Add(attackWire))
+	shard.ElapsedMs = ms(time.Since(start))
+	if err := shard.WriteFile(cfg.out); err != nil {
+		return err
+	}
+	fmt.Printf("escudo-serve: worker %d done — %d phases, %d wire requests, shard %s\n",
+		cfg.workerID, len(shard.Phases), shard.Client.Requests, cfg.out)
+	return nil
+}
+
+// clusterConfig parameterizes the supervisor mode.
+type clusterConfig struct {
+	workers     int
+	bin         string
+	sessions    int
+	iters       int
+	mode        string
+	attacksOn   bool
+	uncached    bool
+	tls         bool
+	httpWorkers int
+	httpQueue   int
+	out         string
+}
+
+// runCluster fork/execs one -serve-only server and N -connect workers
+// of this same binary, supervises the run, and merges the shards into
+// the `cluster` section of the BENCH report at -out (other sections
+// of an existing report are preserved, so a cluster run composes with
+// `make serve-http` output).
+func runCluster(cfg clusterConfig) error {
+	bin := cfg.bin
+	if bin == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("resolving own binary for fork/exec: %w", err)
+		}
+		bin = exe
+	}
+	dir, err := os.MkdirTemp("", "escudo-cluster-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	addrFile := filepath.Join(dir, "addr")
+	statsFile := filepath.Join(dir, "server_stats.json")
+	caFile := ""
+	serverArgs := []string{
+		"-serve-only",
+		"-http", "127.0.0.1:0",
+		"-sessions", strconv.Itoa(cfg.sessions),
+		"-http-workers", strconv.Itoa(cfg.httpWorkers),
+		"-http-queue", strconv.Itoa(cfg.httpQueue),
+		"-addr-file", addrFile,
+		"-stats-file", statsFile,
+	}
+	if cfg.tls {
+		caFile = filepath.Join(dir, "ca.pem")
+		serverArgs = append(serverArgs, "-tls", "-tls-ca-out", caFile)
+	}
+	shardFiles := make([]string, cfg.workers)
+	for i := range shardFiles {
+		shardFiles[i] = filepath.Join(dir, fmt.Sprintf("shard_%d.json", i))
+	}
+
+	sup, err := cluster.NewSupervisor(cluster.Config{
+		Server:          cluster.Spec{Name: "server", Path: bin, Args: serverArgs},
+		NumWorkers:      cfg.workers,
+		AddrFile:        addrFile,
+		CAFile:          caFile,
+		ShardFiles:      shardFiles,
+		ServerStatsFile: statsFile,
+		ExpectOrigins:   substrateOrigins,
+		ExpectPolicies:  substratePolicies,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+		Worker: func(i int, addr string) cluster.Spec {
+			args := []string{
+				"-connect", addr,
+				"-worker-id", strconv.Itoa(i),
+				"-sessions", strconv.Itoa(cfg.sessions),
+				"-iters", strconv.Itoa(cfg.iters),
+				"-mode", cfg.mode,
+				fmt.Sprintf("-attacks=%v", cfg.attacksOn),
+				fmt.Sprintf("-uncached=%v", cfg.uncached),
+				"-http-workers", strconv.Itoa(cfg.httpWorkers),
+				"-http-queue", strconv.Itoa(cfg.httpQueue),
+				"-out", shardFiles[i],
+			}
+			if cfg.tls {
+				args = append(args, "-tls", "-tls-ca", caFile)
+			}
+			return cluster.Spec{Name: fmt.Sprintf("worker-%d", i), Path: bin, Args: args}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := sup.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	// Merge into the report file: a cluster run refreshes the cluster
+	// section and leaves any other sections (in-memory phases, http,
+	// policy) from an earlier run intact.
+	var report benchJSON
+	if data, err := os.ReadFile(cfg.out); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("existing %s is not a BENCH report (move it aside): %w", cfg.out, err)
+		}
+	} else {
+		report.Sessions = cfg.workers * cfg.sessions
+		report.Mode = cfg.mode
+		report.GoMaxProcs = 0
+	}
+	report.Cluster = rep
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("ESCUDO cluster — 1 server + %d workers × %d sessions, tls=%v, server %s\n",
+		rep.Workers, rep.SessionsPerWorker, rep.TLS, rep.Addr)
+	fmt.Printf("ready in %.0f ms (%d starting polls)\n\n", rep.ReadyMs, rep.StartingPolls)
+	t := metrics.NewTable("Phase", "Tasks", "Reqs", "Aggregate reqs/s", "p50 (ms)", "p99 (ms)")
+	for _, ph := range rep.Phases {
+		t.AddRow(ph.Name,
+			fmt.Sprintf("%d", ph.Tasks),
+			fmt.Sprintf("%d", ph.Requests),
+			fmt.Sprintf("%.0f", ph.ReqsPerSec),
+			fmt.Sprintf("%.3f", ph.P50Ms),
+			fmt.Sprintf("%.3f", ph.P99Ms))
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+	wt := metrics.NewTable("Worker", "PID", "Tasks", "Reqs/s", "p99 (ms)", "Attacks neutralized")
+	for _, w := range rep.PerWorker {
+		wt.AddRow(fmt.Sprintf("worker-%d", w.Worker),
+			fmt.Sprintf("%d", w.PID),
+			fmt.Sprintf("%d", w.Tasks),
+			fmt.Sprintf("%.0f", w.ReqsPerSec),
+			fmt.Sprintf("%.3f", w.P99Ms),
+			fmt.Sprintf("%d/%d", w.AttacksNeutralized, rep.AttacksTotal))
+	}
+	fmt.Print(wt.String())
+	if rep.AttacksTotal > 0 {
+		fmt.Printf("\nAttack corpus across %d processes: %d/%d neutralized (verdicts match in-memory: %v)\n",
+			rep.Workers, rep.AttacksNeutralized, rep.AttacksTotal, rep.AttacksMatchMemory)
+	}
+	fmt.Printf("Connection reuse across workers: %d new, %d reused (%.1f%%)\n",
+		rep.Client.NewConns, rep.Client.ReusedConns, 100*rep.Client.ReuseRate)
+	fmt.Printf("\nWrote cluster section to %s (%.0f ms total)\n", cfg.out, rep.ElapsedMs)
+	return nil
+}

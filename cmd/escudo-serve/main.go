@@ -17,31 +17,42 @@
 // cross-checked against the in-memory verdicts: any divergence fails
 // the run, because the protection model is transport-independent.
 //
+// The multi-process modes (see cluster.go) split the deployment
+// across real OS processes: -serve-only runs the gateway alone until
+// SIGTERM, -connect runs a loadgen worker against a remote gateway,
+// and -cluster N fork/execs one server plus N workers and merges
+// their BENCH shards into a `cluster` section. -tls terminates https
+// on the gateway with an ephemeral in-memory CA in any gateway mode.
+//
 // Usage:
 //
 //	escudo-serve [-sessions N] [-iters N] [-phpbb-iters N]
 //	             [-mixed-iters N] [-procs N]
 //	             [-mode escudo|sop] [-attacks] [-uncached]
-//	             [-http addr] [-http-workers N] [-http-queue N]
+//	             [-http addr] [-http-workers N] [-http-queue N] [-tls]
+//	             [-cluster N | -serve-only | -connect addr]
 //	             [-out BENCH_engine.json]
 package main
 
 import (
+	"crypto/tls"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
-	"repro/internal/apps/phpbb"
-	"repro/internal/apps/phpcal"
 	"repro/internal/attack"
 	"repro/internal/browser"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/httpd"
@@ -132,10 +143,14 @@ type httpPhaseJSON struct {
 // workloads replayed over real sockets through the gateway.
 type httpJSON struct {
 	Addr       string          `json:"addr"`
+	TLS        bool            `json:"tls"`
 	Workers    int             `json:"workers_per_origin"`
 	QueueDepth int             `json:"queue_depth_per_origin"`
 	Phases     []httpPhaseJSON `json:"phases"`
 	Gateway    httpd.Stats     `json:"gateway"`
+	// Client is the loadgen transport's connection accounting (new
+	// vs reused keep-alive connections).
+	Client *cluster.ClientJSON `json:"client,omitempty"`
 	// PolicyzOrigins counts the policy documents the admin /policyz
 	// endpoint served, cross-checked against the mounted set.
 	PolicyzOrigins int          `json:"policyz_origins"`
@@ -174,7 +189,12 @@ type benchJSON struct {
 	Phases         []phaseJSON `json:"phases"`
 	Policy         *policyJSON `json:"policy,omitempty"`
 	HTTP           *httpJSON   `json:"http,omitempty"`
-	TotalMs        float64     `json:"total_ms"`
+	// Cluster is the multi-process deployment's merged section: one
+	// serve-only gateway process, N loadgen workers, shards merged by
+	// the supervisor (written by -cluster runs; other sections of an
+	// existing report are preserved).
+	Cluster *cluster.Report `json:"cluster,omitempty"`
+	TotalMs float64         `json:"total_ms"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -338,6 +358,7 @@ type httpSectionConfig struct {
 	iters          int
 	mixedIters     int
 	attacksOn      bool
+	tls            bool
 	mode           browser.Mode
 	uncached       bool
 	cache          *core.DecisionCache
@@ -405,9 +426,19 @@ func runHTTPPhase(pool *engine.Pool, gw *httpd.Gateway, name string, fn func()) 
 	return ph
 }
 
-// fetchPolicyz reads the admin /policyz endpoint.
-func fetchPolicyz(addr string) (map[string]policy.Policy, error) {
-	resp, err := http.Get("http://" + addr + "/policyz")
+// fetchPolicyz reads the admin /policyz endpoint, over https when the
+// gateway terminates TLS (ca non-nil).
+func fetchPolicyz(addr string, ca *httpd.CA) (map[string]policy.Policy, error) {
+	client := http.DefaultClient
+	scheme := "http"
+	if ca != nil {
+		scheme = "https"
+		client = &http.Client{
+			Transport: &http.Transport{TLSClientConfig: &tls.Config{RootCAs: ca.Pool(), MinVersion: tls.VersionTLS12}},
+			Timeout:   10 * time.Second,
+		}
+	}
+	resp, err := client.Get(scheme + "://" + addr + "/policyz")
 	if err != nil {
 		return nil, fmt.Errorf("fetching /policyz: %w", err)
 	}
@@ -437,16 +468,36 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 		doc := doc
 		originCfgs[o] = httpd.OriginConfig{Policy: &doc}
 	}
+	// The loadgen transport is created by WrapNetwork below, but the
+	// gateway config needs the stats hook now — late-bind through an
+	// atomic pointer so /metricsz can surface connection reuse.
+	var clientRef atomic.Pointer[httpd.ClientTransport]
 	gwCfg := httpd.Config{
 		DefaultWorkers:    cfg.workers,
 		DefaultQueueDepth: cfg.queue,
 		Origins:           originCfgs,
+		ClientStatsFunc: func() any {
+			if c := clientRef.Load(); c != nil {
+				return c.Stats()
+			}
+			return nil
+		},
+	}
+	var ca *httpd.CA
+	if cfg.tls {
+		c, err := httpd.NewCA()
+		if err != nil {
+			return nil, err
+		}
+		ca = c
+		gwCfg.TLS = ca
 	}
 	gw, ct, gwCleanup, err := httpd.WrapNetwork(cfg.net, gwCfg, cfg.addr)
 	if err != nil {
 		return nil, err
 	}
 	defer gwCleanup()
+	clientRef.Store(ct)
 
 	httpPool, err := engine.NewPool(engine.Config{
 		Sessions:  cfg.sessions,
@@ -460,11 +511,11 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 	}
 	defer httpPool.Close()
 
-	section := &httpJSON{Addr: gw.Addr(), Workers: cfg.workers, QueueDepth: cfg.queue}
+	section := &httpJSON{Addr: gw.Addr(), TLS: cfg.tls, Workers: cfg.workers, QueueDepth: cfg.queue}
 
 	// Wire-delivery cross-check: /policyz must serve every mounted
 	// document back equal to what was mounted.
-	served, err := fetchPolicyz(gw.Addr())
+	served, err := fetchPolicyz(gw.Addr(), ca)
 	if err != nil {
 		return nil, err
 	}
@@ -585,6 +636,8 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 	}
 
 	section.Gateway = gw.Stats()
+	clientStats := cluster.FromClientStats(ct.Stats())
+	section.Client = &clientStats
 	return section, nil
 }
 
@@ -601,12 +654,25 @@ func run(args []string) error {
 	httpAddr := fs.String("http", "", "also mount the origins on a real HTTP gateway at this address (e.g. 127.0.0.1:0) and replay the workloads over loopback sockets")
 	httpWorkers := fs.Int("http-workers", 4, "gateway per-origin worker count")
 	httpQueue := fs.Int("http-queue", 64, "gateway per-origin queue depth (overflow → 503)")
+	tlsOn := fs.Bool("tls", false, "terminate https on the gateway with an ephemeral in-memory CA (with -http, -serve-only, or -cluster; with -connect, trust -tls-ca)")
+	serveOnly := fs.Bool("serve-only", false, "server mode: mount the substrate on a gateway and serve until SIGTERM (no loadgen)")
+	connectAddr := fs.String("connect", "", "worker mode: generate load against a remote gateway at this address and write a BENCH shard to -out")
+	clusterN := fs.Int("cluster", 0, "cluster mode: fork/exec one -serve-only server plus N -connect workers and merge their shards into a cluster section")
+	clusterBin := fs.String("cluster-bin", "", "binary to fork/exec in -cluster mode (default: this executable)")
+	tlsCAOut := fs.String("tls-ca-out", "", "serve-only: write the CA certificate (no key) to this PEM file for workers to trust")
+	tlsCAFile := fs.String("tls-ca", "", "connect: CA certificate bundle to verify the gateway's TLS leafs against")
+	addrFile := fs.String("addr-file", "", "serve-only: write the bound listener address to this file")
+	statsFile := fs.String("stats-file", "", "serve-only: write gateway-side stats JSON here on graceful shutdown")
+	workerID := fs.Int("worker-id", 0, "connect: this worker's index in the cluster (labels the shard)")
 	out := fs.String("out", "BENCH_engine.json", "output JSON path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sessionsN < 1 {
 		return fmt.Errorf("-sessions must be >= 1, got %d", *sessionsN)
+	}
+	if *tlsOn && *httpAddr == "" && !*serveOnly && *connectAddr == "" && *clusterN == 0 {
+		return fmt.Errorf("-tls needs a gateway: combine it with -http, -serve-only, -connect, or -cluster")
 	}
 	if *procs > 0 {
 		// Clamp to the physical CPU count: GOMAXPROCS above it buys no
@@ -618,63 +684,80 @@ func run(args []string) error {
 		}
 		runtime.GOMAXPROCS(effective)
 	}
-	var mode browser.Mode
-	switch *modeFlag {
-	case "escudo":
-		mode = browser.ModeEscudo
-	case "sop":
-		mode = browser.ModeSOP
-	default:
-		return fmt.Errorf("unknown -mode %q", *modeFlag)
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		return err
 	}
 
-	// Shared substrate: the Figure-4 scenario server plus a phpBB
-	// instance with one account per session and a seeded topic.
-	net := web.NewNetwork()
-	benchOrigin := origin.MustParse("http://bench.example")
-	net.Register(benchOrigin, scenarios.Handler())
-
-	forumOrigin := origin.MustParse("http://forum.example")
-	forum := phpbb.New(phpbb.Config{
-		Origin: forumOrigin, Hardened: false, Escudo: true, Nonces: nonce.CryptoSource{},
-	})
-	for i := 0; i < *sessionsN; i++ {
-		forum.AddUser(fmt.Sprintf("user%d", i), "pw")
+	// The multi-process modes: a cluster supervisor, a server-only
+	// gateway process, or a loadgen worker. Each is a complete program
+	// of its own; the classic single-process driver continues below.
+	switch {
+	case *clusterN > 0:
+		return runCluster(clusterConfig{
+			workers:     *clusterN,
+			bin:         *clusterBin,
+			sessions:    *sessionsN,
+			iters:       *iters,
+			mode:        *modeFlag,
+			attacksOn:   *attacksOn,
+			uncached:    *uncached,
+			tls:         *tlsOn,
+			httpWorkers: *httpWorkers,
+			httpQueue:   *httpQueue,
+			out:         *out,
+		})
+	case *serveOnly:
+		// Register the handler before anything else runs so a SIGTERM
+		// arriving during startup still takes the graceful path.
+		stop := make(chan struct{})
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGTERM, os.Interrupt)
+		go func() {
+			<-ch
+			close(stop)
+		}()
+		addr := *httpAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		return runServeOnly(serveOnlyConfig{
+			addr:      addr,
+			sessions:  *sessionsN,
+			workers:   *httpWorkers,
+			queue:     *httpQueue,
+			tls:       *tlsOn,
+			tlsCAOut:  *tlsCAOut,
+			addrFile:  *addrFile,
+			statsFile: *statsFile,
+		}, stop)
+	case *connectAddr != "":
+		return runConnect(connectConfig{
+			addr:        *connectAddr,
+			sessions:    *sessionsN,
+			iters:       *iters,
+			mode:        mode,
+			uncached:    *uncached,
+			attacksOn:   *attacksOn,
+			tls:         *tlsOn,
+			tlsCAFile:   *tlsCAFile,
+			workerID:    *workerID,
+			httpWorkers: *httpWorkers,
+			httpQueue:   *httpQueue,
+			out:         *out,
+		})
 	}
-	topicID := forum.SeedTopic("user0", "Welcome", "first post")
-	net.Register(forumOrigin, forum)
 
-	// Mixed-workload substrate: a PHP-Calendar instance and a
-	// mashup-style portal (host page with AC-tagged widget slots and a
-	// cross-origin iframe) sharing the same network.
-	calOrigin := origin.MustParse("http://cal.example")
-	cal := phpcal.New(phpcal.Config{
-		Origin: calOrigin, Hardened: false, Escudo: true, Nonces: nonce.CryptoSource{},
-	})
-	for i := 0; i < *sessionsN; i++ {
-		cal.AddUser(fmt.Sprintf("user%d", i), "pw")
-	}
-	cal.SeedEvent("user0", 1, "kickoff")
-	net.Register(calOrigin, cal)
-
-	portalOrigin := origin.MustParse("http://portal.example")
-	widgetOrigin := origin.MustParse("http://widget.example")
-	net.Register(portalOrigin, portalHandler())
-	net.Register(widgetOrigin, web.HandlerFunc(func(req *web.Request) *web.Response {
-		return web.HTML(`<html><body><p id=w>widget content</p></body></html>`)
-	}))
-
-	// The unified policy documents for the substrate: derived from the
-	// apps' Table 3/Table 5 configurations and the scenario server, plus
-	// the portal's §7 delegation of ring 2 to the widget origin.
-	portalPolicy := policy.New(portalOrigin, core.DefaultMaxRing)
-	portalPolicy.Delegate(widgetOrigin, 2)
-	policies := map[string]policy.Policy{
-		benchOrigin.String():  scenarios.Policy(benchOrigin),
-		forumOrigin.String():  forum.Policy(),
-		calOrigin.String():    cal.Policy(),
-		portalOrigin.String(): portalPolicy,
-	}
+	// Shared substrate: the Figure-4 scenario server, a phpBB instance
+	// with one account per session and a seeded topic, the
+	// mixed-workload apps, and their unified policy documents.
+	sub := buildSubstrate(*sessionsN)
+	net := sub.net
+	benchOrigin, forumOrigin := sub.bench, sub.forum
+	calOrigin, portalOrigin, widgetOrigin := sub.cal, sub.portal, sub.widget
+	topicID := sub.topicID
+	portalPolicy := sub.portalPolicy
+	policies := sub.policies
 
 	pool, err := engine.NewPool(engine.Config{
 		Sessions: *sessionsN,
@@ -887,6 +970,7 @@ func run(args []string) error {
 			iters:      *iters,
 			mixedIters: *mixedIters,
 			attacksOn:  *attacksOn,
+			tls:        *tlsOn,
 			mode:       mode,
 			uncached:   *uncached,
 			cache:      pool.Cache(),

@@ -1,0 +1,185 @@
+// Package cluster turns escudo-serve into a real multi-process
+// deployment: a Supervisor fork/execs one gateway process in
+// server-only mode plus N loadgen worker processes, coordinates them
+// over the gateway's admin endpoints (/healthz readiness, /metricsz
+// and /policyz cross-checks), captures per-process logs, propagates
+// graceful shutdown (SIGTERM → gateway Shutdown), detects crashes,
+// and merges the workers' BENCH shards into one cluster report.
+//
+// The protection model is unmoved by any of this: every reference
+// monitor runs inside the worker processes' browsers, and the server
+// process is a dumb policy-serving transport. The cluster is the
+// first benchmark where client and server genuinely cross a process
+// boundary — and the transport-independence invariant (identical
+// verdicts over web.Network, plain HTTP, and TLS) is what makes its
+// numbers comparable to the in-memory ones.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Spec names one process to run.
+type Spec struct {
+	// Name labels the process in logs and errors ("server",
+	// "worker-0").
+	Name string
+	// Path is the executable; Args are its arguments (argv[1:]).
+	Path string
+	Args []string
+	// Env, when non-nil, replaces the inherited environment.
+	Env []string
+	// Dir is the working directory ("" inherits).
+	Dir string
+}
+
+// tailBuffer keeps the last Cap bytes written to it — enough of a
+// crashed process's output to fail loudly with, without buffering a
+// whole load run's logging.
+type tailBuffer struct {
+	mu        sync.Mutex
+	buf       []byte
+	cap       int
+	truncated bool
+}
+
+func newTailBuffer(capBytes int) *tailBuffer {
+	return &tailBuffer{cap: capBytes}
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.cap {
+		t.buf = t.buf[len(t.buf)-t.cap:]
+		t.truncated = true
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.truncated {
+		return "…" + string(t.buf)
+	}
+	return string(t.buf)
+}
+
+// Proc is one supervised child process with its combined
+// stdout+stderr captured into a bounded tail.
+type Proc struct {
+	Spec Spec
+
+	cmd  *exec.Cmd
+	log  *tailBuffer
+	done chan struct{}
+
+	mu      sync.Mutex
+	waitErr error
+}
+
+// logTailBytes bounds each process's captured log tail.
+const logTailBytes = 64 << 10
+
+// StartProc launches the process with stdout and stderr interleaved
+// into the captured tail.
+func StartProc(s Spec) (*Proc, error) {
+	p := &Proc{
+		Spec: s,
+		log:  newTailBuffer(logTailBytes),
+		done: make(chan struct{}),
+	}
+	p.cmd = exec.Command(s.Path, s.Args...)
+	p.cmd.Stdout = p.log
+	p.cmd.Stderr = p.log
+	p.cmd.Env = s.Env
+	p.cmd.Dir = s.Dir
+	if err := p.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("cluster: starting %s: %w", s.Name, err)
+	}
+	go func() {
+		err := p.cmd.Wait()
+		p.mu.Lock()
+		p.waitErr = err
+		p.mu.Unlock()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// PID returns the child's process id.
+func (p *Proc) PID() int { return p.cmd.Process.Pid }
+
+// Done closes when the process has exited.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// Alive reports whether the process is still running.
+func (p *Proc) Alive() bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// ExitErr returns the Wait error (nil for a clean exit). Only valid
+// after Done has closed.
+func (p *Proc) ExitErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waitErr
+}
+
+// Signal delivers sig to the process.
+func (p *Proc) Signal(sig os.Signal) error {
+	return p.cmd.Process.Signal(sig)
+}
+
+// LogTail returns the captured tail of the process's output.
+func (p *Proc) LogTail() string { return p.log.String() }
+
+// Wait blocks until exit or ctx cancellation.
+func (p *Proc) Wait(ctx context.Context) error {
+	select {
+	case <-p.done:
+		return p.ExitErr()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stop asks the process to exit with SIGTERM and escalates to SIGKILL
+// after grace. It returns the process's exit error (nil for a clean
+// exit before the escalation).
+func (p *Proc) Stop(grace time.Duration) error {
+	if p.Alive() {
+		if err := p.Signal(syscall.SIGTERM); err != nil && p.Alive() {
+			return fmt.Errorf("cluster: SIGTERM %s: %w", p.Spec.Name, err)
+		}
+	}
+	select {
+	case <-p.done:
+		return p.ExitErr()
+	case <-time.After(grace):
+		p.cmd.Process.Kill() //nolint:errcheck // best-effort escalation
+		<-p.done
+		return fmt.Errorf("cluster: %s did not exit within %v of SIGTERM (killed)", p.Spec.Name, grace)
+	}
+}
+
+// Kill forcibly terminates the process and waits for it.
+func (p *Proc) Kill() {
+	if p.Alive() {
+		p.cmd.Process.Kill() //nolint:errcheck // best-effort
+	}
+	<-p.done
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestProcCleanExit(t *testing.T) {
+	p, err := StartProc(Spec{Name: "echoer", Path: "sh", Args: []string{"-c", "echo out-line; echo err-line >&2"}})
+	if err != nil {
+		t.Fatalf("StartProc: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if p.Alive() {
+		t.Fatal("Alive after exit")
+	}
+	tail := p.LogTail()
+	if !strings.Contains(tail, "out-line") || !strings.Contains(tail, "err-line") {
+		t.Fatalf("log tail missing interleaved output: %q", tail)
+	}
+}
+
+func TestProcCrashCapturesTail(t *testing.T) {
+	p, err := StartProc(Spec{Name: "crasher", Path: "sh", Args: []string{"-c", "echo last words before dying >&2; exit 3"}})
+	if err != nil {
+		t.Fatalf("StartProc: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	werr := p.Wait(ctx)
+	if werr == nil {
+		t.Fatal("Wait returned nil for exit 3")
+	}
+	if !strings.Contains(p.LogTail(), "last words before dying") {
+		t.Fatalf("log tail lost the crash output: %q", p.LogTail())
+	}
+	perr := procError(p, "failed", werr)
+	if !strings.Contains(perr.Error(), "last words before dying") || !strings.Contains(perr.Error(), "crasher") {
+		t.Fatalf("procError not loud enough: %v", perr)
+	}
+}
+
+func TestProcStopGraceful(t *testing.T) {
+	// A process that honors SIGTERM exits cleanly within the grace.
+	p, err := StartProc(Spec{Name: "trapper", Path: "sh",
+		Args: []string{"-c", `trap 'echo bye; exit 0' TERM; while :; do sleep 0.05; done`}})
+	if err != nil {
+		t.Fatalf("StartProc: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the trap install
+	if err := p.Stop(5 * time.Second); err != nil {
+		t.Fatalf("Stop: %v (tail %q)", err, p.LogTail())
+	}
+	if !strings.Contains(p.LogTail(), "bye") {
+		t.Fatalf("trap did not run: %q", p.LogTail())
+	}
+}
+
+func TestProcStopEscalates(t *testing.T) {
+	// A process that ignores SIGTERM is killed after the grace, and
+	// Stop says so.
+	p, err := StartProc(Spec{Name: "stubborn", Path: "sh",
+		Args: []string{"-c", `trap '' TERM; while :; do sleep 0.05; done`}})
+	if err != nil {
+		t.Fatalf("StartProc: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	err = p.Stop(200 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "did not exit") {
+		t.Fatalf("Stop = %v, want escalation error", err)
+	}
+	if p.Alive() {
+		t.Fatal("process survived the escalation")
+	}
+}
+
+func TestProcSignalDelivery(t *testing.T) {
+	p, err := StartProc(Spec{Name: "sig", Path: "sh",
+		Args: []string{"-c", `trap 'exit 7' USR1; while :; do sleep 0.05; done`}})
+	if err != nil {
+		t.Fatalf("StartProc: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := p.Signal(syscall.SIGUSR1); err != nil {
+		t.Fatalf("Signal: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Wait(ctx); err == nil || !strings.Contains(err.Error(), "7") {
+		t.Fatalf("Wait = %v, want exit status 7", err)
+	}
+}
+
+func TestTailBufferBounds(t *testing.T) {
+	tb := newTailBuffer(16)
+	tb.Write([]byte("0123456789"))       //nolint:errcheck
+	tb.Write([]byte("abcdefghijklmnop")) //nolint:errcheck
+	got := tb.String()
+	if !strings.HasPrefix(got, "…") {
+		t.Fatalf("truncated buffer not marked: %q", got)
+	}
+	if !strings.HasSuffix(got, "abcdefghijklmnop") {
+		t.Fatalf("tail lost the newest bytes: %q", got)
+	}
+	if len(got) > len("…")+16 {
+		t.Fatalf("buffer exceeded its cap: %d bytes", len(got))
+	}
+}

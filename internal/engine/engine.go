@@ -208,6 +208,11 @@ type Stats struct {
 	Errors []error
 	// P50, P99, Mean, Max summarize per-task wall-clock latency.
 	P50, P99, Mean, Max time.Duration
+	// Hist is the bucketed form of the same latencies. Unlike the
+	// point percentiles it can be merged across processes — the
+	// cluster supervisor sums per-worker histograms to compute
+	// fleet-wide p50/p99.
+	Hist metrics.Histogram
 	// Decisions counts reference-monitor decisions recorded by every
 	// session's audit log.
 	Decisions uint64
@@ -241,6 +246,7 @@ func (p *Pool) Stats() Stats {
 	st.P99 = merged.Percentile(99)
 	st.Mean = merged.Mean()
 	st.Max = merged.Max()
+	st.Hist = merged.Histogram()
 	if p.cache != nil {
 		st.Cache = p.cache.Stats()
 	}

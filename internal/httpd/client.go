@@ -1,11 +1,17 @@
 package httpd
 
 import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/httptrace"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/web"
@@ -16,7 +22,14 @@ import (
 // origin in the Host header, and carries the initiator metadata in
 // X-Escudo-Initiator-* headers. Connections are pooled with
 // keep-alive, so a session's request stream reuses sockets the way a
-// real browser does.
+// real browser does; Stats exposes the new-vs-reused split.
+//
+// In TLS mode (NewClientTransportTLS) the wire is https: the request
+// URL names the origin host, a custom dialer rewrites every
+// connection to the gateway address, and so SNI and certificate
+// verification both run against the origin's own name while the bytes
+// flow over loopback — the client trusts exactly the gateway CA's
+// pool, nothing else.
 //
 // Redirects are NOT followed here — redirect policy belongs to the
 // browser (which must preserve the original initiator across 303
@@ -24,38 +37,118 @@ import (
 // mediated jar in the browser is the only cookie store.
 type ClientTransport struct {
 	addr   string
+	tls    bool
 	client *http.Client
+
+	requests    atomic.Uint64
+	newConns    atomic.Uint64
+	reusedConns atomic.Uint64
 }
 
 var _ web.Transport = (*ClientTransport)(nil)
 
-// NewClientTransport builds a pooled client for the gateway at addr
-// (as returned by Gateway.Addr).
-func NewClientTransport(addr string) *ClientTransport {
-	return &ClientTransport{
-		addr: addr,
-		client: &http.Client{
-			Transport: &http.Transport{
-				MaxIdleConns:        256,
-				MaxIdleConnsPerHost: 64,
-				IdleConnTimeout:     90 * time.Second,
-			},
-			CheckRedirect: func(*http.Request, []*http.Request) error {
-				return http.ErrUseLastResponse
-			},
-			Timeout: 30 * time.Second,
-		},
+// ClientStats counts a transport's wire traffic: round trips issued,
+// and how many rode a fresh TCP (or TLS) connection vs. a pooled
+// keep-alive one.
+type ClientStats struct {
+	Requests    uint64 `json:"requests"`
+	NewConns    uint64 `json:"new_conns"`
+	ReusedConns uint64 `json:"reused_conns"`
+}
+
+// ReuseRate is the fraction of round trips that reused a pooled
+// connection.
+func (s ClientStats) ReuseRate() float64 {
+	total := s.NewConns + s.ReusedConns
+	if total == 0 {
+		return 0
 	}
+	return float64(s.ReusedConns) / float64(total)
+}
+
+// Sub returns the counter delta s-base.
+func (s ClientStats) Sub(base ClientStats) ClientStats {
+	return ClientStats{
+		Requests:    s.Requests - base.Requests,
+		NewConns:    s.NewConns - base.NewConns,
+		ReusedConns: s.ReusedConns - base.ReusedConns,
+	}
+}
+
+// Add sums two snapshots — the cluster supervisor aggregates worker
+// transports with it.
+func (s ClientStats) Add(o ClientStats) ClientStats {
+	return ClientStats{
+		Requests:    s.Requests + o.Requests,
+		NewConns:    s.NewConns + o.NewConns,
+		ReusedConns: s.ReusedConns + o.ReusedConns,
+	}
+}
+
+// newPooledClient builds the shared http.Client shape; tlsCfg nil
+// means plain HTTP.
+func newPooledClient(addr string, tlsCfg *tls.Config) *http.Client {
+	t := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+		TLSClientConfig:     tlsCfg,
+	}
+	if tlsCfg != nil {
+		// Virtual hosting over TLS: the URL (and hence SNI and cert
+		// verification) name the origin; the socket always goes to the
+		// gateway.
+		dialer := &net.Dialer{Timeout: 10 * time.Second}
+		t.DialContext = func(ctx context.Context, network, _ string) (net.Conn, error) {
+			return dialer.DialContext(ctx, network, addr)
+		}
+	}
+	return &http.Client{
+		Transport: t,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+		Timeout: 30 * time.Second,
+	}
+}
+
+// NewClientTransport builds a pooled plain-HTTP client for the
+// gateway at addr (as returned by Gateway.Addr).
+func NewClientTransport(addr string) *ClientTransport {
+	return &ClientTransport{addr: addr, client: newPooledClient(addr, nil)}
+}
+
+// NewClientTransportTLS builds a pooled https client for a
+// TLS-terminating gateway at addr, verifying its per-origin leaf
+// certificates against roots (normally the gateway CA's pool, see
+// CA.Pool and LoadCAPool).
+func NewClientTransportTLS(addr string, roots *x509.CertPool) *ClientTransport {
+	cfg := &tls.Config{RootCAs: roots, MinVersion: tls.VersionTLS12}
+	return &ClientTransport{addr: addr, tls: true, client: newPooledClient(addr, cfg)}
 }
 
 // Addr returns the gateway address this transport dials.
 func (c *ClientTransport) Addr() string { return c.addr }
 
+// TLS reports whether round trips ride https.
+func (c *ClientTransport) TLS() bool { return c.tls }
+
+// Stats snapshots the transport's wire counters.
+func (c *ClientTransport) Stats() ClientStats {
+	return ClientStats{
+		Requests:    c.requests.Load(),
+		NewConns:    c.newConns.Load(),
+		ReusedConns: c.reusedConns.Load(),
+	}
+}
+
 // WrapNetwork is the canonical "put a socket in front of this
 // network" constructor: it mounts every origin of n on a fresh
 // gateway listening at addr ("127.0.0.1:0" for an ephemeral loopback
 // port) and returns the gateway, a pooled client transport dialing
-// it, and a teardown that closes both. cfg.Inner is set from n.
+// it, and a teardown that closes both. cfg.Inner is set from n; when
+// cfg.TLS carries a CA the gateway terminates https and the returned
+// transport trusts that CA's pool.
 func WrapNetwork(n *web.Network, cfg Config, addr string) (*Gateway, *ClientTransport, func(), error) {
 	cfg.Inner = n
 	g, err := New(cfg)
@@ -68,7 +161,12 @@ func WrapNetwork(n *web.Network, cfg Config, addr string) (*Gateway, *ClientTran
 	if err := g.Start(addr); err != nil {
 		return nil, nil, nil, err
 	}
-	ct := NewClientTransport(g.Addr())
+	var ct *ClientTransport
+	if cfg.TLS != nil {
+		ct = NewClientTransportTLS(g.Addr(), cfg.TLS.Pool())
+	} else {
+		ct = NewClientTransport(g.Addr())
+	}
 	cleanup := func() {
 		ct.Close()
 		g.Close() //nolint:errcheck // teardown; the deadline error is not actionable
@@ -96,7 +194,14 @@ func (c *ClientTransport) RoundTrip(req *web.Request) (*web.Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("httpd: parsing %q: %w", req.URL, err)
 	}
-	dial := "http://" + c.addr + u.EscapedPath()
+	var dial string
+	if c.tls {
+		// The URL names the origin so SNI and verification do too; the
+		// dialer rewrites the socket to the gateway.
+		dial = "https://" + hostKey(target) + u.EscapedPath()
+	} else {
+		dial = "http://" + c.addr + u.EscapedPath()
+	}
 	if u.RawQuery != "" {
 		dial += "?" + u.RawQuery
 	}
@@ -131,6 +236,20 @@ func (c *ClientTransport) RoundTrip(req *web.Request) (*web.Response, error) {
 	if req.InitiatorLabel != "" {
 		hreq.Header.Set(HeaderInitiatorLabel, req.InitiatorLabel)
 	}
+
+	// Count connection churn per round trip: GotConn fires once per
+	// request with the (possibly pooled) connection actually used.
+	c.requests.Add(1)
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				c.reusedConns.Add(1)
+			} else {
+				c.newConns.Add(1)
+			}
+		},
+	}
+	hreq = hreq.WithContext(httptrace.WithClientTrace(hreq.Context(), trace))
 
 	hresp, err := c.client.Do(hreq)
 	if err != nil {

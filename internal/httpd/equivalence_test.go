@@ -126,6 +126,99 @@ func TestTransportEquivalence(t *testing.T) {
 	}
 }
 
+// TestTLSTransportEquivalence extends the PR 3 invariant to https:
+// the same fixed session over the in-memory network, over a plain
+// HTTP gateway, and over a TLS-terminating gateway yields identical
+// verdicts, audit decision counts and tallies, and cookie jars. TLS
+// is pure transport; if it ever changed a verdict, this test is the
+// tripwire.
+func TestTLSTransportEquivalence(t *testing.T) {
+	memNet, bench, forumO, topic := buildSubstrate()
+	memBrowser := runFixedSession(t, memNet, bench, forumO, topic)
+
+	plainNet, pBench, pForumO, pTopic := buildSubstrate()
+	pg := startGateway(t, plainNet, Config{})
+	plainCT := NewClientTransport(pg.Addr())
+	defer plainCT.Close()
+	plainBrowser := runFixedSession(t, plainCT, pBench, pForumO, pTopic)
+
+	tlsNet, tBench, tForumO, tTopic := buildSubstrate()
+	tg, ca := startGatewayTLS(t, tlsNet, Config{})
+	tlsCT := NewClientTransportTLS(tg.Addr(), ca.Pool())
+	defer tlsCT.Close()
+	tlsBrowser := runFixedSession(t, tlsCT, tBench, tForumO, tTopic)
+
+	mem := memBrowser.Audit.Len()
+	if mem == 0 {
+		t.Fatal("in-memory session recorded no decisions; workload broken")
+	}
+	if plain, tlsN := plainBrowser.Audit.Len(), tlsBrowser.Audit.Len(); mem != plain || mem != tlsN {
+		t.Fatalf("decision counts diverge: in-memory %d, plain http %d, tls %d", mem, plain, tlsN)
+	}
+	memTally := auditTally(memBrowser)
+	if got := auditTally(plainBrowser); !reflect.DeepEqual(memTally, got) {
+		t.Fatalf("plain-http audit tally diverges:\n  in-memory: %v\n  http:      %v", memTally, got)
+	}
+	if got := auditTally(tlsBrowser); !reflect.DeepEqual(memTally, got) {
+		t.Fatalf("tls audit tally diverges:\n  in-memory: %v\n  tls:       %v", memTally, got)
+	}
+	if m, p, s := len(memBrowser.Audit.Denials()), len(plainBrowser.Audit.Denials()), len(tlsBrowser.Audit.Denials()); m != p || m != s {
+		t.Fatalf("denial counts diverge: in-memory %d, plain %d, tls %d", m, p, s)
+	}
+	memJar := memBrowser.Jar().All()
+	if got := plainBrowser.Jar().All(); !reflect.DeepEqual(memJar, got) {
+		t.Fatalf("plain-http jar diverges:\n  in-memory: %+v\n  http:      %+v", memJar, got)
+	}
+	if got := tlsBrowser.Jar().All(); !reflect.DeepEqual(memJar, got) {
+		t.Fatalf("tls jar diverges:\n  in-memory: %+v\n  tls:       %+v", memJar, got)
+	}
+}
+
+// tlsGatewayWrapper runs each attack environment's network behind its
+// own TLS-terminating loopback gateway, all leafs minted by one CA.
+func tlsGatewayWrapper(t *testing.T) attack.TransportWrapper {
+	t.Helper()
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	return func(n *web.Network) (web.Transport, func(), error) {
+		_, ct, cleanup, err := WrapNetwork(n, Config{TLS: ca}, "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		return ct, cleanup, nil
+	}
+}
+
+// TestAttackCorpusOverTLS replays the §6.4 corpus through
+// TLS-terminating gateways under Escudo and demands in-memory
+// verdicts: 18/18 neutralized, none created or lost by the https hop.
+func TestAttackCorpusOverTLS(t *testing.T) {
+	wrap := tlsGatewayWrapper(t)
+	neutralized := 0
+	for _, atk := range attack.Corpus() {
+		mem := attack.RunOne(atk, browser.ModeEscudo)
+		if mem.Err != nil {
+			t.Fatalf("%s in-memory: %v", atk.Name, mem.Err)
+		}
+		overTLS := attack.RunOneOver(atk, browser.ModeEscudo, nil, wrap)
+		if overTLS.Err != nil {
+			t.Fatalf("%s over TLS: %v", atk.Name, overTLS.Err)
+		}
+		if mem.Succeeded != overTLS.Succeeded {
+			t.Errorf("%s verdict diverges: in-memory succeeded=%v, tls succeeded=%v",
+				atk.Name, mem.Succeeded, overTLS.Succeeded)
+		}
+		if overTLS.Neutralized() {
+			neutralized++
+		}
+	}
+	if neutralized != len(attack.Corpus()) {
+		t.Errorf("Escudo over TLS neutralized %d/%d", neutralized, len(attack.Corpus()))
+	}
+}
+
 // TestCookieFidelityAcrossBoundary pins the Set-Cookie round trip
 // byte-for-byte: attributes (Path, HttpOnly) and Escudo ring
 // annotations must land in the jar identically whether the response

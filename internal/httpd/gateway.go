@@ -15,6 +15,7 @@ package httpd
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -122,6 +123,23 @@ type Config struct {
 	// embedded in the JSON under "engine" — the load driver plugs
 	// engine.Pool.Stats in here.
 	StatsFunc func() any
+	// ClientStatsFunc, when non-nil, is embedded in /metricsz under
+	// "client" — a single-process load driver plugs its
+	// ClientTransport.Stats in here so connection-reuse counters show
+	// up next to the gateway's own.
+	ClientStatsFunc func() any
+	// TLS, when non-nil, terminates https on the listener: every
+	// handshake gets a leaf certificate minted by the CA, selected by
+	// SNI (per-origin identity) with a loopback default for SNI-less
+	// admin probes. TLS is pure transport — origins, verdicts, and
+	// audit semantics are unchanged, which the TLS equivalence test
+	// pins.
+	TLS *CA
+	// HoldReady keeps /healthz reporting "starting" (503) after Start
+	// until SetReady(true) — the serve-only driver holds readiness
+	// through its warm self-check so a supervisor's poll cannot race
+	// the mount loop.
+	HoldReady bool
 }
 
 // vhost is one mounted origin: its identity and its bounded queue.
@@ -206,6 +224,7 @@ type Gateway struct {
 	served   atomic.Uint64
 	rejected atomic.Uint64
 	maxDepth atomic.Int64
+	ready    atomic.Bool
 }
 
 // New builds a gateway over the inner transport.
@@ -242,9 +261,11 @@ func hostKey(o origin.Origin) string {
 }
 
 // Mount registers an origin for virtual hosting with the queue shape
-// from Config.Origins (or the defaults). Mount before Start; the
-// gateway only terminates plain HTTP, so only http-scheme origins can
-// be mounted.
+// from Config.Origins (or the defaults). Mount before Start. Only
+// http-scheme origins can be mounted: origins are logical http://
+// identities throughout the substrate, and TLS (Config.TLS) is
+// applied at the transport layer without changing them — that is
+// what keeps verdicts identical across plain and https deployments.
 func (g *Gateway) Mount(o origin.Origin) error {
 	if pre, ok := g.cfg.Origins[o.String()]; ok {
 		return g.MountOpts(o, pre)
@@ -318,6 +339,10 @@ func (g *Gateway) Start(addr string) error {
 		return fmt.Errorf("httpd: listen %s: %w", addr, err)
 	}
 	g.ln = ln
+	serveLn := ln
+	if g.cfg.TLS != nil {
+		serveLn = tls.NewListener(ln, g.cfg.TLS.ServerConfig())
+	}
 	g.srv = &http.Server{Handler: g, ReadHeaderTimeout: 10 * time.Second}
 	g.started = true
 	for _, vh := range g.mounts {
@@ -327,9 +352,21 @@ func (g *Gateway) Start(addr string) error {
 		}
 	}
 	g.mu.Unlock()
-	go g.srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown.
+	// Readiness flips only after every origin's worker pool is up; a
+	// HoldReady gateway additionally waits for SetReady (the driver's
+	// own warm-up gate).
+	if !g.cfg.HoldReady {
+		g.ready.Store(true)
+	}
+	go g.srv.Serve(serveLn) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown.
 	return nil
 }
+
+// TLS reports whether the gateway terminates https.
+func (g *Gateway) TLS() bool { return g.cfg.TLS != nil }
+
+// SetReady flips the /healthz readiness state — see Config.HoldReady.
+func (g *Gateway) SetReady(ready bool) { g.ready.Store(ready) }
 
 // Addr returns the listener address ("127.0.0.1:41234").
 func (g *Gateway) Addr() string {
@@ -506,6 +543,8 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
 		case "/healthz":
 			g.serveHealthz(w)
+		case "/livez":
+			g.serveLivez(w)
 		case "/metricsz":
 			g.serveMetricsz(w)
 		case "/policyz":
@@ -629,9 +668,15 @@ func (g *Gateway) routeError(w http.ResponseWriter, err error) {
 	g.gatewayError(w, gatewayBadRequest, http.StatusBadGateway, err.Error())
 }
 
-// healthzJSON is the /healthz document.
+// healthzJSON is the /healthz (readiness) document. /livez answers
+// liveness separately: it is 200 from the instant the listener is up,
+// while /healthz stays "starting" (503) until every origin is mounted,
+// the worker pools are running, and any HoldReady warm-up has passed —
+// so a supervisor polling readiness can never race the mount loop.
 type healthzJSON struct {
 	Status  string `json:"status"`
+	Ready   bool   `json:"ready"`
+	TLS     bool   `json:"tls"`
 	Origins int    `json:"origins"`
 	Addr    string `json:"addr"`
 }
@@ -640,7 +685,25 @@ func (g *Gateway) serveHealthz(w http.ResponseWriter) {
 	g.mu.RLock()
 	origins := len(g.mounts)
 	g.mu.RUnlock()
-	writeJSON(w, healthzJSON{Status: "ok", Origins: origins, Addr: g.Addr()})
+	doc := healthzJSON{Status: "ok", Ready: true, TLS: g.TLS(), Origins: origins, Addr: g.Addr()}
+	if !g.ready.Load() {
+		doc.Status = "starting"
+		doc.Ready = false
+		writeJSONStatus(w, http.StatusServiceUnavailable, doc)
+		return
+	}
+	writeJSON(w, doc)
+}
+
+// livezJSON is the /livez document: the process is up and serving its
+// listener, whatever the readiness state.
+type livezJSON struct {
+	Live bool   `json:"live"`
+	Addr string `json:"addr"`
+}
+
+func (g *Gateway) serveLivez(w http.ResponseWriter) {
+	writeJSON(w, livezJSON{Live: true, Addr: g.Addr()})
 }
 
 // vhostJSON is one origin's row in /metricsz.
@@ -661,6 +724,9 @@ type metricszJSON struct {
 	Gateway Stats       `json:"gateway"`
 	Origins []vhostJSON `json:"origins"`
 	Engine  any         `json:"engine,omitempty"`
+	// Client carries the co-resident ClientTransport's stats
+	// (connection reuse) when the driver wired ClientStatsFunc.
+	Client any `json:"client,omitempty"`
 }
 
 func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
@@ -681,6 +747,9 @@ func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
 	sort.Slice(doc.Origins, func(a, b int) bool { return doc.Origins[a].Origin < doc.Origins[b].Origin })
 	if g.cfg.StatsFunc != nil {
 		doc.Engine = g.cfg.StatsFunc()
+	}
+	if g.cfg.ClientStatsFunc != nil {
+		doc.Client = g.cfg.ClientStatsFunc()
 	}
 	writeJSON(w, doc)
 }
@@ -730,11 +799,18 @@ func (g *Gateway) servePolicyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, doc any) {
-	w.Header().Set("Content-Type", "application/json")
+	writeJSONStatus(w, http.StatusOK, doc)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, doc any) {
 	data, err := json.Marshal(doc)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
 	}
 	w.Write(data) //nolint:errcheck // client went away; nothing to do
 }

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketsMonotonic pins the bucket layout: indices grow
+// with duration and every bucket's upper bound dominates the values
+// mapped into it.
+func TestHistogramBucketsMonotonic(t *testing.T) {
+	prev := -1
+	for us := 0; us < 1<<14; us++ {
+		d := time.Duration(us) * time.Microsecond
+		i := bucketOf(d)
+		if i < prev {
+			t.Fatalf("bucket index regressed at %v: %d after %d", d, i, prev)
+		}
+		prev = i
+		if up := bucketUpper(i); up < d {
+			t.Fatalf("bucketUpper(%d) = %v < observed %v", i, up, d)
+		}
+		// Relative error bound: the upper bound never overstates the
+		// value by more than 12.5% (plus one µs of quantization).
+		if up := bucketUpper(i); float64(up) > float64(d)*1.125+float64(time.Microsecond) {
+			t.Fatalf("bucket %d upper %v overstates %v by more than 12.5%%", i, up, d)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Total(); got != 1000 {
+		t.Fatalf("Total = %d, want 1000", got)
+	}
+	p50 := h.Quantile(50)
+	if p50 < 450*time.Microsecond || p50 > 570*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~500µs", p50)
+	}
+	p99 := h.Quantile(99)
+	if p99 < 900*time.Microsecond || p99 > 1150*time.Microsecond {
+		t.Fatalf("p99 = %v, want ~990µs", p99)
+	}
+	if h.Quantile(0) == 0 {
+		t.Fatal("Quantile(0) on a non-empty histogram returned 0")
+	}
+}
+
+// TestHistogramMerge is the property the cluster supervisor depends
+// on: merging per-worker histograms then taking a quantile equals
+// bucketing the union of the samples.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, union Histogram
+	for i := 1; i <= 500; i++ {
+		d := time.Duration(i) * time.Microsecond
+		a.Observe(d)
+		union.Observe(d)
+	}
+	for i := 5000; i <= 9000; i += 10 {
+		d := time.Duration(i) * time.Microsecond
+		b.Observe(d)
+		union.Observe(d)
+	}
+	a.Merge(b)
+	if a.Total() != union.Total() {
+		t.Fatalf("merged total %d != union total %d", a.Total(), union.Total())
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		if got, want := a.Quantile(p), union.Quantile(p); got != want {
+			t.Fatalf("p%.0f: merged %v != union %v", p, got, want)
+		}
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	s := &Sample{}
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 40 * time.Microsecond} {
+		s.Add(d)
+	}
+	h := s.Histogram()
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Total() != h.Total() || back.Quantile(50) != h.Quantile(50) {
+		t.Fatalf("round trip diverged: %+v vs %+v", back, h)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Total() != 0 || h.Quantile(50) != 0 {
+		t.Fatalf("empty histogram: total %d, p50 %v", h.Total(), h.Quantile(50))
+	}
+}
