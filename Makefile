@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare lint fmt-check vet serve serve-http serve-cluster clean
+.PHONY: all build test race bench bench-compare fuzz-script lint fmt-check vet serve serve-http serve-cluster clean
 
 all: build lint test
 
@@ -20,6 +20,15 @@ race:
 # runtime breakage in benchmark code without CI-length runs.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Differential fuzz: the compiled VM must agree with the tree-walking
+# interpreter (the semantic spec) on every input — result values,
+# error classes, and step counts alike. CI runs this as a short smoke;
+# raise FUZZTIME locally when touching the compiler or VM.
+FUZZTIME ?= 10s
+fuzz-script:
+	$(GO) test ./internal/script -run '^FuzzCompileMatchesEval$$' \
+		-fuzz '^FuzzCompileMatchesEval$$' -fuzztime $(FUZZTIME)
 
 lint: fmt-check vet
 

@@ -55,12 +55,29 @@ type clusterSection struct {
 	AttacksNeutralized int             `json:"attacks_neutralized"`
 }
 
+// scriptEngine mirrors one engine's half of the script section.
+type scriptEngine struct {
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// scriptSection mirrors the subset of the script section compared:
+// interpreter vs compiled VM on the shared corpus.
+type scriptSection struct {
+	Eval       scriptEngine `json:"eval"`
+	VM         scriptEngine `json:"vm"`
+	Speedup    float64      `json:"speedup"`
+	AllocRatio float64      `json:"alloc_ratio"`
+}
+
 // report mirrors the subset of BENCH_engine.json being compared.
 type report struct {
 	Sessions   int             `json:"sessions"`
 	Mode       string          `json:"mode"`
 	GoMaxProcs int             `json:"gomaxprocs"`
 	Phases     []phase         `json:"phases"`
+	Script     *scriptSection  `json:"script"`
 	Cluster    *clusterSection `json:"cluster"`
 	TotalMs    float64         `json:"total_ms"`
 }
@@ -145,8 +162,46 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	fmt.Fprint(out, t.String())
+	compareScript(out, oldR.Script, newR.Script)
 	compareCluster(out, oldR.Cluster, newR.Cluster)
 	return nil
+}
+
+// compareScript diffs the engine-vs-engine section: per-engine
+// throughput and allocations, then the paired speedup and alloc
+// ratio — the two numbers the script-engine acceptance gate pins.
+func compareScript(out *os.File, oldS, newS *scriptSection) {
+	if oldS == nil && newS == nil {
+		return
+	}
+	fmt.Fprintf(out, "\nscript: ")
+	switch {
+	case oldS == nil:
+		fmt.Fprintf(out, "old report has none; new: vm %.2fx faster than eval, %.3fx allocs\n",
+			newS.Speedup, newS.AllocRatio)
+	case newS == nil:
+		fmt.Fprintf(out, "new report has none; old: vm %.2fx faster than eval, %.3fx allocs\n",
+			oldS.Speedup, oldS.AllocRatio)
+		return
+	default:
+		fmt.Fprintf(out, "vm speedup %s, alloc ratio %s\n",
+			delta(oldS.Speedup, newS.Speedup), delta(oldS.AllocRatio, newS.AllocRatio))
+	}
+
+	oldE, oldV := scriptEngine{}, scriptEngine{}
+	if oldS != nil {
+		oldE, oldV = oldS.Eval, oldS.VM
+	}
+	t := metrics.NewTable("Engine", "Ops/s", "ns/op", "Allocs/op")
+	t.AddRow("eval",
+		delta(oldE.OpsPerSec, newS.Eval.OpsPerSec),
+		delta(oldE.NsPerOp, newS.Eval.NsPerOp),
+		delta(oldE.AllocsPerOp, newS.Eval.AllocsPerOp))
+	t.AddRow("vm",
+		delta(oldV.OpsPerSec, newS.VM.OpsPerSec),
+		delta(oldV.NsPerOp, newS.VM.NsPerOp),
+		delta(oldV.AllocsPerOp, newS.VM.AllocsPerOp))
+	fmt.Fprint(out, t.String())
 }
 
 // compareCluster diffs the multi-process sections: aggregate

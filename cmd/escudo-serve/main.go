@@ -188,7 +188,12 @@ type benchJSON struct {
 	GoMaxProcs     int         `json:"gomaxprocs"`
 	Phases         []phaseJSON `json:"phases"`
 	Policy         *policyJSON `json:"policy,omitempty"`
-	HTTP           *httpJSON   `json:"http,omitempty"`
+	// Script is the engine-vs-engine section: the tree-walking
+	// interpreter against the compiled VM on the shared corpus (see
+	// scriptbench.go). Measured after the workload phases so the
+	// compile-cache counters reflect real <script> traffic.
+	Script *scriptJSON `json:"script,omitempty"`
+	HTTP   *httpJSON   `json:"http,omitempty"`
 	// Cluster is the multi-process deployment's merged section: one
 	// serve-only gateway process, N loadgen workers, shards merged by
 	// the supervisor (written by -cluster runs; other sections of an
@@ -647,6 +652,7 @@ func run(args []string) error {
 	iters := fs.Int("iters", 5, "rounds through all Figure-4 scenarios per session")
 	phpbbIters := fs.Int("phpbb-iters", 20, "phpBB page views per session")
 	mixedIters := fs.Int("mixed-iters", 10, "mixed-workload rounds per session (0 disables the phase)")
+	scriptIters := fs.Int("script-iters", 60, "script-engine corpus passes per round per engine (0 disables the script section)")
 	procs := fs.Int("procs", 0, "GOMAXPROCS override (0 keeps the runtime default)")
 	modeFlag := fs.String("mode", "escudo", "protection mode: escudo or sop")
 	attacksOn := fs.Bool("attacks", true, "replay the §6.4 attack corpus")
@@ -989,6 +995,17 @@ func run(args []string) error {
 		report.HTTP = h
 	}
 
+	// Script section — interpreter vs compiled VM on the shared corpus,
+	// after every workload phase so the compile-cache counters cover
+	// the run's full <script> traffic.
+	if *scriptIters > 0 {
+		s, err := runScriptSection(*scriptIters)
+		if err != nil {
+			return err
+		}
+		report.Script = s
+	}
+
 	report.TotalMs = ms(time.Since(total))
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -1044,6 +1061,16 @@ func run(args []string) error {
 				return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
 			}
 		}
+	}
+	if s := report.Script; s != nil {
+		fmt.Printf("\nScript engines (%d-script corpus, %d passes × %d rounds):\n",
+			s.CorpusScripts, s.Passes, s.Rounds)
+		fmt.Printf("  eval: %.0f ops/s (%.0f ns/op, %.0f allocs/op)\n",
+			s.Eval.OpsPerSec, s.Eval.NsPerOp, s.Eval.AllocsPerOp)
+		fmt.Printf("  vm:   %.0f ops/s (%.0f ns/op, %.0f allocs/op)\n",
+			s.VM.OpsPerSec, s.VM.NsPerOp, s.VM.AllocsPerOp)
+		fmt.Printf("  speedup %.2fx, alloc ratio %.3fx, compile cache %d hits / %d misses\n",
+			s.Speedup, s.AllocRatio, s.CompileCacheHits, s.CompileCacheMisses)
 	}
 	if h := report.HTTP; h != nil {
 		fmt.Printf("\nHTTP gateway at %s — %d workers, queue %d per origin\n\n",

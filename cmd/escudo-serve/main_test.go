@@ -73,6 +73,29 @@ func TestServeEmitsBenchJSON(t *testing.T) {
 		t.Fatalf("ESCUDO neutralized %d/%d (succeeded %d), want all",
 			atk.Neutralized, atk.Total, atk.Succeeded)
 	}
+	// Script section: both engines measured, the VM ahead on time and
+	// allocations, and the run's <script> traffic visible in the
+	// compile cache. The thresholds here are deliberately looser than
+	// the CI acceptance gate (≥3×, ≤0.25×) because `go test -race`
+	// distorts timings; the jq assert on a real driver run pins the
+	// real numbers.
+	s := report.Script
+	if s == nil {
+		t.Fatal("report has no script section")
+	}
+	if s.Eval.OpsPerSec <= 0 || s.VM.OpsPerSec <= 0 {
+		t.Fatalf("script section measured nothing: %+v", s)
+	}
+	if s.Speedup <= 1 {
+		t.Errorf("script VM speedup %.2f, want > 1", s.Speedup)
+	}
+	if s.AllocRatio <= 0 || s.AllocRatio >= 0.5 {
+		t.Errorf("script VM alloc ratio %.3f, want in (0, 0.5)", s.AllocRatio)
+	}
+	if s.CompileCacheHits == 0 || s.CompileCacheMisses == 0 {
+		t.Errorf("compile cache saw no traffic: %d hits / %d misses",
+			s.CompileCacheHits, s.CompileCacheMisses)
+	}
 }
 
 // TestServeSOPBaseline replays the corpus under the legacy monitor:
@@ -81,7 +104,7 @@ func TestServeEmitsBenchJSON(t *testing.T) {
 func TestServeSOPBaseline(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_engine.json")
 	err := run([]string{"-sessions", "4", "-iters", "1", "-phpbb-iters", "2",
-		"-mode", "sop", "-out", out})
+		"-mode", "sop", "-script-iters", "0", "-out", out})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -105,7 +128,7 @@ func TestServeSOPBaseline(t *testing.T) {
 func TestServeUncached(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_engine.json")
 	err := run([]string{"-sessions", "2", "-iters", "1", "-phpbb-iters", "2",
-		"-attacks=false", "-uncached", "-out", out})
+		"-attacks=false", "-uncached", "-script-iters", "0", "-out", out})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -141,7 +164,7 @@ func TestServeRejectsBadMode(t *testing.T) {
 func TestServeHTTPSection(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_engine.json")
 	err := run([]string{"-sessions", "4", "-iters", "2", "-phpbb-iters", "2",
-		"-mixed-iters", "2", "-http", "127.0.0.1:0", "-out", out})
+		"-mixed-iters", "2", "-http", "127.0.0.1:0", "-script-iters", "0", "-out", out})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

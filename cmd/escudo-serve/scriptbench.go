@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/script"
+)
+
+// The script section measures the two script engines — the
+// tree-walking interpreter (the semantic baseline) and the compiled
+// VM the browser actually runs — head to head on the mixed-phase
+// corpus from internal/script. One "op" is one pass over the whole
+// corpus, matching BenchmarkScriptEval/BenchmarkScriptVM, so the
+// numbers here and `go test -bench Script` describe the same thing.
+//
+// The engines are measured in paired rounds (eval then VM inside each
+// round) and summarized by medians: on a loaded or single-CPU host
+// the absolute timings wobble, but scheduler noise hits both halves
+// of a pair roughly equally, so the per-round ratio — and therefore
+// the reported speedup — stays stable.
+
+// scriptEngineJSON is one engine's half of the script section.
+type scriptEngineJSON struct {
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// scriptJSON is the script section of BENCH_engine.json.
+type scriptJSON struct {
+	CorpusScripts int `json:"corpus_scripts"`
+	// Passes is corpus passes per round per engine; Rounds is the
+	// number of paired rounds the medians are taken over.
+	Passes int              `json:"passes"`
+	Rounds int              `json:"rounds"`
+	Eval   scriptEngineJSON `json:"eval"`
+	VM     scriptEngineJSON `json:"vm"`
+	// Speedup is the median of per-round evalNs/vmNs ratios — the
+	// paired measure, robust to load the per-engine medians are not.
+	Speedup    float64 `json:"speedup"`
+	AllocRatio float64 `json:"alloc_ratio"`
+	// Compile cache counters are cumulative over the whole run: by the
+	// time this section is measured, every <script> body the workload
+	// phases executed has flowed through CompileCached.
+	CompileCacheHits   uint64 `json:"compile_cache_hits"`
+	CompileCacheMisses uint64 `json:"compile_cache_misses"`
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// runScriptSection benchmarks both engines over the shared corpus.
+// passes is corpus passes per round per engine; rounds is fixed.
+func runScriptSection(passes int) (*scriptJSON, error) {
+	const rounds = 9
+	srcs := script.BenchCorpus()
+	progs := make([]*script.Program, len(srcs))
+	compiled := make([]*script.Compiled, len(srcs))
+	for i, src := range srcs {
+		p, err := script.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("script corpus %d: %w", i, err)
+		}
+		progs[i] = script.Fold(p)
+		compiled[i] = script.Compile(progs[i])
+	}
+
+	evalPass := func() error {
+		for _, p := range progs {
+			ip := &script.Interp{}
+			if _, err := ip.Run(p, script.StdEnv(&script.Console{})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	vmPass := func() error {
+		for _, c := range compiled {
+			vm := &script.VM{}
+			if _, err := vm.Run(c, script.StdEnv(&script.Console{})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	timePasses := func(pass func() error) (float64, error) {
+		start := time.Now()
+		for i := 0; i < passes; i++ {
+			if err := pass(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(passes), nil
+	}
+	// Allocation counts are deterministic per pass, so one measured
+	// window per engine suffices; Mallocs is monotonic, no GC needed.
+	allocsPerPass := func(pass func() error) (float64, error) {
+		const n = 16
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < n; i++ {
+			if err := pass(); err != nil {
+				return 0, err
+			}
+		}
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs-m0.Mallocs) / n, nil
+	}
+
+	// Warm both engines (JIT-free, but first passes fault in code and
+	// grow runtime structures) before the measured rounds.
+	for i := 0; i < 2; i++ {
+		if err := evalPass(); err != nil {
+			return nil, fmt.Errorf("script eval warmup: %w", err)
+		}
+		if err := vmPass(); err != nil {
+			return nil, fmt.Errorf("script vm warmup: %w", err)
+		}
+	}
+
+	evalNs := make([]float64, 0, rounds)
+	vmNs := make([]float64, 0, rounds)
+	ratios := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		e, err := timePasses(evalPass)
+		if err != nil {
+			return nil, fmt.Errorf("script eval: %w", err)
+		}
+		v, err := timePasses(vmPass)
+		if err != nil {
+			return nil, fmt.Errorf("script vm: %w", err)
+		}
+		evalNs = append(evalNs, e)
+		vmNs = append(vmNs, v)
+		if v > 0 {
+			ratios = append(ratios, e/v)
+		}
+	}
+
+	evalAllocs, err := allocsPerPass(evalPass)
+	if err != nil {
+		return nil, err
+	}
+	vmAllocs, err := allocsPerPass(vmPass)
+	if err != nil {
+		return nil, err
+	}
+
+	sec := &scriptJSON{
+		CorpusScripts: len(srcs),
+		Passes:        passes,
+		Rounds:        rounds,
+		Eval:          scriptEngineJSON{NsPerOp: median(evalNs), AllocsPerOp: evalAllocs},
+		VM:            scriptEngineJSON{NsPerOp: median(vmNs), AllocsPerOp: vmAllocs},
+		Speedup:       median(ratios),
+	}
+	if sec.Eval.NsPerOp > 0 {
+		sec.Eval.OpsPerSec = 1e9 / sec.Eval.NsPerOp
+	}
+	if sec.VM.NsPerOp > 0 {
+		sec.VM.OpsPerSec = 1e9 / sec.VM.NsPerOp
+	}
+	if evalAllocs > 0 {
+		sec.AllocRatio = vmAllocs / evalAllocs
+	}
+	sec.CompileCacheHits, sec.CompileCacheMisses = script.CompileCacheStats()
+	return sec, nil
+}

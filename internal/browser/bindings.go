@@ -15,24 +15,46 @@ import (
 )
 
 // scriptEnv builds the execution environment for one principal:
-// standard builtins plus document, window, and XMLHttpRequest, every
-// one of them funneling through the page's reference monitor with the
-// principal's security context.
+// standard builtins plus the DOM and network modules, every binding
+// funneling through the page's reference monitor with the principal's
+// security context.
 func (p *Page) scriptEnv(principal core.Context) *script.Env {
 	env := script.StdEnv(p.browser.Console)
-	api := dom.NewAPI(p.Doc, principal, p.Monitor)
-	env.Define("document", &documentHost{page: p, api: api, principal: principal})
-	env.Define("window", &windowHost{page: p, principal: principal})
-	env.Define("XMLHttpRequest", script.NativeFunc(func(args []script.Value) (script.Value, error) {
-		return newXHRHost(p, principal)
-	}))
-	env.Define("Image", script.NativeFunc(func(args []script.Value) (script.Value, error) {
-		// new Image() is a detached img element; setting .src fires
-		// the request, the classic exfiltration vector.
-		el := api.CreateElement("img")
-		return &elementHost{page: p, api: api, node: el, principal: principal}, nil
-	}))
+	if err := script.Install(env, p.DOMModule(principal), p.NetModule(principal)); err != nil {
+		// The page modules never fail to install.
+		panic("browser: script env install: " + err.Error())
+	}
 	return env
+}
+
+// DOMModule binds the document surface for one principal: document,
+// window, and the Image constructor. Exposed as a script.Module so
+// hosts embedding the engine (tests, the gateway's probe harness)
+// compose the same surface the page installs.
+func (p *Page) DOMModule(principal core.Context) script.Module {
+	return script.Module{Name: "dom", Install: func(env *script.Env) error {
+		api := dom.NewAPI(p.Doc, principal, p.Monitor)
+		env.Define("document", &documentHost{page: p, api: api, principal: principal})
+		env.Define("window", &windowHost{page: p, principal: principal})
+		env.Define("Image", script.Func("Image", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
+			// new Image() is a detached img element; setting .src fires
+			// the request, the classic exfiltration vector.
+			el := api.CreateElement("img")
+			return &elementHost{page: p, api: api, node: el, principal: principal}, nil
+		}))
+		return nil
+	}}
+}
+
+// NetModule binds the network surface: the XMLHttpRequest constructor,
+// use-mediated at open/send against the page's API ring.
+func (p *Page) NetModule(principal core.Context) script.Module {
+	return script.Module{Name: "net", Install: func(env *script.Env) error {
+		env.Define("XMLHttpRequest", script.Func("XMLHttpRequest", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
+			return newXHRHost(p, principal)
+		}))
+		return nil
+	}}
 }
 
 // documentHost exposes the document object.
@@ -62,7 +84,7 @@ func (d *documentHost) HostGet(name string) (script.Value, error) {
 		}
 		return nil, nil
 	case "getElementById":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("document.getElementById", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if len(args) == 0 {
 				return nil, nil
 			}
@@ -76,7 +98,7 @@ func (d *documentHost) HostGet(name string) (script.Value, error) {
 			return &elementHost{page: d.page, api: d.api, node: n, principal: d.principal}, nil
 		}), nil
 	case "getElementsByTagName":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("document.getElementsByTagName", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if len(args) == 0 {
 				return &script.Array{}, nil
 			}
@@ -87,7 +109,7 @@ func (d *documentHost) HostGet(name string) (script.Value, error) {
 			return arr, nil
 		}), nil
 	case "createElement":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("document.createElement", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if len(args) == 0 {
 				return nil, errors.New("createElement needs a tag")
 			}
@@ -99,7 +121,7 @@ func (d *documentHost) HostGet(name string) (script.Value, error) {
 		// body, mediated as a write on the body and bounded by the
 		// scoping rule — a ring-3 script cannot write a ring-0
 		// principal into existence (§5).
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("document.write", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if len(args) == 0 {
 				return nil, nil
 			}
@@ -118,7 +140,7 @@ func (d *documentHost) HostGet(name string) (script.Value, error) {
 			return nil, nil
 		}), nil
 	case "createTextNode":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("document.createTextNode", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			text := ""
 			if len(args) > 0 {
 				text = script.ToString(args[0])
@@ -217,7 +239,7 @@ func (x *xhrHost) HostGet(name string) (script.Value, error) {
 	case "responseText":
 		return x.response, nil
 	case "open":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("XMLHttpRequest.open", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if len(args) < 2 {
 				return nil, errors.New("open(method, url)")
 			}
@@ -234,7 +256,7 @@ func (x *xhrHost) HostGet(name string) (script.Value, error) {
 			return nil, nil
 		}), nil
 	case "send":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("XMLHttpRequest.send", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if !x.opened {
 				return nil, errors.New("send before open")
 			}
@@ -335,7 +357,7 @@ func (h *historyHost) HostGet(name string) (script.Value, error) {
 	case "back":
 		// Instructing the browser to re-render a previous page is a
 		// use of browser state (§4.1), ring-0-only like the reads.
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("history.back", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if err := h.authorize(core.OpUse); err != nil {
 				return nil, err
 			}
@@ -348,7 +370,7 @@ func (h *historyHost) HostGet(name string) (script.Value, error) {
 		// A deliberate sniffing API: real attacks infer this from
 		// link colors; the model exposes it directly so the ring-0
 		// protection is testable.
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("history.visited", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if err := h.authorize(core.OpRead); err != nil {
 				return nil, err
 			}
@@ -394,7 +416,7 @@ func (e *elementHost) HostGet(name string) (script.Value, error) {
 		}
 		return &elementHost{page: e.page, api: e.api, node: e.node.Parent, principal: e.principal}, nil
 	case "getAttribute":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("getAttribute", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if len(args) == 0 {
 				return nil, nil
 			}
@@ -405,7 +427,7 @@ func (e *elementHost) HostGet(name string) (script.Value, error) {
 			return v, nil
 		}), nil
 	case "setAttribute":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("setAttribute", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if len(args) < 2 {
 				return nil, errors.New("setAttribute(name, value)")
 			}
@@ -418,7 +440,7 @@ func (e *elementHost) HostGet(name string) (script.Value, error) {
 			return nil, nil
 		}), nil
 	case "appendChild":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("appendChild", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if len(args) == 0 {
 				return nil, errors.New("appendChild(node)")
 			}
@@ -432,7 +454,7 @@ func (e *elementHost) HostGet(name string) (script.Value, error) {
 			return args[0], nil
 		}), nil
 	case "removeChild":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("removeChild", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if len(args) == 0 {
 				return nil, errors.New("removeChild(node)")
 			}
@@ -446,7 +468,7 @@ func (e *elementHost) HostGet(name string) (script.Value, error) {
 			return args[0], nil
 		}), nil
 	case "click":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("click", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			// Script-initiated click: the script is the event
 			// deliverer (a use), then anchors navigate.
 			if err := e.page.DispatchEvent(e.node, "click", &e.principal); err != nil {
@@ -460,7 +482,7 @@ func (e *elementHost) HostGet(name string) (script.Value, error) {
 			return nil, nil
 		}), nil
 	case "submit":
-		return script.NativeFunc(func(args []script.Value) (script.Value, error) {
+		return script.Func("submit", func(_ *script.Ctx, args []script.Value) (script.Value, error) {
 			if e.node.Tag != "form" {
 				return nil, errors.New("submit on non-form")
 			}

@@ -585,11 +585,18 @@ func scriptLabel(n *html.Node) string {
 
 // RunScriptAs executes source with the given principal's bindings:
 // document, window, and XMLHttpRequest, all mediated by the page's
-// monitor.
+// monitor. Scripts run on the compiled engine: the body is lowered
+// once through the process-wide compile cache (repeat executions of a
+// hot <script> across pages and sessions skip parse and lowering) and
+// executed by a fresh VM whose fuel budget is MaxScriptSteps.
 func (p *Page) RunScriptAs(principal core.Context, src string) error {
+	c, err := script.CompileCached(src)
+	if err != nil {
+		return err
+	}
 	env := p.scriptEnv(principal)
-	ip := &script.Interp{MaxSteps: p.browser.opts.MaxScriptSteps}
-	_, err := ip.RunSource(src, env)
+	vm := &script.VM{MaxSteps: p.browser.opts.MaxScriptSteps}
+	_, err = vm.Run(c, env)
 	return err
 }
 

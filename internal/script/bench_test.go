@@ -1,0 +1,57 @@
+package script
+
+import "testing"
+
+// The mixed-phase corpus lives in corpus.go (BenchCorpus), shared with
+// cmd/escudo-serve's script section.
+
+func benchPrograms(b *testing.B) []*Program {
+	srcs := BenchCorpus()
+	progs := make([]*Program, len(srcs))
+	for i, src := range srcs {
+		p, err := Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs[i] = Fold(p)
+	}
+	return progs
+}
+
+// BenchmarkScriptEval is the tree-walking baseline: per-execution cost
+// of a pre-parsed script, fresh environment each run (as the browser
+// provides one per script).
+func BenchmarkScriptEval(b *testing.B) {
+	progs := benchPrograms(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			ip := &Interp{}
+			if _, err := ip.Run(p, StdEnv(&Console{})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkScriptVM is the compiled engine on the same corpus:
+// programs lowered once (as the compile cache provides), fresh
+// environment each run.
+func BenchmarkScriptVM(b *testing.B) {
+	progs := benchPrograms(b)
+	compiled := make([]*Compiled, len(progs))
+	for i, p := range progs {
+		compiled[i] = Compile(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range compiled {
+			vm := &VM{}
+			if _, err := vm.Run(c, StdEnv(&Console{})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

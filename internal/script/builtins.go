@@ -9,6 +9,12 @@ import (
 	"sync"
 )
 
+// The standard library is organised as Modules (module.go): console,
+// math, string, and util. Hosts install them with Install, or use the
+// StdEnv convenience that installs the full set. All natives here are
+// built with Func, the CtxFunc constructor — see the deprecation note
+// on NativeFunc.
+
 // Console collects script log output (console.log / log builtin). It
 // is safe for concurrent use.
 type Console struct {
@@ -33,7 +39,10 @@ func (c *Console) Lines() []string {
 }
 
 // consoleHost exposes console.log to scripts.
-type consoleHost struct{ c *Console }
+type consoleHost struct {
+	c   *Console
+	log CtxFunc
+}
 
 var _ HostObject = (*consoleHost)(nil)
 
@@ -41,14 +50,7 @@ func (h *consoleHost) HostName() string { return "Console" }
 
 func (h *consoleHost) HostGet(name string) (Value, error) {
 	if name == "log" {
-		return NativeFunc(func(args []Value) (Value, error) {
-			parts := make([]string, len(args))
-			for i, a := range args {
-				parts[i] = ToString(a)
-			}
-			h.c.Log(strings.Join(parts, " "))
-			return nil, nil
-		}), nil
+		return h.log, nil
 	}
 	return nil, nil
 }
@@ -57,40 +59,60 @@ func (h *consoleHost) HostSet(name string, v Value) error {
 	return errors.New("console is read-only")
 }
 
-// StdEnv builds the base environment every script gets: console plus
-// the pure builtins. The browser adds document, window, and
-// XMLHttpRequest bindings on top, bound to the principal's security
-// context.
-func StdEnv(console *Console) *Env {
-	env := NewEnv()
-	env.Define("console", &consoleHost{c: console})
-	env.Define("log", NativeFunc(func(args []Value) (Value, error) {
+func logFunc(c *Console) CtxFunc {
+	return Func("log", func(_ *Ctx, args []Value) (Value, error) {
 		parts := make([]string, len(args))
 		for i, a := range args {
 			parts[i] = ToString(a)
 		}
-		console.Log(strings.Join(parts, " "))
+		c.Log(strings.Join(parts, " "))
 		return nil, nil
-	}))
-	env.Define("String", NativeFunc(func(args []Value) (Value, error) {
+	})
+}
+
+// ConsoleModule binds console (a host object) and the bare log alias,
+// both writing to c.
+func ConsoleModule(c *Console) Module {
+	return Module{Name: "console", Install: func(env *Env) error {
+		log := logFunc(c)
+		env.Define("console", &consoleHost{c: c, log: log})
+		env.Define("log", log)
+		return nil
+	}}
+}
+
+// The env-independent natives are built once at package init:
+// environments are constructed per script execution, so Install cost
+// is on the hot path and should be map inserts, not closure builds.
+var (
+	mathMembers = map[string]Value{
+		"floor": num1("Math.floor", math.Floor),
+		"ceil":  num1("Math.ceil", math.Ceil),
+		"abs":   num1("Math.abs", math.Abs),
+		"max":   numFold("Math.max", math.Inf(-1), math.Max),
+		"min":   numFold("Math.min", math.Inf(1), math.Min),
+	}
+
+	stringFn = Func("String", func(_ *Ctx, args []Value) (Value, error) {
 		if len(args) == 0 {
 			return "", nil
 		}
 		return ToString(args[0]), nil
-	}))
-	env.Define("Number", NativeFunc(func(args []Value) (Value, error) {
+	})
+
+	numberFn = Func("Number", func(_ *Ctx, args []Value) (Value, error) {
 		if len(args) == 0 {
 			return float64(0), nil
 		}
 		switch v := args[0].(type) {
 		case float64:
-			return v, nil
+			return numValue(v), nil
 		case string:
 			n, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
 			if err != nil {
 				return math.NaN(), nil
 			}
-			return n, nil
+			return numValue(n), nil
 		case bool:
 			if v {
 				return float64(1), nil
@@ -99,8 +121,9 @@ func StdEnv(console *Console) *Env {
 		default:
 			return math.NaN(), nil
 		}
-	}))
-	env.Define("parseInt", NativeFunc(func(args []Value) (Value, error) {
+	})
+
+	parseIntFn = Func("parseInt", func(_ *Ctx, args []Value) (Value, error) {
 		if len(args) == 0 {
 			return math.NaN(), nil
 		}
@@ -113,22 +136,25 @@ func StdEnv(console *Console) *Env {
 		if err != nil {
 			return math.NaN(), nil
 		}
-		return float64(n), nil
-	}))
-	env.Define("isNaN", NativeFunc(func(args []Value) (Value, error) {
+		return numValue(float64(n)), nil
+	})
+
+	isNaNFn = Func("isNaN", func(_ *Ctx, args []Value) (Value, error) {
 		if len(args) == 0 {
 			return true, nil
 		}
 		n, ok := args[0].(float64)
 		return !ok || math.IsNaN(n), nil
-	}))
-	env.Define("encodeURIComponent", NativeFunc(func(args []Value) (Value, error) {
+	})
+
+	encodeURIFn = Func("encodeURIComponent", func(_ *Ctx, args []Value) (Value, error) {
 		if len(args) == 0 {
 			return "", nil
 		}
 		return url.QueryEscape(ToString(args[0])), nil
-	}))
-	env.Define("decodeURIComponent", NativeFunc(func(args []Value) (Value, error) {
+	})
+
+	decodeURIFn = Func("decodeURIComponent", func(_ *Ctx, args []Value) (Value, error) {
 		if len(args) == 0 {
 			return "", nil
 		}
@@ -137,33 +163,83 @@ func StdEnv(console *Console) *Env {
 			return ToString(args[0]), nil
 		}
 		return s, nil
-	}))
+	})
 
-	mathObj := NewObject()
-	mathObj.Props["floor"] = NativeFunc(num1(math.Floor))
-	mathObj.Props["ceil"] = NativeFunc(num1(math.Ceil))
-	mathObj.Props["abs"] = NativeFunc(num1(math.Abs))
-	mathObj.Props["max"] = NativeFunc(numFold(math.Inf(-1), math.Max))
-	mathObj.Props["min"] = NativeFunc(numFold(math.Inf(1), math.Min))
-	env.Define("Math", mathObj)
-
-	// attempt(fn) runs fn and swallows any error, returning whether
-	// it succeeded. Attack scripts use it to probe multiple vectors
-	// in one run even when the monitor denies the earlier ones.
-	env.Define("attempt", NativeFunc(func(args []Value) (Value, error) {
+	attemptFn = Func("attempt", func(ctx *Ctx, args []Value) (Value, error) {
 		if len(args) == 0 {
 			return false, nil
 		}
-		ip := &Interp{}
-		v, err := ip.callValue(args[0], args[1:], 0)
-		_ = v
+		_, err := ctx.Call(args[0], args[1:]...)
+		if err != nil && errors.Is(err, ErrTooManySteps) {
+			// Fuel exhaustion is the engine's verdict, not the
+			// probe's: attempt must not swallow it.
+			return nil, err
+		}
 		return err == nil, nil
-	}))
+	})
+)
+
+// MathModule binds the Math object (floor, ceil, abs, max, min). The
+// object itself is fresh per environment — scripts may overwrite its
+// members — but the member functions are shared.
+func MathModule() Module {
+	return Module{Name: "math", Install: func(env *Env) error {
+		props := make(map[string]Value, len(mathMembers))
+		for k, v := range mathMembers {
+			props[k] = v
+		}
+		env.Define("Math", &Object{Props: props})
+		return nil
+	}}
+}
+
+// StringModule binds the conversion and encoding builtins: String,
+// Number, parseInt, isNaN, encodeURIComponent, decodeURIComponent.
+func StringModule() Module {
+	return Module{Name: "string", Install: func(env *Env) error {
+		env.Define("String", stringFn)
+		env.Define("Number", numberFn)
+		env.Define("parseInt", parseIntFn)
+		env.Define("isNaN", isNaNFn)
+		env.Define("encodeURIComponent", encodeURIFn)
+		env.Define("decodeURIComponent", decodeURIFn)
+		return nil
+	}}
+}
+
+// UtilModule binds attempt(fn, args...): run fn swallowing any error,
+// returning whether it succeeded. Attack scripts use it to probe
+// multiple vectors in one run even when the monitor denies the earlier
+// ones. The callback runs through Ctx.Call, so its body charges the
+// calling engine's step budget — a looping callback cannot escape
+// MaxSteps by hiding inside a native call.
+func UtilModule() Module {
+	return Module{Name: "util", Install: func(env *Env) error {
+		env.Define("attempt", attemptFn)
+		return nil
+	}}
+}
+
+// StdModules is the standard library every script environment gets.
+func StdModules(console *Console) []Module {
+	return []Module{ConsoleModule(console), MathModule(), StringModule(), UtilModule()}
+}
+
+// StdEnv builds the base environment every script gets: console plus
+// the pure builtins. The browser adds document, window, and
+// XMLHttpRequest bindings on top, bound to the principal's security
+// context.
+func StdEnv(console *Console) *Env {
+	env := NewEnv()
+	if err := Install(env, StdModules(console)...); err != nil {
+		// The standard modules never fail to install.
+		panic("script: stdlib install: " + err.Error())
+	}
 	return env
 }
 
-func num1(f func(float64) float64) func([]Value) (Value, error) {
-	return func(args []Value) (Value, error) {
+func num1(name string, f func(float64) float64) CtxFunc {
+	return Func(name, func(_ *Ctx, args []Value) (Value, error) {
 		if len(args) == 0 {
 			return math.NaN(), nil
 		}
@@ -171,12 +247,12 @@ func num1(f func(float64) float64) func([]Value) (Value, error) {
 		if !ok {
 			return math.NaN(), nil
 		}
-		return f(n), nil
-	}
+		return numValue(f(n)), nil
+	})
 }
 
-func numFold(init float64, f func(a, b float64) float64) func([]Value) (Value, error) {
-	return func(args []Value) (Value, error) {
+func numFold(name string, init float64, f func(a, b float64) float64) CtxFunc {
+	return Func(name, func(_ *Ctx, args []Value) (Value, error) {
 		acc := init
 		for _, a := range args {
 			n, ok := a.(float64)
@@ -185,6 +261,6 @@ func numFold(init float64, f func(a, b float64) float64) func([]Value) (Value, e
 			}
 			acc = f(acc, n)
 		}
-		return acc, nil
-	}
+		return numValue(acc), nil
+	})
 }

@@ -1,0 +1,2162 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file lowers the parsed AST to the pre-bound closure chains the
+// VM executes (vm.go). Each AST node compiles once into a cexpr/cstmt
+// closure with its operands, line numbers, and child closures already
+// bound, so re-execution pays no tree dispatch, no per-node type
+// switches, and no sentinel-error control flow. Variable references
+// resolve to slot indices at compile time (cscope below); binary
+// operators specialize to per-op closures; constant and identifier
+// operands fuse into their consuming node (simpleOp below) so the hot
+// path of a loop iteration is a handful of direct loads rather than a
+// chain of closure calls. A Compiled is immutable after Compile
+// returns and safe for concurrent Run.
+
+// Compiled is an immutable compiled program, reusable across runs and
+// goroutines (each Run supplies its own VM and environment).
+type Compiled struct {
+	body compiledBlock
+	// topNames maps the root frame's slots back to names so Run can
+	// flush top-level declarations into the host Env, which is where
+	// the interpreter defines them.
+	topNames []string
+	// dynCount is how many dynamic-read sites this program compiled to,
+	// so Run sizes the machine's read cache in one allocation.
+	dynCount int
+}
+
+// Compile lowers a parsed program. It does not fold; callers wanting
+// the full pipeline use CompileSource, and the differential harness
+// folds explicitly so both engines execute the same AST.
+func Compile(prog *Program) *Compiled {
+	top := newCscope(nil)
+	for _, n := range declaredNames(prog.Body) {
+		top.declare(n)
+	}
+	body := compileStmtList(prog.Body, top)
+	names := make([]string, len(top.names))
+	for n, i := range top.names {
+		names[i] = n
+	}
+	return &Compiled{body: body, topNames: names, dynCount: *top.dyn}
+}
+
+// CompileSource runs the whole pipeline: parse, fold, compile.
+func CompileSource(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(Fold(prog)), nil
+}
+
+// cscope is the compile-time mirror of a runtime scope frame: the
+// names a block declares, each with its slot index. The chain layout
+// here must match frame creation in vm.go exactly — a cscope is
+// created if and only if the corresponding runtime frame is.
+type cscope struct {
+	names  map[string]int
+	parent *cscope
+	// dyn numbers the dynamic (host-resolved) identifier sites in one
+	// compilation, shared down the whole cscope tree; each site's ID
+	// indexes the machine's per-run read cache.
+	dyn *int
+}
+
+func newCscope(parent *cscope) *cscope {
+	cs := &cscope{names: map[string]int{}, parent: parent}
+	if parent != nil {
+		cs.dyn = parent.dyn
+	} else {
+		cs.dyn = new(int)
+	}
+	return cs
+}
+
+func (cs *cscope) declare(name string) int {
+	if i, ok := cs.names[name]; ok {
+		return i
+	}
+	i := len(cs.names)
+	cs.names[name] = i
+	return i
+}
+
+// resolve collects every slot that may bind name, innermost first.
+// Multiple candidates arise from shadowing; which one is live depends
+// on which declarations have executed, so the accessors check
+// boundness at run time.
+func resolve(cs *cscope, name string) []slotRef {
+	var refs []slotRef
+	hops := 0
+	for c := cs; c != nil; c = c.parent {
+		if i, ok := c.names[name]; ok {
+			refs = append(refs, slotRef{hops: hops, slot: i})
+		}
+		hops++
+	}
+	return refs
+}
+
+// declaredNames lists the names the statement list declares directly
+// (var, var lists, function declarations). Nested blocks declare into
+// their own frames.
+func declaredNames(body []Stmt) []string {
+	var names []string
+	for _, s := range body {
+		switch st := s.(type) {
+		case *VarStmt:
+			names = append(names, st.Name)
+		case *VarListStmt:
+			for _, d := range st.Decls {
+				names = append(names, d.Name)
+			}
+		case *FuncDeclStmt:
+			names = append(names, st.Name)
+		}
+	}
+	return names
+}
+
+// Fold returns a program with constant subexpressions pre-evaluated:
+// literal arithmetic, concatenation, comparisons, logical
+// short-circuits, unary operators, and literal-condition ternaries.
+// Operations that would error at runtime (e.g. "a" - 1) are left
+// untouched so error text and line numbers are preserved. Folding
+// removes the tick a folded operator would have charged, so the
+// differential harness folds once and feeds the same program to both
+// engines.
+func Fold(prog *Program) *Program {
+	return &Program{Body: foldStmts(prog.Body)}
+}
+
+func foldStmts(body []Stmt) []Stmt {
+	out := make([]Stmt, len(body))
+	for i, s := range body {
+		out[i] = foldStmt(s)
+	}
+	return out
+}
+
+func foldStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *VarStmt:
+		ns := *st
+		if st.Init != nil {
+			ns.Init = foldExpr(st.Init)
+		}
+		return &ns
+	case *VarListStmt:
+		decls := make([]*VarStmt, len(st.Decls))
+		for i, d := range st.Decls {
+			decls[i] = foldStmt(d).(*VarStmt)
+		}
+		return &VarListStmt{Decls: decls, Line: st.Line}
+	case *ExprStmt:
+		return &ExprStmt{X: foldExpr(st.X), Line: st.Line}
+	case *IfStmt:
+		ns := &IfStmt{Cond: foldExpr(st.Cond), Then: foldStmts(st.Then), Line: st.Line}
+		if st.Else != nil {
+			ns.Else = foldStmts(st.Else)
+		}
+		return ns
+	case *WhileStmt:
+		return &WhileStmt{Cond: foldExpr(st.Cond), Body: foldStmts(st.Body), Line: st.Line}
+	case *ForStmt:
+		ns := &ForStmt{Body: foldStmts(st.Body), Line: st.Line}
+		if st.Init != nil {
+			ns.Init = foldStmt(st.Init)
+		}
+		if st.Cond != nil {
+			ns.Cond = foldExpr(st.Cond)
+		}
+		if st.Post != nil {
+			ns.Post = foldStmt(st.Post)
+		}
+		return ns
+	case *ReturnStmt:
+		ns := &ReturnStmt{Line: st.Line}
+		if st.X != nil {
+			ns.X = foldExpr(st.X)
+		}
+		return ns
+	case *BlockStmt:
+		return &BlockStmt{Body: foldStmts(st.Body), Line: st.Line}
+	case *FuncDeclStmt:
+		return &FuncDeclStmt{Name: st.Name, Fn: foldFuncLit(st.Fn), Line: st.Line}
+	default:
+		// Break/Continue and anything future: nothing to fold.
+		return s
+	}
+}
+
+func foldFuncLit(fn *FuncLit) *FuncLit {
+	return &FuncLit{Params: fn.Params, Body: foldStmts(fn.Body), Line: fn.Line}
+}
+
+// litVal extracts the value of a literal node.
+func litVal(x Expr) (vmval, bool) {
+	switch e := x.(type) {
+	case *NumberLit:
+		return vnum(e.Value), true
+	case *StringLit:
+		return vstr(e.Value), true
+	case *BoolLit:
+		return vbool(e.Value), true
+	case *NullLit:
+		return vmval{}, true
+	}
+	return vmval{}, false
+}
+
+// valLit builds a literal node for a scalar value; nil for references.
+func valLit(v vmval) Expr {
+	switch v.kind {
+	case vNum:
+		return &NumberLit{Value: v.num}
+	case vStr:
+		return &StringLit{Value: v.str}
+	case vBool:
+		return &BoolLit{Value: v.num != 0}
+	case vNull:
+		return &NullLit{}
+	}
+	return nil
+}
+
+func foldExprs(xs []Expr) []Expr {
+	out := make([]Expr, len(xs))
+	for i, x := range xs {
+		out[i] = foldExpr(x)
+	}
+	return out
+}
+
+func foldExpr(x Expr) Expr {
+	switch e := x.(type) {
+	case *BinaryExpr:
+		l, r := foldExpr(e.L), foldExpr(e.R)
+		if e.Op == "&&" || e.Op == "||" {
+			if lv, ok := litVal(l); ok {
+				if truthy(lv) == (e.Op == "||") {
+					return l
+				}
+				return r
+			}
+			return &BinaryExpr{Op: e.Op, L: l, R: r, Line: e.Line}
+		}
+		if lv, lok := litVal(l); lok {
+			if rv, rok := litVal(r); rok {
+				if out, err := binaryOp(e.Op, lv, rv, e.Line); err == nil {
+					if lit := valLit(out); lit != nil {
+						return lit
+					}
+				}
+			}
+		}
+		return &BinaryExpr{Op: e.Op, L: l, R: r, Line: e.Line}
+	case *UnaryExpr:
+		sub := foldExpr(e.X)
+		if v, ok := litVal(sub); ok {
+			switch e.Op {
+			case "!":
+				return &BoolLit{Value: !truthy(v)}
+			case "-":
+				if v.kind == vNum {
+					return &NumberLit{Value: -v.num}
+				}
+			case "typeof":
+				return &StringLit{Value: typeOfV(v)}
+			}
+		}
+		return &UnaryExpr{Op: e.Op, X: sub, Line: e.Line}
+	case *CondExpr:
+		c, t, f := foldExpr(e.Cond), foldExpr(e.Then), foldExpr(e.Else)
+		if v, ok := litVal(c); ok {
+			if truthy(v) {
+				return t
+			}
+			return f
+		}
+		return &CondExpr{Cond: c, Then: t, Else: f, Line: e.Line}
+	case *AssignExpr:
+		return &AssignExpr{Op: e.Op, Target: foldExpr(e.Target), Value: foldExpr(e.Value), Line: e.Line}
+	case *CallExpr:
+		return &CallExpr{Fn: foldExpr(e.Fn), Args: foldExprs(e.Args), Line: e.Line}
+	case *NewExpr:
+		return &NewExpr{Fn: foldExpr(e.Fn), Args: foldExprs(e.Args), Line: e.Line}
+	case *MemberExpr:
+		return &MemberExpr{X: foldExpr(e.X), Name: e.Name, Line: e.Line}
+	case *IndexExpr:
+		return &IndexExpr{X: foldExpr(e.X), Index: foldExpr(e.Index), Line: e.Line}
+	case *ObjectLit:
+		return &ObjectLit{Keys: e.Keys, Values: foldExprs(e.Values), Line: e.Line}
+	case *ArrayLit:
+		return &ArrayLit{Elems: foldExprs(e.Elems), Line: e.Line}
+	case *FuncLit:
+		return foldFuncLit(e)
+	default:
+		// Leaf literals and idents fold to themselves.
+		return x
+	}
+}
+
+// opKind classifies a simpleOp.
+type opKind uint8
+
+const (
+	opNone   opKind = iota
+	opConst         // literal value, no tick
+	opSlot          // single slot candidate, o.hops frames up
+	opDyn           // identifier with zero or many slot candidates
+	opBin           // binary operator over two simple operands
+	opMember        // member read off a simple receiver
+)
+
+// Numeric fast-path opcodes for opBin. The shared loadCharged/load
+// dispatch would make an indirect call through o.fn megamorphic; the
+// opcode switch keeps the all-numbers case branch-predictable, with
+// o.fn as the generic fallback.
+const (
+	bNone uint8 = iota
+	bAdd
+	bSub
+	bMul
+	bDiv
+	bLt
+	bGt
+	bLe
+	bGe
+	bEq
+	bNe
+	bMod
+)
+
+func binOpc(op string) uint8 {
+	switch op {
+	case "+":
+		return bAdd
+	case "-":
+		return bSub
+	case "*":
+		return bMul
+	case "/":
+		return bDiv
+	case "<":
+		return bLt
+	case ">":
+		return bGt
+	case "<=":
+		return bLe
+	case ">=":
+		return bGe
+	case "==":
+		return bEq
+	case "!=":
+		return bNe
+	case "%":
+		return bMod
+	}
+	return bNone
+}
+
+// numFast computes an opcode over two numbers; ok is false when the
+// operands or operator need the generic fn. The NaN-involving ordered
+// comparisons reproduce binaryOp's three-way comparison exactly
+// (NaN <= NaN is true there, hence the negated forms).
+func numFast(opc uint8, l, r vmval) (vmval, bool) {
+	if l.kind != vNum || r.kind != vNum {
+		return vmval{}, false
+	}
+	switch opc {
+	case bAdd:
+		return vnum(l.num + r.num), true
+	case bSub:
+		return vnum(l.num - r.num), true
+	case bMul:
+		return vnum(l.num * r.num), true
+	case bDiv:
+		return vnum(l.num / r.num), true
+	case bLt:
+		return vbool(l.num < r.num), true
+	case bGt:
+		return vbool(l.num > r.num), true
+	case bLe:
+		return vbool(!(l.num > r.num)), true
+	case bGe:
+		return vbool(!(l.num < r.num)), true
+	case bEq:
+		return vbool(l.num == r.num), true
+	case bNe:
+		return vbool(l.num != r.num), true
+	case bMod:
+		return vnum(fmod(l.num, r.num)), true
+	}
+	return vmval{}, false
+}
+
+// fmod is math.Mod with an integer fast path: for exactly-integral
+// operands the truncated integer remainder matches math.Mod bit for bit
+// (both take the dividend's sign), and skips the frexp-based float
+// algorithm. A zero remainder falls back so the -0.0-for-negative-
+// dividend behaviour is preserved.
+func fmod(x, y float64) float64 {
+	xi, yi := int64(x), int64(y)
+	if float64(xi) == x && float64(yi) == y && yi != 0 {
+		if m := xi % yi; m != 0 {
+			return float64(m)
+		}
+		return math.Copysign(0, x)
+	}
+	return math.Mod(x, y)
+}
+
+// simpleOp is a fully-pre-resolved expression subtree the compiler
+// evaluates inline without closure calls: constants, identifiers,
+// binary chains over them, and member reads. A simple subtree becomes
+// ONE closure with ONE batched fuel check (see cex), so a loop
+// condition like i < n or a compound chain like (i % 3) == 0 costs a
+// couple of direct loads instead of a closure call per node.
+type simpleOp struct {
+	kind opKind
+	val  vmval
+	slot int
+	hops int
+	refs []slotRef
+	name string
+	line int
+	nt   int // ticks this subtree charges on its success path
+	// dynID indexes the machine's per-run cache for host-global reads
+	// (opDyn with no slot candidates); -1 disables caching.
+	dynID int
+	opc   uint8
+	l, r  *simpleOp
+	fn    func(l, r vmval) (vmval, error)
+}
+
+func simpleOperand(x Expr, cs *cscope) *simpleOp {
+	switch e := x.(type) {
+	case *litValue:
+		return &simpleOp{kind: opConst, val: unbox(e.v)}
+	case *NumberLit:
+		return &simpleOp{kind: opConst, val: vnum(e.Value)}
+	case *StringLit:
+		// Pre-box the constant (ref) so host calls pass it for free.
+		return &simpleOp{kind: opConst, val: vmval{kind: vStr, str: e.Value, ref: e.Value}}
+	case *BoolLit:
+		return &simpleOp{kind: opConst, val: vbool(e.Value)}
+	case *NullLit:
+		return &simpleOp{kind: opConst}
+	case *Ident:
+		refs := resolve(cs, e.Name)
+		if len(refs) == 1 {
+			return &simpleOp{kind: opSlot, slot: refs[0].slot, hops: refs[0].hops, name: e.Name, line: e.Line, nt: 1, dynID: -1}
+		}
+		id := -1
+		if len(refs) == 0 {
+			// A pure host-global read: eligible for the machine's
+			// generation-validated cache.
+			id = *cs.dyn
+			*cs.dyn++
+		}
+		return &simpleOp{kind: opDyn, refs: refs, name: e.Name, line: e.Line, nt: 1, dynID: id}
+	case *BinaryExpr:
+		if e.Op == "&&" || e.Op == "||" {
+			return nil // short-circuit: operand evaluation is conditional
+		}
+		l := simpleOperand(e.L, cs)
+		if l == nil {
+			return nil
+		}
+		r := simpleOperand(e.R, cs)
+		if r == nil {
+			return nil
+		}
+		return &simpleOp{kind: opBin, line: e.Line, nt: 1 + l.nt + r.nt, opc: binOpc(e.Op), l: l, r: r, fn: binFn(e.Op, e.Line)}
+	case *MemberExpr:
+		recv := simpleOperand(e.X, cs)
+		if recv == nil {
+			return nil
+		}
+		return &simpleOp{kind: opMember, name: e.Name, line: e.Line, nt: 1 + recv.nt, l: recv}
+	}
+	return nil
+}
+
+// read resolves an identifier operand without ticking (the pure Env
+// walk, also used for compound-assignment old-value reads).
+func (o *simpleOp) read(sc *scope) (vmval, error) {
+	if o.kind == opSlot {
+		s := sc
+		for h := o.hops; h > 0; h-- {
+			s = s.parent
+		}
+		if v := s.slots[o.slot]; v.kind != vUnbound {
+			return v, nil
+		}
+		if v, ok := sc.host.Get(o.name); ok {
+			return unbox(v), nil
+		}
+		return vmval{}, errUndefined(o.line, o.name)
+	}
+	if v, ok := loadVar(sc, o.refs, o.name); ok {
+		return v, nil
+	}
+	return vmval{}, errUndefined(o.line, o.name)
+}
+
+// readDyn resolves a host-global read through the machine's
+// generation-validated cache: a hit costs two pointer compares instead
+// of an Env map-chain walk. Any Define or assignment anywhere bumps
+// envGen (eval.go) and invalidates every entry.
+func (o *simpleOp) readDyn(m *machine, sc *scope) (vmval, error) {
+	if sc.host == nil {
+		return vmval{}, errUndefined(o.line, o.name)
+	}
+	g := envGen.Load()
+	for len(m.dynCache) <= o.dynID {
+		m.dynCache = append(m.dynCache, dynEnt{})
+	}
+	e := &m.dynCache[o.dynID]
+	if e.op == o && e.host == sc.host && e.gen == g {
+		if !e.ok {
+			return vmval{}, errUndefined(o.line, o.name)
+		}
+		return e.v, nil
+	}
+	v, ok := sc.host.Get(o.name)
+	uv := unbox(v)
+	*e = dynEnt{op: o, host: sc.host, gen: g, v: uv, ok: ok}
+	if !ok {
+		return vmval{}, errUndefined(o.line, o.name)
+	}
+	return uv, nil
+}
+
+// load evaluates with the full per-tick fuel check, replaying the
+// exact tick order the unfused closures (and the interpreter) use, so
+// fuel exhaustion mid-subtree reports the same line and step count.
+func (o *simpleOp) load(m *machine, sc *scope) (vmval, error) {
+	switch o.kind {
+	case opConst:
+		return o.val, nil
+	case opBin:
+		if err := m.tick(o.line); err != nil {
+			return vmval{}, err
+		}
+		lv, err := o.l.load(m, sc)
+		if err != nil {
+			return vmval{}, err
+		}
+		rv, err := o.r.load(m, sc)
+		if err != nil {
+			return vmval{}, err
+		}
+		if v, ok := numFast(o.opc, lv, rv); ok {
+			return v, nil
+		}
+		return o.fn(lv, rv)
+	case opMember:
+		if err := m.tick(o.line); err != nil {
+			return vmval{}, err
+		}
+		recv, err := o.l.load(m, sc)
+		if err != nil {
+			return vmval{}, err
+		}
+		return getMemberV(recv, o.name, o.line)
+	}
+	*m.steps++
+	if *m.steps > m.max {
+		return vmval{}, fuelErr(o.line)
+	}
+	if o.kind == opDyn && o.dynID >= 0 {
+		return o.readDyn(m, sc)
+	}
+	return o.read(sc)
+}
+
+// loadCharged evaluates assuming the caller pre-checked the fuel
+// budget for the whole subtree (o.nt): counters are charged but cannot
+// overflow here.
+func (o *simpleOp) loadCharged(m *machine, sc *scope) (vmval, error) {
+	switch o.kind {
+	case opConst:
+		return o.val, nil
+	case opBin:
+		*m.steps++
+		var lv, rv vmval
+		var err error
+		// Leaf operands (constants and bound slots) resolve inline;
+		// anything deeper recurses.
+		switch o.l.kind {
+		case opConst:
+			lv = o.l.val
+		case opSlot:
+			*m.steps++
+			s := sc
+			for h := o.l.hops; h > 0; h-- {
+				s = s.parent
+			}
+			if lv = s.slots[o.l.slot]; lv.kind == vUnbound {
+				if lv, err = o.l.read(sc); err != nil {
+					return vmval{}, err
+				}
+			}
+		default:
+			if lv, err = o.l.loadCharged(m, sc); err != nil {
+				return vmval{}, err
+			}
+		}
+		switch o.r.kind {
+		case opConst:
+			rv = o.r.val
+		case opSlot:
+			*m.steps++
+			s := sc
+			for h := o.r.hops; h > 0; h-- {
+				s = s.parent
+			}
+			if rv = s.slots[o.r.slot]; rv.kind == vUnbound {
+				if rv, err = o.r.read(sc); err != nil {
+					return vmval{}, err
+				}
+			}
+		default:
+			if rv, err = o.r.loadCharged(m, sc); err != nil {
+				return vmval{}, err
+			}
+		}
+		if lv.kind == vNum && rv.kind == vNum {
+			switch o.opc {
+			case bAdd:
+				return vnum(lv.num + rv.num), nil
+			case bLt:
+				return vbool(lv.num < rv.num), nil
+			case bEq:
+				return vbool(lv.num == rv.num), nil
+			case bMod:
+				return vnum(fmod(lv.num, rv.num)), nil
+			}
+			if v, ok := numFast(o.opc, lv, rv); ok {
+				return v, nil
+			}
+		}
+		return o.fn(lv, rv)
+	case opMember:
+		*m.steps++
+		recv, err := o.l.loadCharged(m, sc)
+		if err != nil {
+			return vmval{}, err
+		}
+		return getMemberV(recv, o.name, o.line)
+	}
+	*m.steps++
+	if o.kind == opDyn && o.dynID >= 0 {
+		return o.readDyn(m, sc)
+	}
+	return o.read(sc)
+}
+
+// cex wraps a simple subtree as a cexpr: one batched budget check,
+// then charged loads; near exhaustion it falls back to the exact
+// per-tick replay.
+func (o *simpleOp) cex() cexpr {
+	nt := o.nt
+	return func(m *machine, sc *scope) (vmval, error) {
+		if *m.steps+nt > m.max {
+			return o.load(m, sc)
+		}
+		return o.loadCharged(m, sc)
+	}
+}
+
+// argOp is one operand site that is fused when the expression is
+// simple (op set) and a compiled closure otherwise. Evaluating through
+// the struct is a static call with a branch, cheaper than the closure
+// indirection cex() would add for the fused case.
+type argOp struct {
+	op *simpleOp
+	c  cexpr
+}
+
+func compileArgOp(x Expr, cs *cscope) argOp {
+	if o := simpleOperand(x, cs); o != nil {
+		return argOp{op: o}
+	}
+	return argOp{c: compileExpr(x, cs)}
+}
+
+func compileArgOps(xs []Expr, cs *cscope) []argOp {
+	out := make([]argOp, len(xs))
+	for i, x := range xs {
+		out[i] = compileArgOp(x, cs)
+	}
+	return out
+}
+
+func (a *argOp) eval(m *machine, sc *scope) (vmval, error) {
+	if a.op != nil {
+		if *m.steps+a.op.nt > m.max {
+			return a.op.load(m, sc)
+		}
+		return a.op.loadCharged(m, sc)
+	}
+	return a.c(m, sc)
+}
+
+// compileBlock compiles a nested block, giving it its own frame iff it
+// declares anything (most loop bodies don't and share the enclosing
+// frame, which is observably equivalent).
+func compileBlock(body []Stmt, cs *cscope) compiledBlock {
+	names := declaredNames(body)
+	if len(names) == 0 {
+		return compileStmtList(body, cs)
+	}
+	child := newCscope(cs)
+	for _, n := range names {
+		child.declare(n)
+	}
+	b := compileStmtList(body, child)
+	b.numSlots = len(child.names)
+	return b
+}
+
+// compileStmtList lowers a statement list against an already-built
+// cscope. Declarations must be pre-registered in cs by the caller.
+func compileStmtList(body []Stmt, cs *cscope) compiledBlock {
+	b := compiledBlock{stmts: make([]cstmt, len(body))}
+	for i, s := range body {
+		b.stmts[i] = compileStmt(s, cs)
+	}
+	return b
+}
+
+func compileStmt(s Stmt, cs *cscope) cstmt {
+	switch st := s.(type) {
+	case *VarStmt:
+		slot, line := cs.names[st.Name], st.Line
+		if st.Init == nil {
+			return func(m *machine, sc *scope) (vmval, ctrl, error) {
+				if err := m.tick(line); err != nil {
+					return vmval{}, ctrlNone, err
+				}
+				sc.slots[slot] = vmval{}
+				return vmval{}, ctrlNone, nil
+			}
+		}
+		if o := simpleOperand(st.Init, cs); o != nil {
+			return func(m *machine, sc *scope) (vmval, ctrl, error) {
+				if err := m.tick(line); err != nil {
+					return vmval{}, ctrlNone, err
+				}
+				var v vmval
+				var err error
+				if *m.steps+o.nt > m.max {
+					v, err = o.load(m, sc)
+				} else {
+					v, err = o.loadCharged(m, sc)
+				}
+				if err != nil {
+					return vmval{}, ctrlNone, err
+				}
+				sc.slots[slot] = v
+				return vmval{}, ctrlNone, nil
+			}
+		}
+		init := compileExpr(st.Init, cs)
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			if err := m.tick(line); err != nil {
+				return vmval{}, ctrlNone, err
+			}
+			v, err := init(m, sc)
+			if err != nil {
+				return vmval{}, ctrlNone, err
+			}
+			sc.slots[slot] = v
+			return vmval{}, ctrlNone, nil
+		}
+	case *VarListStmt:
+		decls := make([]cstmt, len(st.Decls))
+		for i, d := range st.Decls {
+			decls[i] = compileStmt(d, cs)
+		}
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			for _, d := range decls {
+				if _, _, err := d(m, sc); err != nil {
+					return vmval{}, ctrlNone, err
+				}
+			}
+			return vmval{}, ctrlNone, nil
+		}
+	case *FuncDeclStmt:
+		cf := compileFuncLit(st.Fn, cs)
+		slot := cs.names[st.Name]
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			sc.slots[slot] = vref(&vmClosure{fn: cf, sc: sc})
+			return vmval{}, ctrlNone, nil
+		}
+	case *ExprStmt:
+		if o := simpleOperand(st.X, cs); o != nil {
+			return func(m *machine, sc *scope) (vmval, ctrl, error) {
+				if *m.steps+o.nt > m.max {
+					v, err := o.load(m, sc)
+					return v, ctrlNone, err
+				}
+				v, err := o.loadCharged(m, sc)
+				return v, ctrlNone, err
+			}
+		}
+		e := compileExpr(st.X, cs)
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			v, err := e(m, sc)
+			return v, ctrlNone, err
+		}
+	case *IfStmt:
+		line := st.Line
+		condOp := simpleOperand(st.Cond, cs)
+		var cond cexpr
+		if condOp == nil {
+			cond = compileExpr(st.Cond, cs)
+		}
+		// Branches that are a single expression statement skip the
+		// statement wrapper and control plumbing entirely — the dominant
+		// loop-body shape (if (..) { x += 1; } else { y += 1; }).
+		thenES, thenOK := singleExprStmt(st.Then)
+		elsES, elsOK := singleExprStmt(st.Else)
+		if thenOK && (st.Else == nil || elsOK) {
+			thenX := compileExpr(thenES.X, cs)
+			var elsX cexpr
+			if st.Else != nil {
+				elsX = compileExpr(elsES.X, cs)
+			}
+			return func(m *machine, sc *scope) (vmval, ctrl, error) {
+				*m.steps++
+				if *m.steps > m.max {
+					return vmval{}, ctrlNone, fuelErr(line)
+				}
+				var c vmval
+				var err error
+				if condOp != nil {
+					if *m.steps+condOp.nt > m.max {
+						c, err = condOp.load(m, sc)
+					} else {
+						c, err = condOp.loadCharged(m, sc)
+					}
+				} else {
+					c, err = cond(m, sc)
+				}
+				if err != nil {
+					return vmval{}, ctrlNone, err
+				}
+				x := thenX
+				if !truthy(c) {
+					if elsX == nil {
+						return vmval{}, ctrlNone, nil
+					}
+					x = elsX
+				}
+				v, err := x(m, sc)
+				return v, ctrlNone, err
+			}
+		}
+		then := compileBlock(st.Then, cs)
+		var els *compiledBlock
+		if st.Else != nil {
+			b := compileBlock(st.Else, cs)
+			els = &b
+		}
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			*m.steps++
+			if *m.steps > m.max {
+				return vmval{}, ctrlNone, fuelErr(line)
+			}
+			var c vmval
+			var err error
+			if condOp != nil {
+				if *m.steps+condOp.nt > m.max {
+					c, err = condOp.load(m, sc)
+				} else {
+					c, err = condOp.loadCharged(m, sc)
+				}
+			} else {
+				c, err = cond(m, sc)
+			}
+			if err != nil {
+				return vmval{}, ctrlNone, err
+			}
+			b := then
+			if !truthy(c) {
+				if els == nil {
+					return vmval{}, ctrlNone, nil
+				}
+				b = *els
+			}
+			if b.numSlots == 0 {
+				// The branch shares this frame: run its statements
+				// inline instead of through execChild/exec.
+				var v vmval
+				var ct ctrl
+				for _, bs := range b.stmts {
+					v, ct, err = bs(m, sc)
+					if err != nil {
+						return vmval{}, ctrlNone, err
+					}
+					if ct != ctrlNone {
+						return v, ct, nil
+					}
+				}
+				return v, ctrlNone, nil
+			}
+			return b.execChild(m, sc)
+		}
+	case *WhileStmt:
+		line := st.Line
+		condOp := simpleOperand(st.Cond, cs)
+		var cond cexpr
+		if condOp == nil {
+			cond = compileExpr(st.Cond, cs)
+		}
+		body := compileBlock(st.Body, cs)
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			for {
+				*m.steps++
+				if *m.steps > m.max {
+					return vmval{}, ctrlNone, fuelErr(line)
+				}
+				var c vmval
+				var err error
+				if condOp != nil {
+					if *m.steps+condOp.nt > m.max {
+						c, err = condOp.load(m, sc)
+					} else {
+						c, err = condOp.loadCharged(m, sc)
+					}
+				} else {
+					c, err = cond(m, sc)
+				}
+				if err != nil {
+					return vmval{}, ctrlNone, err
+				}
+				if !truthy(c) {
+					return vmval{}, ctrlNone, nil
+				}
+				var v vmval
+				var ct ctrl
+				if body.numSlots == 0 {
+					// The body shares this frame: run its statements
+					// inline instead of through execChild/exec.
+					for _, bs := range body.stmts {
+						v, ct, err = bs(m, sc)
+						if err != nil || ct != ctrlNone {
+							break
+						}
+					}
+				} else {
+					v, ct, err = body.execChild(m, sc)
+				}
+				if err != nil {
+					// break/continue can arrive as sentinel errors when
+					// they escaped a function body (interpreter quirk,
+					// preserved).
+					if errors.As(err, &breakSignal{}) {
+						return vmval{}, ctrlNone, nil
+					}
+					if errors.As(err, &continueSignal{}) {
+						continue
+					}
+					return vmval{}, ctrlNone, err
+				}
+				switch ct {
+				case ctrlBreak:
+					return vmval{}, ctrlNone, nil
+				case ctrlReturn:
+					return v, ctrlReturn, nil
+				}
+			}
+		}
+	case *ForStmt:
+		line := st.Line
+		// A for statement always gets its own frame (the init
+		// declaration lives there), matching the interpreter's child
+		// env.
+		fcs := newCscope(cs)
+		if st.Init != nil {
+			switch init := st.Init.(type) {
+			case *VarStmt:
+				fcs.declare(init.Name)
+			case *VarListStmt:
+				for _, d := range init.Decls {
+					fcs.declare(d.Name)
+				}
+			}
+		}
+		var init, post cstmt
+		var cond cexpr
+		var condOp *simpleOp
+		if st.Init != nil {
+			init = compileStmt(st.Init, fcs)
+		}
+		if st.Cond != nil {
+			condOp = simpleOperand(st.Cond, fcs)
+			if condOp == nil {
+				cond = compileExpr(st.Cond, fcs)
+			}
+		}
+		if st.Post != nil {
+			post = compileStmt(st.Post, fcs)
+		}
+		// The canonical post clause (i++ / i += c: a compound numeric
+		// step on the loop's own slot) runs inline — two charged ticks,
+		// no closure dispatch. Other shapes, a non-number in the slot,
+		// or near-exhausted fuel take the generic compiled post.
+		postSlot := -1
+		var postDelta float64
+		if es, ok := st.Post.(*ExprStmt); ok {
+			if ae, ok := es.X.(*AssignExpr); ok && (ae.Op == "+=" || ae.Op == "-=") {
+				if id, ok := ae.Target.(*Ident); ok {
+					if refs := resolve(fcs, id.Name); len(refs) == 1 && refs[0].hops == 0 {
+						if vo := simpleOperand(ae.Value, fcs); vo != nil && vo.kind == opConst && vo.val.kind == vNum {
+							postSlot = refs[0].slot
+							postDelta = vo.val.num
+							if ae.Op == "-=" {
+								postDelta = -postDelta
+							}
+						}
+					}
+				}
+			}
+		}
+		// A single-expression body (parts.push(..), sum = f(sum)) runs
+		// without the statement wrapper or control checks: an expression
+		// cannot break or return (escaped break/continue arrive as
+		// sentinel errors, handled below).
+		var bodyX cexpr
+		var body compiledBlock
+		if es, ok := singleExprStmt(st.Body); ok {
+			bodyX = compileExpr(es.X, fcs)
+		} else {
+			body = compileBlock(st.Body, fcs)
+		}
+		nslots := len(fcs.names)
+		loop := func(m *machine, fsc *scope) (vmval, ctrl, error) {
+			if init != nil {
+				if _, _, err := init(m, fsc); err != nil {
+					return vmval{}, ctrlNone, err
+				}
+			}
+			for {
+				*m.steps++
+				if *m.steps > m.max {
+					return vmval{}, ctrlNone, fuelErr(line)
+				}
+				if condOp != nil {
+					var c vmval
+					var err error
+					if *m.steps+condOp.nt > m.max {
+						c, err = condOp.load(m, fsc)
+					} else {
+						c, err = condOp.loadCharged(m, fsc)
+					}
+					if err != nil {
+						return vmval{}, ctrlNone, err
+					}
+					if !truthy(c) {
+						return vmval{}, ctrlNone, nil
+					}
+				} else if cond != nil {
+					c, err := cond(m, fsc)
+					if err != nil {
+						return vmval{}, ctrlNone, err
+					}
+					if !truthy(c) {
+						return vmval{}, ctrlNone, nil
+					}
+				}
+				var v vmval
+				var ct ctrl
+				var err error
+				if bodyX != nil {
+					_, err = bodyX(m, fsc)
+				} else if body.numSlots == 0 {
+					for _, bs := range body.stmts {
+						v, ct, err = bs(m, fsc)
+						if err != nil || ct != ctrlNone {
+							break
+						}
+					}
+				} else {
+					v, ct, err = body.execChild(m, fsc)
+				}
+				if err != nil {
+					if errors.As(err, &breakSignal{}) {
+						return vmval{}, ctrlNone, nil
+					}
+					if !errors.As(err, &continueSignal{}) {
+						return vmval{}, ctrlNone, err
+					}
+				} else {
+					switch ct {
+					case ctrlBreak:
+						return vmval{}, ctrlNone, nil
+					case ctrlReturn:
+						return v, ctrlReturn, nil
+					}
+				}
+				if postSlot >= 0 && fsc.slots[postSlot].kind == vNum && *m.steps+2 <= m.max {
+					*m.steps += 2
+					fsc.slots[postSlot] = vnum(fsc.slots[postSlot].num + postDelta)
+				} else if post != nil {
+					if _, _, err := post(m, fsc); err != nil {
+						return vmval{}, ctrlNone, err
+					}
+				}
+			}
+		}
+		capture := stmtsContainFunc(st.Body) ||
+			(st.Init != nil && stmtContainsFunc(st.Init)) ||
+			(st.Cond != nil && exprContainsFunc(st.Cond)) ||
+			(st.Post != nil && stmtContainsFunc(st.Post))
+		if capture {
+			return func(m *machine, sc *scope) (vmval, ctrl, error) {
+				return loop(m, newScope(sc, nslots))
+			}
+		}
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			fsc := m.getScope(sc, nslots)
+			v, ct, err := loop(m, fsc)
+			m.putScope(fsc)
+			return v, ct, err
+		}
+	case *ReturnStmt:
+		if st.X == nil {
+			return func(m *machine, sc *scope) (vmval, ctrl, error) {
+				return vmval{}, ctrlReturn, nil
+			}
+		}
+		if o := simpleOperand(st.X, cs); o != nil {
+			return func(m *machine, sc *scope) (vmval, ctrl, error) {
+				var v vmval
+				var err error
+				if *m.steps+o.nt > m.max {
+					v, err = o.load(m, sc)
+				} else {
+					v, err = o.loadCharged(m, sc)
+				}
+				if err != nil {
+					return vmval{}, ctrlNone, err
+				}
+				return v, ctrlReturn, nil
+			}
+		}
+		x := compileExpr(st.X, cs)
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			v, err := x(m, sc)
+			if err != nil {
+				return vmval{}, ctrlNone, err
+			}
+			return v, ctrlReturn, nil
+		}
+	case *BreakStmt:
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			return vmval{}, ctrlBreak, nil
+		}
+	case *ContinueStmt:
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			return vmval{}, ctrlContinue, nil
+		}
+	case *BlockStmt:
+		body := compileBlock(st.Body, cs)
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			return body.execChild(m, sc)
+		}
+	default:
+		err := fmt.Errorf("script: unknown statement %T", s)
+		return func(m *machine, sc *scope) (vmval, ctrl, error) {
+			return vmval{}, ctrlNone, err
+		}
+	}
+}
+
+// compileFuncLit lowers a function body into its own frame: parameters
+// first, then the implicit arguments binding (only when referenced),
+// then the body's declarations — the interpreter's definition order in
+// callValue.
+func compileFuncLit(fn *FuncLit, cs *cscope) *compiledFunc {
+	fcs := newCscope(cs)
+	params := make([]int, len(fn.Params))
+	for i, p := range fn.Params {
+		params[i] = fcs.declare(p)
+	}
+	argsSlot := -1
+	if stmtsRefArguments(fn.Body) {
+		argsSlot = fcs.declare("arguments")
+	}
+	for _, n := range declaredNames(fn.Body) {
+		fcs.declare(n)
+	}
+	body := compileStmtList(fn.Body, fcs)
+	return &compiledFunc{
+		params:    params,
+		argsSlot:  argsSlot,
+		numSlots:  len(fcs.names),
+		body:      body,
+		noCapture: !stmtsContainFunc(fn.Body),
+	}
+}
+
+// singleExprStmt reports whether body is exactly one expression
+// statement — the shape the If and For compilers flatten.
+func singleExprStmt(body []Stmt) (*ExprStmt, bool) {
+	if len(body) != 1 {
+		return nil, false
+	}
+	es, ok := body[0].(*ExprStmt)
+	return es, ok
+}
+
+// stmtsContainFunc reports whether a statement list contains any
+// function literal or declaration, at any depth. A frame whose body
+// contains none can never be captured (closures are the only way a
+// frame outlives its execution), so the machine may pool it.
+func stmtsContainFunc(body []Stmt) bool {
+	for _, s := range body {
+		if stmtContainsFunc(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtContainsFunc(s Stmt) bool {
+	switch st := s.(type) {
+	case *VarStmt:
+		return st.Init != nil && exprContainsFunc(st.Init)
+	case *VarListStmt:
+		for _, d := range st.Decls {
+			if stmtContainsFunc(d) {
+				return true
+			}
+		}
+	case *ExprStmt:
+		return exprContainsFunc(st.X)
+	case *IfStmt:
+		return exprContainsFunc(st.Cond) || stmtsContainFunc(st.Then) || stmtsContainFunc(st.Else)
+	case *WhileStmt:
+		return exprContainsFunc(st.Cond) || stmtsContainFunc(st.Body)
+	case *ForStmt:
+		if st.Init != nil && stmtContainsFunc(st.Init) {
+			return true
+		}
+		if st.Cond != nil && exprContainsFunc(st.Cond) {
+			return true
+		}
+		if st.Post != nil && stmtContainsFunc(st.Post) {
+			return true
+		}
+		return stmtsContainFunc(st.Body)
+	case *ReturnStmt:
+		return st.X != nil && exprContainsFunc(st.X)
+	case *BlockStmt:
+		return stmtsContainFunc(st.Body)
+	case *FuncDeclStmt:
+		return true
+	}
+	return false
+}
+
+func exprContainsFunc(x Expr) bool {
+	switch e := x.(type) {
+	case *FuncLit:
+		return true
+	case *BinaryExpr:
+		return exprContainsFunc(e.L) || exprContainsFunc(e.R)
+	case *UnaryExpr:
+		return exprContainsFunc(e.X)
+	case *AssignExpr:
+		return exprContainsFunc(e.Target) || exprContainsFunc(e.Value)
+	case *CondExpr:
+		return exprContainsFunc(e.Cond) || exprContainsFunc(e.Then) || exprContainsFunc(e.Else)
+	case *CallExpr:
+		if exprContainsFunc(e.Fn) {
+			return true
+		}
+		for _, a := range e.Args {
+			if exprContainsFunc(a) {
+				return true
+			}
+		}
+	case *NewExpr:
+		if exprContainsFunc(e.Fn) {
+			return true
+		}
+		for _, a := range e.Args {
+			if exprContainsFunc(a) {
+				return true
+			}
+		}
+	case *MemberExpr:
+		return exprContainsFunc(e.X)
+	case *IndexExpr:
+		return exprContainsFunc(e.X) || exprContainsFunc(e.Index)
+	case *ObjectLit:
+		for _, v := range e.Values {
+			if exprContainsFunc(v) {
+				return true
+			}
+		}
+	case *ArrayLit:
+		for _, el := range e.Elems {
+			if exprContainsFunc(el) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmtsRefArguments reports whether a function body references the
+// implicit `arguments` binding. Nested function literals are skipped:
+// their bodies resolve `arguments` against their own call scope. The
+// language has no eval/with, so an identifier reference is the only
+// way to reach the binding, making this exact.
+func stmtsRefArguments(body []Stmt) bool {
+	for _, s := range body {
+		if stmtRefsArguments(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtRefsArguments(s Stmt) bool {
+	switch st := s.(type) {
+	case *VarStmt:
+		return st.Init != nil && exprRefsArguments(st.Init)
+	case *VarListStmt:
+		for _, d := range st.Decls {
+			if stmtRefsArguments(d) {
+				return true
+			}
+		}
+	case *ExprStmt:
+		return exprRefsArguments(st.X)
+	case *IfStmt:
+		return exprRefsArguments(st.Cond) || stmtsRefArguments(st.Then) || stmtsRefArguments(st.Else)
+	case *WhileStmt:
+		return exprRefsArguments(st.Cond) || stmtsRefArguments(st.Body)
+	case *ForStmt:
+		if st.Init != nil && stmtRefsArguments(st.Init) {
+			return true
+		}
+		if st.Cond != nil && exprRefsArguments(st.Cond) {
+			return true
+		}
+		if st.Post != nil && stmtRefsArguments(st.Post) {
+			return true
+		}
+		return stmtsRefArguments(st.Body)
+	case *ReturnStmt:
+		return st.X != nil && exprRefsArguments(st.X)
+	case *BlockStmt:
+		return stmtsRefArguments(st.Body)
+	}
+	return false
+}
+
+func exprRefsArguments(x Expr) bool {
+	switch e := x.(type) {
+	case *Ident:
+		return e.Name == "arguments"
+	case *BinaryExpr:
+		return exprRefsArguments(e.L) || exprRefsArguments(e.R)
+	case *UnaryExpr:
+		return exprRefsArguments(e.X)
+	case *AssignExpr:
+		return exprRefsArguments(e.Target) || exprRefsArguments(e.Value)
+	case *CondExpr:
+		return exprRefsArguments(e.Cond) || exprRefsArguments(e.Then) || exprRefsArguments(e.Else)
+	case *CallExpr:
+		if exprRefsArguments(e.Fn) {
+			return true
+		}
+		for _, a := range e.Args {
+			if exprRefsArguments(a) {
+				return true
+			}
+		}
+	case *NewExpr:
+		if exprRefsArguments(e.Fn) {
+			return true
+		}
+		for _, a := range e.Args {
+			if exprRefsArguments(a) {
+				return true
+			}
+		}
+	case *MemberExpr:
+		return exprRefsArguments(e.X)
+	case *IndexExpr:
+		return exprRefsArguments(e.X) || exprRefsArguments(e.Index)
+	case *ObjectLit:
+		for _, v := range e.Values {
+			if exprRefsArguments(v) {
+				return true
+			}
+		}
+	case *ArrayLit:
+		for _, el := range e.Elems {
+			if exprRefsArguments(el) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func compileExprs(xs []Expr, cs *cscope) []cexpr {
+	out := make([]cexpr, len(xs))
+	for i, x := range xs {
+		out[i] = compileExpr(x, cs)
+	}
+	return out
+}
+
+func compileExpr(x Expr, cs *cscope) cexpr {
+	// Any fully-simple subtree (constants, resolved identifiers,
+	// binary chains, member reads) compiles to a single fused closure.
+	if o := simpleOperand(x, cs); o != nil {
+		return o.cex()
+	}
+	switch e := x.(type) {
+	case *UnaryExpr:
+		sub := compileExpr(e.X, cs)
+		line := e.Line
+		switch e.Op {
+		case "!":
+			return func(m *machine, sc *scope) (vmval, error) {
+				v, err := sub(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				return vbool(!truthy(v)), nil
+			}
+		case "-":
+			return func(m *machine, sc *scope) (vmval, error) {
+				v, err := sub(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				if v.kind != vNum {
+					return vmval{}, &RuntimeError{Line: line, Msg: "unary - on non-number"}
+				}
+				return vnum(-v.num), nil
+			}
+		case "typeof":
+			return func(m *machine, sc *scope) (vmval, error) {
+				v, err := sub(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				return vstr(typeOfV(v)), nil
+			}
+		default:
+			msg := "unknown unary " + e.Op
+			return func(m *machine, sc *scope) (vmval, error) {
+				if _, err := sub(m, sc); err != nil {
+					return vmval{}, err
+				}
+				return vmval{}, &RuntimeError{Line: line, Msg: msg}
+			}
+		}
+	case *BinaryExpr:
+		return compileBinary(e, cs)
+	case *CondExpr:
+		cond := compileExpr(e.Cond, cs)
+		then := compileExpr(e.Then, cs)
+		els := compileExpr(e.Else, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			c, err := cond(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			if truthy(c) {
+				return then(m, sc)
+			}
+			return els(m, sc)
+		}
+	case *AssignExpr:
+		return compileAssign(e, cs)
+	case *ObjectLit:
+		keys := e.Keys
+		vals := compileExprs(e.Values, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			obj := NewObject()
+			for i, vc := range vals {
+				v, err := vc(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				obj.Props[keys[i]] = box(v)
+			}
+			return vref(obj), nil
+		}
+	case *ArrayLit:
+		elems := compileExprs(e.Elems, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			arr := &Array{}
+			for _, ec := range elems {
+				v, err := ec(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				arr.Elems = append(arr.Elems, box(v))
+			}
+			return vref(arr), nil
+		}
+	case *FuncLit:
+		cf := compileFuncLit(e, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			return vref(&vmClosure{fn: cf, sc: sc}), nil
+		}
+	case *MemberExpr:
+		return compileMember(e, cs)
+	case *IndexExpr:
+		return compileIndex(e, cs)
+	case *CallExpr:
+		if me, ok := e.Fn.(*MemberExpr); ok {
+			return compileMethodCall(e, me, cs)
+		}
+		fnc := compileArgOp(e.Fn, cs)
+		args := compileArgOps(e.Args, cs)
+		line := e.Line
+		return func(m *machine, sc *scope) (vmval, error) {
+			if err := m.tick(line); err != nil {
+				return vmval{}, err
+			}
+			fn, err := fnc.eval(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			base := len(m.argbuf)
+			for i := range args {
+				v, err := args[i].eval(m, sc)
+				if err != nil {
+					m.argbuf = m.argbuf[:base]
+					return vmval{}, err
+				}
+				m.argbuf = append(m.argbuf, v)
+			}
+			v, err := m.call(fn, m.argbuf[base:], line)
+			m.argbuf = m.argbuf[:base]
+			return v, err
+		}
+	case *NewExpr:
+		fnc := compileArgOp(e.Fn, cs)
+		args := compileArgOps(e.Args, cs)
+		line := e.Line
+		return func(m *machine, sc *scope) (vmval, error) {
+			fn, err := fnc.eval(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			base := len(m.argbuf)
+			for i := range args {
+				v, err := args[i].eval(m, sc)
+				if err != nil {
+					m.argbuf = m.argbuf[:base]
+					return vmval{}, err
+				}
+				m.argbuf = append(m.argbuf, v)
+			}
+			v, err := m.call(fn, m.argbuf[base:], line)
+			m.argbuf = m.argbuf[:base]
+			return v, err
+		}
+	default:
+		err := fmt.Errorf("script: unknown expression %T", x)
+		return func(m *machine, sc *scope) (vmval, error) {
+			return vmval{}, err
+		}
+	}
+}
+
+// compileMethodCall lowers recv.name(args). Hot Array methods (push,
+// join) dispatch directly on unboxed values, skipping the bound
+// closure arrayMember allocates per access and the []Value boxing of
+// a native call; everything else resolves the member then calls it,
+// in the interpreter's order (callee fully evaluates before any
+// argument). The direct dispatch is observably identical because
+// arrayMember is pure and push/join cannot fail to resolve.
+func compileMethodCall(e *CallExpr, me *MemberExpr, cs *cscope) cexpr {
+	callLine, memLine, name := e.Line, me.Line, me.Name
+	recvOp := simpleOperand(me.X, cs)
+	var recvC cexpr
+	if recvOp == nil {
+		recvC = compileExpr(me.X, cs)
+	}
+	args := compileArgOps(e.Args, cs)
+	return func(m *machine, sc *scope) (vmval, error) {
+		if *m.steps+2 > m.max {
+			// Near exhaustion: replay the exact per-tick order so the
+			// failing step index matches the interpreter.
+			if err := m.tick(callLine); err != nil {
+				return vmval{}, err
+			}
+			if err := m.tick(memLine); err != nil {
+				return vmval{}, err
+			}
+		} else {
+			*m.steps += 2
+		}
+		var recv vmval
+		var err error
+		if recvOp != nil {
+			if *m.steps+recvOp.nt > m.max {
+				recv, err = recvOp.load(m, sc)
+			} else {
+				recv, err = recvOp.loadCharged(m, sc)
+			}
+		} else {
+			recv, err = recvC(m, sc)
+		}
+		if err != nil {
+			return vmval{}, err
+		}
+		var arr *Array
+		if recv.kind == vRef {
+			if a, ok := recv.ref.(*Array); ok && (name == "push" || name == "join") {
+				arr = a
+			}
+		}
+		var fn vmval
+		if arr == nil {
+			if fn, err = getMemberV(recv, name, memLine); err != nil {
+				return vmval{}, err
+			}
+		}
+		base := len(m.argbuf)
+		for i := range args {
+			v, err := args[i].eval(m, sc)
+			if err != nil {
+				m.argbuf = m.argbuf[:base]
+				return vmval{}, err
+			}
+			m.argbuf = append(m.argbuf, v)
+		}
+		var v vmval
+		if arr != nil {
+			if name == "push" {
+				v = arrayPushV(arr, m.argbuf[base:])
+			} else {
+				v = arrayJoinV(arr, m.argbuf[base:])
+			}
+		} else {
+			v, err = m.call(fn, m.argbuf[base:], callLine)
+		}
+		m.argbuf = m.argbuf[:base]
+		return v, err
+	}
+}
+
+// compileMember lowers obj.name with a complex receiver (a simple one
+// fuses into the expression as an opMember).
+func compileMember(e *MemberExpr, cs *cscope) cexpr {
+	name, line := e.Name, e.Line
+	xc := compileExpr(e.X, cs)
+	return func(m *machine, sc *scope) (vmval, error) {
+		if err := m.tick(line); err != nil {
+			return vmval{}, err
+		}
+		recv, err := xc(m, sc)
+		if err != nil {
+			return vmval{}, err
+		}
+		return getMemberV(recv, name, line)
+	}
+}
+
+// compileIndex lowers obj[idx] (no node tick, mirroring the
+// interpreter); simple receiver and index fuse with one batched check.
+func compileIndex(e *IndexExpr, cs *cscope) cexpr {
+	line := e.Line
+	xop := simpleOperand(e.X, cs)
+	iop := simpleOperand(e.Index, cs)
+	if xop != nil && iop != nil {
+		nt := xop.nt + iop.nt
+		slow := func(m *machine, sc *scope) (vmval, error) {
+			recv, err := xop.load(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			idx, err := iop.load(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			return getIndexV(recv, idx, line)
+		}
+		return func(m *machine, sc *scope) (vmval, error) {
+			if *m.steps+nt > m.max {
+				return slow(m, sc)
+			}
+			recv, err := xop.loadCharged(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			idx, err := iop.loadCharged(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			return getIndexV(recv, idx, line)
+		}
+	}
+	xc := compileExpr(e.X, cs)
+	ic := compileExpr(e.Index, cs)
+	return func(m *machine, sc *scope) (vmval, error) {
+		recv, err := xc(m, sc)
+		if err != nil {
+			return vmval{}, err
+		}
+		idx, err := ic(m, sc)
+		if err != nil {
+			return vmval{}, err
+		}
+		return getIndexV(recv, idx, line)
+	}
+}
+
+// binFn specializes a binary operator into a per-op closure so the hot
+// path pays no string switch. Slow or error shapes delegate to the
+// generic binaryOp, which keeps every error message and coercion
+// identical to the interpreter (NaN comparisons included: the ordered
+// operators reproduce binaryOp's three-way comparison exactly).
+func binFn(op string, line int) func(l, r vmval) (vmval, error) {
+	switch op {
+	case "+":
+		return func(l, r vmval) (vmval, error) {
+			if l.kind == vNum && r.kind == vNum {
+				return vnum(l.num + r.num), nil
+			}
+			return binaryOp("+", l, r, line)
+		}
+	case "-":
+		return func(l, r vmval) (vmval, error) {
+			if l.kind == vNum && r.kind == vNum {
+				return vnum(l.num - r.num), nil
+			}
+			return binaryOp("-", l, r, line)
+		}
+	case "*":
+		return func(l, r vmval) (vmval, error) {
+			if l.kind == vNum && r.kind == vNum {
+				return vnum(l.num * r.num), nil
+			}
+			return binaryOp("*", l, r, line)
+		}
+	case "/":
+		return func(l, r vmval) (vmval, error) {
+			if l.kind == vNum && r.kind == vNum {
+				return vnum(l.num / r.num), nil
+			}
+			return binaryOp("/", l, r, line)
+		}
+	case "%":
+		return func(l, r vmval) (vmval, error) {
+			if l.kind == vNum && r.kind == vNum {
+				return vnum(fmod(l.num, r.num)), nil
+			}
+			return binaryOp("%", l, r, line)
+		}
+	case "==":
+		return func(l, r vmval) (vmval, error) {
+			return vbool(vmEquals(l, r)), nil
+		}
+	case "!=":
+		return func(l, r vmval) (vmval, error) {
+			return vbool(!vmEquals(l, r)), nil
+		}
+	case "<":
+		return func(l, r vmval) (vmval, error) {
+			if l.kind == vNum && r.kind == vNum {
+				return vbool(l.num < r.num), nil
+			}
+			return binaryOp("<", l, r, line)
+		}
+	case ">":
+		return func(l, r vmval) (vmval, error) {
+			if l.kind == vNum && r.kind == vNum {
+				return vbool(l.num > r.num), nil
+			}
+			return binaryOp(">", l, r, line)
+		}
+	case "<=":
+		return func(l, r vmval) (vmval, error) {
+			if l.kind == vNum && r.kind == vNum {
+				return vbool(!(l.num > r.num)), nil
+			}
+			return binaryOp("<=", l, r, line)
+		}
+	case ">=":
+		return func(l, r vmval) (vmval, error) {
+			if l.kind == vNum && r.kind == vNum {
+				return vbool(!(l.num < r.num)), nil
+			}
+			return binaryOp(">=", l, r, line)
+		}
+	default:
+		return func(l, r vmval) (vmval, error) {
+			return binaryOp(op, l, r, line)
+		}
+	}
+}
+
+func compileBinary(e *BinaryExpr, cs *cscope) cexpr {
+	line, op := e.Line, e.Op
+	switch op {
+	case "&&":
+		l := compileExpr(e.L, cs)
+		r := compileExpr(e.R, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			if err := m.tick(line); err != nil {
+				return vmval{}, err
+			}
+			lv, err := l(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			if !truthy(lv) {
+				return lv, nil
+			}
+			return r(m, sc)
+		}
+	case "||":
+		l := compileExpr(e.L, cs)
+		r := compileExpr(e.R, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			if err := m.tick(line); err != nil {
+				return vmval{}, err
+			}
+			lv, err := l(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			if truthy(lv) {
+				return lv, nil
+			}
+			return r(m, sc)
+		}
+	}
+	fn := binFn(op, line)
+	lc := compileExpr(e.L, cs)
+	rc := compileExpr(e.R, cs)
+	return func(m *machine, sc *scope) (vmval, error) {
+		if err := m.tick(line); err != nil {
+			return vmval{}, err
+		}
+		lv, err := lc(m, sc)
+		if err != nil {
+			return vmval{}, err
+		}
+		rv, err := rc(m, sc)
+		if err != nil {
+			return vmval{}, err
+		}
+		return fn(lv, rv)
+	}
+}
+
+func compileAssign(e *AssignExpr, cs *cscope) cexpr {
+	line := e.Line
+	compound := e.Op != "="
+	var opFn func(l, r vmval) (vmval, error)
+	var aopc uint8
+	if compound {
+		opFn = binFn(e.Op[:len(e.Op)-1], line) // "+=" → "+"
+		aopc = binOpc(e.Op[:len(e.Op)-1])
+	}
+	vop := simpleOperand(e.Value, cs)
+	// apply mirrors the interpreter's compound-assignment desugaring,
+	// including the extra tick its synthesized BinaryExpr charges.
+	apply := func(m *machine, old, value vmval) (vmval, error) {
+		if !compound {
+			return value, nil
+		}
+		if err := m.tick(line); err != nil {
+			return vmval{}, err
+		}
+		return opFn(old, value)
+	}
+	switch t := e.Target.(type) {
+	case *Ident:
+		name := t.Name
+		refs := resolve(cs, name)
+		if len(refs) == 1 && vop != nil {
+			// Fused: single-candidate slot target, simple value.
+			slot, hops := refs[0].slot, refs[0].hops
+			top := &simpleOp{kind: opSlot, slot: slot, hops: hops, name: name, line: line, nt: 1}
+			nt := 1 + vop.nt
+			if compound {
+				nt++
+			}
+			slow := func(m *machine, sc *scope) (vmval, error) {
+				if err := m.tick(line); err != nil {
+					return vmval{}, err
+				}
+				value, err := vop.load(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				nv := value
+				if compound {
+					old, err := top.read(sc)
+					if err != nil {
+						return vmval{}, err
+					}
+					if err := m.tick(line); err != nil {
+						return vmval{}, err
+					}
+					if nv, err = opFn(old, value); err != nil {
+						return vmval{}, err
+					}
+				}
+				ts := sc
+				for h := hops; h > 0; h-- {
+					ts = ts.parent
+				}
+				if ts.slots[slot].kind != vUnbound {
+					ts.slots[slot] = nv
+				} else {
+					hostAssign(sc.host, name, nv)
+				}
+				return nv, nil
+			}
+			return func(m *machine, sc *scope) (vmval, error) {
+				if *m.steps+nt > m.max {
+					return slow(m, sc)
+				}
+				*m.steps++
+				value, err := vop.loadCharged(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				ts := sc
+				for h := hops; h > 0; h-- {
+					ts = ts.parent
+				}
+				nv := value
+				if compound {
+					old := ts.slots[slot]
+					if old.kind == vUnbound {
+						hv, ok := sc.host.Get(name)
+						if !ok {
+							return vmval{}, errUndefined(line, name)
+						}
+						old = unbox(hv)
+					}
+					*m.steps++
+					if v, ok := numFast(aopc, old, value); ok {
+						nv = v
+					} else if nv, err = opFn(old, value); err != nil {
+						return vmval{}, err
+					}
+				}
+				if ts.slots[slot].kind != vUnbound {
+					ts.slots[slot] = nv
+				} else {
+					hostAssign(sc.host, name, nv)
+				}
+				return nv, nil
+			}
+		}
+		vc := compileExpr(e.Value, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			if err := m.tick(line); err != nil {
+				return vmval{}, err
+			}
+			value, err := vc(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			var old vmval
+			if compound {
+				var ok bool
+				old, ok = loadVar(sc, refs, name)
+				if !ok {
+					return vmval{}, errUndefined(line, name)
+				}
+			}
+			nv, err := apply(m, old, value)
+			if err != nil {
+				return vmval{}, err
+			}
+			storeVar(sc, refs, name, nv)
+			return nv, nil
+		}
+	case *MemberExpr:
+		name := t.Name
+		xop := simpleOperand(t.X, cs)
+		if vop != nil && xop != nil {
+			// Fused: simple value and receiver.
+			nt := 1 + vop.nt + xop.nt
+			if compound {
+				nt++
+			}
+			slow := func(m *machine, sc *scope) (vmval, error) {
+				if err := m.tick(line); err != nil {
+					return vmval{}, err
+				}
+				value, err := vop.load(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				recv, err := xop.load(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				var old vmval
+				if compound {
+					if old, err = getMemberV(recv, name, line); err != nil {
+						return vmval{}, err
+					}
+				}
+				nv, err := apply(m, old, value)
+				if err != nil {
+					return vmval{}, err
+				}
+				if err := setMemberV(recv, name, nv, line); err != nil {
+					return vmval{}, err
+				}
+				return nv, nil
+			}
+			return func(m *machine, sc *scope) (vmval, error) {
+				if *m.steps+nt > m.max {
+					return slow(m, sc)
+				}
+				*m.steps++
+				value, err := vop.loadCharged(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				recv, err := xop.loadCharged(m, sc)
+				if err != nil {
+					return vmval{}, err
+				}
+				// Plain-object receiver: one map read + one map write,
+				// skipping the member-dispatch switches. getMemberV on a
+				// missing key yields null, matching Props lookup misses.
+				if obj, ok := recv.ref.(*Object); recv.kind == vRef && ok {
+					nv := value
+					if compound {
+						old := unbox(obj.Props[name])
+						*m.steps++
+						if v, ok := numFast(aopc, old, value); ok {
+							nv = v
+						} else if nv, err = opFn(old, value); err != nil {
+							return vmval{}, err
+						}
+					}
+					obj.Props[name] = box(nv)
+					return nv, nil
+				}
+				nv := value
+				if compound {
+					old, err := getMemberV(recv, name, line)
+					if err != nil {
+						return vmval{}, err
+					}
+					*m.steps++
+					if v, ok := numFast(aopc, old, value); ok {
+						nv = v
+					} else if nv, err = opFn(old, value); err != nil {
+						return vmval{}, err
+					}
+				}
+				if err := setMemberV(recv, name, nv, line); err != nil {
+					return vmval{}, err
+				}
+				return nv, nil
+			}
+		}
+		vc := compileExpr(e.Value, cs)
+		xc := compileExpr(t.X, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			if err := m.tick(line); err != nil {
+				return vmval{}, err
+			}
+			value, err := vc(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			recv, err := xc(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			var old vmval
+			if compound {
+				if old, err = getMemberV(recv, name, line); err != nil {
+					return vmval{}, err
+				}
+			}
+			nv, err := apply(m, old, value)
+			if err != nil {
+				return vmval{}, err
+			}
+			if err := setMemberV(recv, name, nv, line); err != nil {
+				return vmval{}, err
+			}
+			return nv, nil
+		}
+	case *IndexExpr:
+		vc := compileExpr(e.Value, cs)
+		xc := compileExpr(t.X, cs)
+		ic := compileExpr(t.Index, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			if err := m.tick(line); err != nil {
+				return vmval{}, err
+			}
+			value, err := vc(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			recv, err := xc(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			idx, err := ic(m, sc)
+			if err != nil {
+				return vmval{}, err
+			}
+			var old vmval
+			if compound {
+				if old, err = getIndexV(recv, idx, line); err != nil {
+					return vmval{}, err
+				}
+			}
+			nv, err := apply(m, old, value)
+			if err != nil {
+				return vmval{}, err
+			}
+			if err := setIndexV(recv, idx, nv, line); err != nil {
+				return vmval{}, err
+			}
+			return nv, nil
+		}
+	default:
+		vc := compileExpr(e.Value, cs)
+		return func(m *machine, sc *scope) (vmval, error) {
+			if err := m.tick(line); err != nil {
+				return vmval{}, err
+			}
+			if _, err := vc(m, sc); err != nil {
+				return vmval{}, err
+			}
+			return vmval{}, &RuntimeError{Line: line, Msg: "bad assignment target"}
+		}
+	}
+}

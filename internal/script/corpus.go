@@ -1,0 +1,46 @@
+package script
+
+// benchCorpus is the mixed-phase benchmark corpus: the script shapes
+// the portal, forum, and attack phases actually execute — loop-heavy
+// counters, string building through arrays, closure call chains,
+// object property traffic, and attempt-wrapped probes. It lives
+// outside the test files so cmd/escudo-serve can replay the same
+// corpus when it measures the interpreter against the VM for the
+// `script` section of BENCH_engine.json.
+var benchCorpus = []string{
+	`var total = 0;
+	 for (var i = 0; i < 100; i++) {
+	   if (i % 3 == 0) { total += i; } else { total += 1; }
+	 }
+	 total;`,
+
+	`var parts = [];
+	 for (var i = 0; i < 40; i++) { parts.push("item-" + i); }
+	 var s = parts.join(",");
+	 s.length;`,
+
+	`function make(n) { return function(x) { return x + n; }; }
+	 var add2 = make(2); var sum = 0;
+	 for (var i = 0; i < 50; i++) { sum = add2(sum); }
+	 sum;`,
+
+	`var o = {hits: 0, misses: 0};
+	 for (var i = 0; i < 60; i++) {
+	   if (i % 2 == 0) { o.hits += 1; } else { o.misses += 1; }
+	 }
+	 o.hits * 1000 + o.misses;`,
+
+	`var ok = 0;
+	 for (var i = 0; i < 20; i++) {
+	   if (attempt(function() { return Math.floor(i) + parseInt("42"); })) { ok += 1; }
+	 }
+	 ok;`,
+}
+
+// BenchCorpus returns the mixed-phase benchmark corpus sources. The
+// caller gets a fresh slice; the sources themselves are immutable.
+func BenchCorpus() []string {
+	out := make([]string, len(benchCorpus))
+	copy(out, benchCorpus)
+	return out
+}

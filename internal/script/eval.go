@@ -4,13 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Value is a runtime value: nil (null), float64, string, bool,
-// *Object, *Array, *Closure, NativeFunc, or a HostObject.
+// *Object, *Array, *Closure, NativeFunc, CtxFunc, or a HostObject.
 type Value any
 
 // Object is a script object (property map).
@@ -33,6 +35,13 @@ type Closure struct {
 }
 
 // NativeFunc is a Go function exposed to scripts.
+//
+// Deprecated: construct new host bindings with Func, which yields a
+// CtxFunc. A CtxFunc carries a *Ctx so callbacks into script charge
+// the calling engine's step budget and returned Go errors bridge to
+// script exceptions with the binding's name attached. NativeFunc
+// remains a supported value type for existing bindings and for
+// method values returned from HostGet.
 type NativeFunc func(args []Value) (Value, error)
 
 // HostObject is a browser-provided object whose property reads,
@@ -81,20 +90,30 @@ func (returnSignal) Error() string   { return "return outside function" }
 func (breakSignal) Error() string    { return "break outside loop" }
 func (continueSignal) Error() string { return "continue outside loop" }
 
+// envGen counts environment mutations globally. The VM's dynamic-read
+// caches (see compile.go) treat any Define or assignment anywhere as a
+// potential invalidation — coarse, but mutations are rare next to the
+// host-global reads the caches serve.
+var envGen atomic.Uint64
+
 // Env is a lexical scope.
 type Env struct {
 	vars   map[string]Value
 	parent *Env
 }
 
-// NewEnv returns a fresh root environment.
-func NewEnv() *Env { return &Env{vars: map[string]Value{}} }
+// NewEnv returns a fresh root environment. The map is pre-sized for a
+// standard-library install so the per-script env build doesn't rehash.
+func NewEnv() *Env { return &Env{vars: make(map[string]Value, 16)} }
 
 // child opens a nested scope.
 func (e *Env) child() *Env { return &Env{vars: map[string]Value{}, parent: e} }
 
 // Define binds a name in this scope.
-func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+func (e *Env) Define(name string, v Value) {
+	e.vars[name] = v
+	envGen.Add(1)
+}
 
 // lookup finds the scope holding name.
 func (e *Env) lookup(name string) (*Env, bool) {
@@ -118,6 +137,7 @@ func (e *Env) Get(name string) (Value, bool) {
 // assign writes an existing variable, or defines it at the root (JS
 // global semantics for undeclared assignment).
 func (e *Env) assign(name string, v Value) {
+	envGen.Add(1)
 	if s, ok := e.lookup(name); ok {
 		s.vars[name] = v
 		return
@@ -175,6 +195,10 @@ func (ip *Interp) tick(line int) error {
 	}
 	return nil
 }
+
+// Steps reports the fuel consumed by the last Run. The differential
+// fuzzer asserts it matches the VM's count exactly.
+func (ip *Interp) Steps() int { return ip.steps }
 
 // execBlock runs statements, returning the last expression value.
 func (ip *Interp) execBlock(body []Stmt, env *Env) (Value, error) {
@@ -666,8 +690,37 @@ func (ip *Interp) callValue(fn Value, args []Value, line int) (Value, error) {
 			return nil, err
 		}
 		return nil, nil
+	case *vmClosure:
+		// A compiled closure that crossed the engine boundary (e.g. a
+		// function declared by a VM run into a shared env): execute it
+		// on a machine sharing this interpreter's fuel so the step
+		// budget stays unified.
+		max := ip.MaxSteps
+		if max == 0 {
+			max = defaultMaxSteps
+		}
+		m := &machine{steps: &ip.steps, max: max}
+		vargs := make([]vmval, len(args))
+		for i, a := range args {
+			vargs[i] = unbox(a)
+		}
+		v, err := m.callClosure(f.fn, f.sc, vargs)
+		if err != nil {
+			return nil, err
+		}
+		return box(v), nil
 	case NativeFunc:
 		v, err := f(args)
+		if err != nil {
+			var re *RuntimeError
+			if errors.As(err, &re) {
+				return nil, err
+			}
+			return nil, &RuntimeError{Line: line, Msg: "native call failed", Err: err}
+		}
+		return v, nil
+	case CtxFunc:
+		v, err := f(&Ctx{eng: ip, line: line}, args)
 		if err != nil {
 			var re *RuntimeError
 			if errors.As(err, &re) {
@@ -693,34 +746,40 @@ func (ip *Interp) getMember(recv Value, name string, line int) (Value, error) {
 	case *Object:
 		return r.Props[name], nil
 	case *Array:
-		switch name {
-		case "length":
-			return float64(len(r.Elems)), nil
-		case "push":
-			return NativeFunc(func(args []Value) (Value, error) {
-				r.Elems = append(r.Elems, args...)
-				return float64(len(r.Elems)), nil
-			}), nil
-		case "join":
-			return NativeFunc(func(args []Value) (Value, error) {
-				sep := ","
-				if len(args) > 0 {
-					sep = ToString(args[0])
-				}
-				parts := make([]string, len(r.Elems))
-				for i, el := range r.Elems {
-					parts[i] = ToString(el)
-				}
-				return strings.Join(parts, sep), nil
-			}), nil
-		}
-		return nil, nil
+		return arrayMember(r, name), nil
 	case string:
 		return stringMember(r, name), nil
 	case nil:
 		return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("cannot read %q of null", name)}
 	}
 	return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("cannot read %q of %s", name, TypeOf(recv))}
+}
+
+// arrayMember implements array properties and methods; shared by the
+// interpreter and the VM so both expose the same surface.
+func arrayMember(r *Array, name string) Value {
+	switch name {
+	case "length":
+		return float64(len(r.Elems))
+	case "push":
+		return NativeFunc(func(args []Value) (Value, error) {
+			r.Elems = append(r.Elems, args...)
+			return float64(len(r.Elems)), nil
+		})
+	case "join":
+		return NativeFunc(func(args []Value) (Value, error) {
+			sep := ","
+			if len(args) > 0 {
+				sep = ToString(args[0])
+			}
+			parts := make([]string, len(r.Elems))
+			for i, el := range r.Elems {
+				parts[i] = ToString(el)
+			}
+			return strings.Join(parts, sep), nil
+		})
+	}
+	return nil
 }
 
 // stringMember implements the string methods scripts in the corpus
@@ -912,8 +971,19 @@ func Equals(l, r Value) bool {
 		b, ok := r.(bool)
 		return ok && a == b
 	default:
-		return l == r
+		return refEquals(l, r)
 	}
+}
+
+// refEquals compares reference values: identity when the dynamic types
+// match and are comparable, false otherwise (comparing two function
+// values yields false rather than panicking).
+func refEquals(l, r Value) bool {
+	lt := reflect.TypeOf(l)
+	if lt != reflect.TypeOf(r) || !lt.Comparable() {
+		return false
+	}
+	return l == r
 }
 
 // TypeOf mirrors the typeof operator.
@@ -927,7 +997,7 @@ func TypeOf(v Value) string {
 		return "string"
 	case bool:
 		return "boolean"
-	case *Closure, NativeFunc:
+	case *Closure, NativeFunc, CtxFunc, *vmClosure:
 		return "function"
 	case *Array:
 		return "array"
@@ -940,8 +1010,23 @@ func TypeOf(v Value) string {
 	}
 }
 
+// numString renders a number the way string concatenation does;
+// shared by both engines so console output stays byte-identical.
+func numString(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// maxToStringDepth bounds recursion through nested (possibly cyclic)
+// arrays and objects.
+const maxToStringDepth = 64
+
 // ToString renders a value the way string concatenation does.
-func ToString(v Value) string {
+func ToString(v Value) string { return toStringDepth(v, 0) }
+
+func toStringDepth(v Value, depth int) string {
 	switch x := v.(type) {
 	case nil:
 		return "null"
@@ -950,17 +1035,20 @@ func ToString(v Value) string {
 	case bool:
 		return strconv.FormatBool(x)
 	case float64:
-		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
-			return strconv.FormatInt(int64(x), 10)
-		}
-		return strconv.FormatFloat(x, 'g', -1, 64)
+		return numString(x)
 	case *Array:
+		if depth >= maxToStringDepth {
+			return "..."
+		}
 		parts := make([]string, len(x.Elems))
 		for i, el := range x.Elems {
-			parts[i] = ToString(el)
+			parts[i] = toStringDepth(el, depth+1)
 		}
 		return strings.Join(parts, ",")
 	case *Object:
+		if depth >= maxToStringDepth {
+			return "..."
+		}
 		keys := make([]string, 0, len(x.Props))
 		for k := range x.Props {
 			keys = append(keys, k)
@@ -972,15 +1060,15 @@ func ToString(v Value) string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%s: %s", k, ToString(x.Props[k]))
+			fmt.Fprintf(&b, "%s: %s", k, toStringDepth(x.Props[k], depth+1))
 		}
 		b.WriteString("}")
 		return b.String()
 	case HostObject:
 		return "[object " + x.HostName() + "]"
-	case *Closure:
+	case *Closure, *vmClosure:
 		return "[function]"
-	case NativeFunc:
+	case NativeFunc, CtxFunc:
 		return "[native function]"
 	default:
 		return fmt.Sprintf("%v", v)

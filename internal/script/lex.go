@@ -59,9 +59,27 @@ func (e *SyntaxError) Error() string {
 
 // lexer splits source into tokens.
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src      string
+	pos      int
+	line     int
+	interned map[string]string
+}
+
+// intern returns a canonical copy of s. Identifier text flows into the
+// AST (and from there into cached compiled programs), so it must not
+// remain a substring of the source — a cached program pinning a whole
+// page body would defeat the compile cache. Interning also collapses
+// repeated identifiers to one allocation.
+func (l *lexer) intern(s string) string {
+	if v, ok := l.interned[s]; ok {
+		return v
+	}
+	c := strings.Clone(s)
+	if l.interned == nil {
+		l.interned = make(map[string]string, 16)
+	}
+	l.interned[c] = c
+	return c
 }
 
 // lex tokenizes the whole source.
@@ -100,7 +118,7 @@ func (l *lexer) next() (token, error) {
 		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
 			l.pos++
 		}
-		text := l.src[start:l.pos]
+		text := l.intern(l.src[start:l.pos])
 		kind := tokIdent
 		if keywords[text] {
 			kind = tokKeyword

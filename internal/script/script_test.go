@@ -7,16 +7,43 @@ import (
 	"testing/quick"
 )
 
-// run executes source with the standard environment and returns the
-// final value.
+// run executes source on BOTH engines — the tree-walking interpreter
+// and the compiled VM — asserts they agree on the result, console
+// output, and step count, and returns the interpreter's value. Every
+// table-driven semantics test in this package is therefore a
+// differential test for free.
 func run(t *testing.T, src string) Value {
 	t.Helper()
-	ip := &Interp{}
-	v, err := ip.RunSource(src, StdEnv(&Console{}))
+	prog, err := Parse(src)
 	if err != nil {
 		t.Fatalf("run(%q): %v", src, err)
 	}
-	return v
+	folded := Fold(prog)
+
+	ic := &Console{}
+	ip := &Interp{}
+	iv, ierr := ip.Run(folded, StdEnv(ic))
+	if ierr != nil {
+		t.Fatalf("run(%q): %v", src, ierr)
+	}
+
+	vc := &Console{}
+	vm := &VM{}
+	vv, verr := vm.Run(Compile(folded), StdEnv(vc))
+	if verr != nil {
+		t.Fatalf("run(%q): vm: %v (interp succeeded)", src, verr)
+	}
+	if ToString(iv) != ToString(vv) || TypeOf(iv) != TypeOf(vv) {
+		t.Fatalf("run(%q): engines disagree: interp %v (%s), vm %v (%s)",
+			src, iv, TypeOf(iv), vv, TypeOf(vv))
+	}
+	if il, vl := ic.Lines(), vc.Lines(); strings.Join(il, "\n") != strings.Join(vl, "\n") {
+		t.Fatalf("run(%q): console diverges: interp %v, vm %v", src, il, vl)
+	}
+	if ip.Steps() != vm.Steps() {
+		t.Fatalf("run(%q): step counts diverge: interp %d, vm %d", src, ip.Steps(), vm.Steps())
+	}
+	return iv
 }
 
 func TestArithmetic(t *testing.T) {
