@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare fuzz-script lint fmt-check vet serve serve-http serve-cluster clean
+.PHONY: all build test race bench bench-compare fuzz-script lint fmt-check vet serve serve-http serve-cluster profile clean
 
 all: build lint test
 
@@ -44,10 +44,12 @@ serve:
 	$(GO) run ./cmd/escudo-serve
 
 # Same load plus the client/server split: origins mounted on a real
-# HTTP gateway over loopback, workloads and the §6.4 attack corpus
-# replayed over sockets, http section added to BENCH_engine.json.
+# HTTP gateway over loopback (TLS + ALPN, so the wire speaks h2),
+# workloads and the §6.4 attack corpus replayed over sockets, http
+# section added to BENCH_engine.json. -procs-bench re-runs figure4 at
+# GOMAXPROCS=4 so the report carries serial and parallel numbers.
 serve-http:
-	$(GO) run ./cmd/escudo-serve -http 127.0.0.1:0
+	$(GO) run ./cmd/escudo-serve -http 127.0.0.1:0 -tls -procs-bench 4
 
 # Multi-process deployment: fork/exec one serve-only gateway process
 # (TLS-terminating, ephemeral in-memory CA) plus CLUSTER_WORKERS
@@ -67,6 +69,19 @@ bench-compare:
 	$(GO) run ./cmd/escudo-serve -procs 4 -out $(NEW_BENCH)
 	$(GO) run ./cmd/escudo-compare $(OLD_BENCH) $(NEW_BENCH)
 
+# Profile the full run: CPU and heap profiles of the serve-http
+# workload land in profiles/ for `go tool pprof`. The gateway also
+# exposes live /debug/pprof on its admin host via -pprof.
+PROFILE_DIR ?= profiles
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/escudo-serve -http 127.0.0.1:0 -tls -pprof \
+		-cpuprofile $(PROFILE_DIR)/cpu.pprof -memprofile $(PROFILE_DIR)/heap.pprof \
+		-out $(PROFILE_DIR)/BENCH_profile.json
+	@echo "profiles written: $(PROFILE_DIR)/cpu.pprof $(PROFILE_DIR)/heap.pprof"
+	@echo "inspect with: $(GO) tool pprof $(PROFILE_DIR)/cpu.pprof"
+
 clean:
 	$(GO) clean ./...
 	rm -f BENCH_engine.new.json
+	rm -rf profiles

@@ -45,6 +45,44 @@ type clusterWorker struct {
 	P99Ms      float64 `json:"p99_ms"`
 }
 
+// clientSection mirrors a transport's connection accounting (the
+// cluster client and the http section's client share the shape).
+// Proto is absent in pre-h2 reports — rendered as "?" so old-vs-new
+// comparisons against them stay one-sided instead of failing.
+type clientSection struct {
+	Requests    uint64  `json:"requests"`
+	NewConns    uint64  `json:"new_conns"`
+	ReusedConns uint64  `json:"reused_conns"`
+	ReuseRate   float64 `json:"reuse_rate"`
+	Proto       string  `json:"proto"`
+}
+
+// proto renders the negotiated protocol, "?" for older reports that
+// predate the field.
+func (c *clientSection) proto() string {
+	if c == nil || c.Proto == "" {
+		return "?"
+	}
+	return c.Proto
+}
+
+// reuseRate tolerates sections with no client accounting at all.
+func (c *clientSection) reuseRate() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.ReuseRate
+}
+
+// proto on the http section prefers the section-level field (the
+// headline) and is "?" for reports that predate it.
+func (h *httpSection) proto() string {
+	if h == nil || h.Proto == "" {
+		return "?"
+	}
+	return h.Proto
+}
+
 // clusterSection mirrors the subset of the cluster section compared.
 type clusterSection struct {
 	Workers            int             `json:"workers"`
@@ -53,6 +91,27 @@ type clusterSection struct {
 	PerWorker          []clusterWorker `json:"per_worker"`
 	AttacksTotal       int             `json:"attacks_total"`
 	AttacksNeutralized int             `json:"attacks_neutralized"`
+	Client             *clientSection  `json:"client"`
+}
+
+// httpPhase mirrors one phase of the http section.
+type httpPhase struct {
+	Name       string  `json:"name"`
+	Tasks      uint64  `json:"tasks"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	Requests   uint64  `json:"requests"`
+	ReqsPerSec float64 `json:"reqs_per_sec"`
+}
+
+// httpSection mirrors the subset of the http section compared: wire
+// protocol, connection reuse, and the allocation-diet headline number.
+type httpSection struct {
+	TLS              bool           `json:"tls"`
+	Proto            string         `json:"proto"`
+	AllocsPerRequest float64        `json:"allocs_per_request"`
+	Phases           []httpPhase    `json:"phases"`
+	Client           *clientSection `json:"client"`
 }
 
 // scriptEngine mirrors one engine's half of the script section.
@@ -78,6 +137,7 @@ type report struct {
 	GoMaxProcs int             `json:"gomaxprocs"`
 	Phases     []phase         `json:"phases"`
 	Script     *scriptSection  `json:"script"`
+	HTTP       *httpSection    `json:"http"`
 	Cluster    *clusterSection `json:"cluster"`
 	TotalMs    float64         `json:"total_ms"`
 }
@@ -163,8 +223,58 @@ func run(args []string, out *os.File) error {
 	}
 	fmt.Fprint(out, t.String())
 	compareScript(out, oldR.Script, newR.Script)
+	compareHTTP(out, oldR.HTTP, newR.HTTP)
 	compareCluster(out, oldR.Cluster, newR.Cluster)
 	return nil
+}
+
+// compareHTTP diffs the http sections: negotiated protocol, connection
+// reuse, the allocs-per-request headline, and the per-phase wire
+// throughput. One-sided when either report predates the section (or
+// the h2/alloc fields inside it).
+func compareHTTP(out *os.File, oldH, newH *httpSection) {
+	if oldH == nil && newH == nil {
+		return
+	}
+	fmt.Fprintf(out, "\nhttp: ")
+	switch {
+	case oldH == nil:
+		fmt.Fprintf(out, "old report has none; new: proto %s, conn reuse %.2f, %.0f allocs/request\n",
+			newH.proto(), newH.Client.reuseRate(), newH.AllocsPerRequest)
+	case newH == nil:
+		fmt.Fprintf(out, "new report has none; old: proto %s\n", oldH.proto())
+		return
+	default:
+		fmt.Fprintf(out, "proto %s → %s, conn reuse %s, allocs/request %s\n",
+			oldH.proto(), newH.proto(),
+			delta(oldH.Client.reuseRate(), newH.Client.reuseRate()),
+			delta(oldH.AllocsPerRequest, newH.AllocsPerRequest))
+	}
+
+	oldPhases := map[string]httpPhase{}
+	if oldH != nil {
+		for _, p := range oldH.Phases {
+			oldPhases[p.Name] = p
+		}
+	}
+	t := metrics.NewTable("HTTP phase", "Tasks", "Reqs/s", "p50 (ms)", "p99 (ms)")
+	for _, np := range newH.Phases {
+		op, ok := oldPhases[np.Name]
+		if !ok {
+			t.AddRow(np.Name+" (new)",
+				fmt.Sprintf("%d", np.Tasks),
+				fmt.Sprintf("%.0f", np.ReqsPerSec),
+				fmt.Sprintf("%.3f", np.P50Ms),
+				fmt.Sprintf("%.3f", np.P99Ms))
+			continue
+		}
+		t.AddRow(np.Name,
+			fmt.Sprintf("%d", np.Tasks),
+			delta(op.ReqsPerSec, np.ReqsPerSec),
+			delta(op.P50Ms, np.P50Ms),
+			delta(op.P99Ms, np.P99Ms))
+	}
+	fmt.Fprint(out, t.String())
 }
 
 // compareScript diffs the engine-vs-engine section: per-engine
@@ -224,6 +334,16 @@ func compareCluster(out *os.File, oldC, newC *clusterSection) {
 	}
 	if newC == nil {
 		return
+	}
+	if newC.Client != nil {
+		if oldC != nil && oldC.Client != nil {
+			fmt.Fprintf(out, "gateway transport: proto %s → %s, conn reuse %s\n",
+				oldC.Client.proto(), newC.Client.proto(),
+				delta(oldC.Client.reuseRate(), newC.Client.reuseRate()))
+		} else {
+			fmt.Fprintf(out, "gateway transport: proto %s, conn reuse %.2f\n",
+				newC.Client.proto(), newC.Client.reuseRate())
+		}
 	}
 
 	oldPhases := map[string]clusterPhase{}

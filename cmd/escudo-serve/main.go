@@ -27,9 +27,10 @@
 // Usage:
 //
 //	escudo-serve [-sessions N] [-iters N] [-phpbb-iters N]
-//	             [-mixed-iters N] [-procs N]
+//	             [-mixed-iters N] [-procs N] [-procs-bench N]
 //	             [-mode escudo|sop] [-attacks] [-uncached]
 //	             [-http addr] [-http-workers N] [-http-queue N] [-tls]
+//	             [-pprof] [-cpuprofile f] [-memprofile f]
 //	             [-cluster N | -serve-only | -connect addr]
 //	             [-out BENCH_engine.json]
 package main
@@ -43,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -137,17 +139,29 @@ type httpPhaseJSON struct {
 	CacheMisses   uint64  `json:"page_cache_misses"`
 	CacheHitRate  float64 `json:"page_cache_hit_rate"`
 	CacheEvicted  uint64  `json:"page_cache_evictions"`
+	// AllocsPerRequest is the process-wide heap-allocation count per
+	// gateway-served request during the phase (client sessions, wire,
+	// gateway, and handlers all included — the whole request path the
+	// allocation diet targets). Measured on http-figure4 only.
+	AllocsPerRequest float64 `json:"allocs_per_request,omitempty"`
 }
 
 // httpJSON is the http section of BENCH_engine.json: the same
 // workloads replayed over real sockets through the gateway.
 type httpJSON struct {
-	Addr       string          `json:"addr"`
-	TLS        bool            `json:"tls"`
-	Workers    int             `json:"workers_per_origin"`
-	QueueDepth int             `json:"queue_depth_per_origin"`
-	Phases     []httpPhaseJSON `json:"phases"`
-	Gateway    httpd.Stats     `json:"gateway"`
+	Addr       string `json:"addr"`
+	TLS        bool   `json:"tls"`
+	Workers    int    `json:"workers_per_origin"`
+	QueueDepth int    `json:"queue_depth_per_origin"`
+	// Proto is the negotiated wire protocol of the loadgen traffic:
+	// "h2" on the TLS paths (ALPN + ForceAttemptHTTP2), "h1" on plain
+	// keep-alive loopback.
+	Proto string `json:"proto"`
+	// AllocsPerRequest mirrors the http-figure4 phase's figure — the
+	// headline number the allocation-diet CI gate asserts.
+	AllocsPerRequest float64         `json:"allocs_per_request,omitempty"`
+	Phases           []httpPhaseJSON `json:"phases"`
+	Gateway          httpd.Stats     `json:"gateway"`
 	// Client is the loadgen transport's connection accounting (new
 	// vs reused keep-alive connections).
 	Client *cluster.ClientJSON `json:"client,omitempty"`
@@ -187,7 +201,11 @@ type benchJSON struct {
 	ProcsRequested int         `json:"procs_requested,omitempty"`
 	GoMaxProcs     int         `json:"gomaxprocs"`
 	Phases         []phaseJSON `json:"phases"`
-	Policy         *policyJSON `json:"policy,omitempty"`
+	// ProcsVariant re-runs the figure4 phase at -procs-bench GOMAXPROCS
+	// after the 1-CPU phases, so the report carries serial and parallel
+	// numbers side by side.
+	ProcsVariant *procsVariantJSON `json:"procs_variant,omitempty"`
+	Policy       *policyJSON       `json:"policy,omitempty"`
 	// Script is the engine-vs-engine section: the tree-walking
 	// interpreter against the compiled VM on the shared corpus (see
 	// scriptbench.go). Measured after the workload phases so the
@@ -200,6 +218,17 @@ type benchJSON struct {
 	// existing report are preserved).
 	Cluster *cluster.Report `json:"cluster,omitempty"`
 	TotalMs float64         `json:"total_ms"`
+}
+
+// procsVariantJSON is the GOMAXPROCS>1 bench variant published
+// alongside the 1-CPU numbers (satellite of the perf PR): the figure4
+// phase re-run with the runtime widened to -procs-bench cores.
+type procsVariantJSON struct {
+	// Procs is the requested width; GoMaxProcs the effective one after
+	// clamping to the machine.
+	Procs      int         `json:"procs"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Phases     []phaseJSON `json:"phases"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -364,6 +393,7 @@ type httpSectionConfig struct {
 	mixedIters     int
 	attacksOn      bool
 	tls            bool
+	pprofOn        bool
 	mode           browser.Mode
 	uncached       bool
 	cache          *core.DecisionCache
@@ -481,6 +511,7 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 		DefaultWorkers:    cfg.workers,
 		DefaultQueueDepth: cfg.queue,
 		Origins:           originCfgs,
+		EnablePprof:       cfg.pprofOn,
 		ClientStatsFunc: func() any {
 			if c := clientRef.Load(); c != nil {
 				return c.Stats()
@@ -559,7 +590,14 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 		return nil, fmt.Errorf("http warmup: %w", st.Errors[0])
 	}
 
-	section.Phases = append(section.Phases, runHTTPPhase(httpPool, gw, "http-figure4", func() {
+	// The figure4 replay doubles as the allocation gate: the phase's
+	// process-wide Mallocs delta over the gateway's served count is the
+	// allocs-per-request figure CI asserts. A GC cycle beforehand keeps
+	// the previous phases' garbage out of the window.
+	runtime.GC()
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	fig4 := runHTTPPhase(httpPool, gw, "http-figure4", func() {
 		for r := 0; r < cfg.iters; r++ {
 			for _, path := range paths {
 				p := path
@@ -570,7 +608,13 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 			}
 		}
 		httpPool.Wait()
-	}))
+	})
+	runtime.ReadMemStats(&memAfter)
+	if fig4.Requests > 0 {
+		fig4.AllocsPerRequest = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(fig4.Requests)
+	}
+	section.AllocsPerRequest = fig4.AllocsPerRequest
+	section.Phases = append(section.Phases, fig4)
 
 	if cfg.mixedIters > 0 {
 		section.Phases = append(section.Phases, runHTTPPhase(httpPool, gw, "http-mixed", func() {
@@ -643,6 +687,7 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 	section.Gateway = gw.Stats()
 	clientStats := cluster.FromClientStats(ct.Stats())
 	section.Client = &clientStats
+	section.Proto = ct.Stats().Proto()
 	return section, nil
 }
 
@@ -654,6 +699,10 @@ func run(args []string) error {
 	mixedIters := fs.Int("mixed-iters", 10, "mixed-workload rounds per session (0 disables the phase)")
 	scriptIters := fs.Int("script-iters", 60, "script-engine corpus passes per round per engine (0 disables the script section)")
 	procs := fs.Int("procs", 0, "GOMAXPROCS override (0 keeps the runtime default)")
+	procsBench := fs.Int("procs-bench", 0, "re-run the figure4 phase at this GOMAXPROCS after the main phases and record it as procs_variant (0 disables)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof on the gateway's admin host under /debug/pprof (with -http)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after the run, post-GC) to this file")
 	modeFlag := fs.String("mode", "escudo", "protection mode: escudo or sop")
 	attacksOn := fs.Bool("attacks", true, "replay the §6.4 attack corpus")
 	uncached := fs.Bool("uncached", false, "disable the shared decision cache (baseline)")
@@ -752,6 +801,37 @@ func run(args []string) error {
 			httpQueue:   *httpQueue,
 			out:         *out,
 		})
+	}
+
+	// Profiling covers the whole single-process run: all in-memory
+	// phases plus the http section, which is where the hot request
+	// path lives. (The multi-process modes returned above; profile
+	// their children by passing the flags through -connect/-serve-only
+	// invocations directly.)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "escudo-serve: creating -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "escudo-serve: writing heap profile: %v\n", err)
+			}
+		}()
 	}
 
 	// Shared substrate: the Figure-4 scenario server, a phpBB instance
@@ -891,6 +971,33 @@ func run(args []string) error {
 		report.Phases = append(report.Phases, ph)
 	}
 
+	// GOMAXPROCS>1 variant: re-run the figure4 phase with the runtime
+	// widened to -procs-bench cores, then restore it, so the report
+	// carries the serial and parallel numbers side by side.
+	if *procsBench > 0 {
+		want := *procsBench
+		if n := runtime.NumCPU(); want > n {
+			fmt.Fprintf(os.Stderr, "escudo-serve: -procs-bench %d clamped to %d (machine CPU count)\n", *procsBench, n)
+			want = n
+		}
+		prev := runtime.GOMAXPROCS(want)
+		variant := &procsVariantJSON{Procs: *procsBench, GoMaxProcs: runtime.GOMAXPROCS(0)}
+		variant.Phases = append(variant.Phases, runPhase(pool, "figure4-procs", func() {
+			for r := 0; r < *iters; r++ {
+				for _, path := range paths {
+					p := path
+					pool.Submit(func(s *engine.Session) error {
+						_, err := s.Browser.Navigate(benchOrigin.URL(p))
+						return err
+					})
+				}
+			}
+			pool.Wait()
+		}))
+		runtime.GOMAXPROCS(prev)
+		report.ProcsVariant = variant
+	}
+
 	// Policy section — the unified documents round-trip-checked, and
 	// the delegated-session phase: a second pool whose sessions mount
 	// the §7 delegation monitor through browser.Options.MonitorFactory
@@ -977,6 +1084,7 @@ func run(args []string) error {
 			mixedIters: *mixedIters,
 			attacksOn:  *attacksOn,
 			tls:        *tlsOn,
+			pprofOn:    *pprofOn,
 			mode:       mode,
 			uncached:   *uncached,
 			cache:      pool.Cache(),
@@ -1048,6 +1156,16 @@ func run(args []string) error {
 			return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
 		}
 	}
+	if v := report.ProcsVariant; v != nil {
+		fmt.Printf("\nGOMAXPROCS=%d variant (requested %d):\n", v.GoMaxProcs, v.Procs)
+		for _, ph := range v.Phases {
+			fmt.Printf("  %s: %d tasks, p50 %.3f ms, p99 %.3f ms\n",
+				ph.Name, ph.Tasks, ph.P50Ms, ph.P99Ms)
+			if ph.Errors > 0 {
+				return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
+			}
+		}
+	}
 	if pol := report.Policy; pol != nil {
 		fmt.Printf("\nPolicy: %d origin documents (%d delegations), round-trip ok=%v\n",
 			len(pol.Origins), pol.Delegations, pol.RoundTripOK)
@@ -1088,6 +1206,14 @@ func run(args []string) error {
 				fmt.Sprintf("%.1f%%", 100*ph.CacheHitRate))
 		}
 		fmt.Print(ht.String())
+		if h.Client != nil {
+			proto := h.Proto
+			if proto == "" {
+				proto = "?"
+			}
+			fmt.Printf("\nTransport: proto %s, conn reuse %.2f (%d new / %d reused), %.0f allocs/request\n",
+				proto, h.Client.ReuseRate, h.Client.NewConns, h.Client.ReusedConns, h.AllocsPerRequest)
+		}
 		if h.Attacks != nil {
 			fmt.Printf("\nAttack corpus over sockets: %d/%d neutralized under %s (verdicts match in-memory: %v)\n",
 				h.Attacks.Neutralized, h.Attacks.Total, report.Mode, *h.AttacksMatchMemory)

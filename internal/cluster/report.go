@@ -38,12 +38,16 @@ type ShardAttacks struct {
 	MatchMemory bool `json:"match_memory"`
 }
 
-// ClientJSON is a transport's connection accounting.
+// ClientJSON is a transport's connection accounting. Proto names the
+// negotiated wire protocol of the counted traffic ("h2"/"h1", "" when
+// nothing was counted); H2Requests is the raw count behind it.
 type ClientJSON struct {
 	Requests    uint64  `json:"requests"`
 	NewConns    uint64  `json:"new_conns"`
 	ReusedConns uint64  `json:"reused_conns"`
 	ReuseRate   float64 `json:"reuse_rate"`
+	H2Requests  uint64  `json:"h2_requests"`
+	Proto       string  `json:"proto,omitempty"`
 }
 
 // FromClientStats converts transport counters to the JSON shape.
@@ -53,21 +57,30 @@ func FromClientStats(s httpd.ClientStats) ClientJSON {
 		NewConns:    s.NewConns,
 		ReusedConns: s.ReusedConns,
 		ReuseRate:   s.ReuseRate(),
+		H2Requests:  s.H2Requests,
+		Proto:       s.Proto(),
 	}
 }
 
 // Shard is the BENCH fragment one loadgen worker process writes; the
 // supervisor merges the fleet's shards into a Report.
 type Shard struct {
-	Worker    int           `json:"worker"`
-	PID       int           `json:"pid"`
-	Sessions  int           `json:"sessions"`
-	Mode      string        `json:"mode"`
-	TLS       bool          `json:"tls"`
-	Phases    []ShardPhase  `json:"phases"`
-	Attacks   *ShardAttacks `json:"attacks,omitempty"`
-	Client    ClientJSON    `json:"client"`
-	ElapsedMs float64       `json:"elapsed_ms"`
+	Worker   int           `json:"worker"`
+	PID      int           `json:"pid"`
+	Sessions int           `json:"sessions"`
+	Mode     string        `json:"mode"`
+	TLS      bool          `json:"tls"`
+	Phases   []ShardPhase  `json:"phases"`
+	Attacks  *ShardAttacks `json:"attacks,omitempty"`
+	// Client is the worker's main-gateway transport: the long-lived
+	// connection pool whose reuse rate the cluster CI gate asserts.
+	Client ClientJSON `json:"client"`
+	// AttackClient accounts the attack-replay wire traffic separately:
+	// each §6.4 environment is a throwaway substrate behind its own
+	// ephemeral gateway and transport, so its connections are new by
+	// design and would drag Client's reuse rate if folded in.
+	AttackClient *ClientJSON `json:"attack_client,omitempty"`
+	ElapsedMs    float64     `json:"elapsed_ms"`
 }
 
 // WriteFile serializes the shard to path.
@@ -152,8 +165,15 @@ type Report struct {
 	AttacksNeutralized int  `json:"attacks_neutralized"`
 	AttacksSucceeded   int  `json:"attacks_succeeded"`
 	AttacksMatchMemory bool `json:"attacks_match_memory"`
-	// Client sums the workers' connection accounting.
+	// Client sums the workers' main-gateway connection accounting.
+	// Attack-environment wire traffic is kept apart in AttackClient:
+	// those gateways are per-attack throwaways whose connections can
+	// never be reused, so mixing them in would understate how well the
+	// long-lived gateway path multiplexes.
 	Client ClientJSON `json:"client"`
+	// AttackClient sums the workers' attack-replay wire accounting
+	// (absent when no worker replayed attacks).
+	AttackClient *ClientJSON `json:"attack_client,omitempty"`
 	// Server is the gateway-side stats written at graceful shutdown
 	// (absent when the server stats file was not configured).
 	Server    *ServerStats `json:"server,omitempty"`
@@ -180,8 +200,9 @@ func MergeShards(shards []Shard) (*Report, error) {
 	}
 	var order []string
 	accs := map[string]*acc{}
-	var clientSum httpd.ClientStats
+	var clientSum, attackSum httpd.ClientStats
 	haveAttacks := false
+	haveAttackClient := false
 
 	for _, sh := range shards {
 		if sh.TLS != rep.TLS {
@@ -243,7 +264,17 @@ func MergeShards(shards []Shard) (*Report, error) {
 			Requests:    sh.Client.Requests,
 			NewConns:    sh.Client.NewConns,
 			ReusedConns: sh.Client.ReusedConns,
+			H2Requests:  sh.Client.H2Requests,
 		})
+		if sh.AttackClient != nil {
+			haveAttackClient = true
+			attackSum = attackSum.Add(httpd.ClientStats{
+				Requests:    sh.AttackClient.Requests,
+				NewConns:    sh.AttackClient.NewConns,
+				ReusedConns: sh.AttackClient.ReusedConns,
+				H2Requests:  sh.AttackClient.H2Requests,
+			})
+		}
 		if sh.ElapsedMs > rep.ElapsedMs {
 			rep.ElapsedMs = sh.ElapsedMs
 		}
@@ -260,5 +291,9 @@ func MergeShards(shards []Shard) (*Report, error) {
 		rep.AttacksMatchMemory = false
 	}
 	rep.Client = FromClientStats(clientSum)
+	if haveAttackClient {
+		ac := FromClientStats(attackSum)
+		rep.AttackClient = &ac
+	}
 	return rep, nil
 }

@@ -52,10 +52,19 @@ type Session struct {
 	// Browser is the session's private browser.
 	Browser *browser.Browser
 
-	lat  metrics.Sample
-	done uint64
-	errs []error
-	mu   sync.Mutex
+	// Latency is folded straight into a bucketed histogram plus a
+	// running sum and max instead of an append-per-task sample slice:
+	// record is on the per-request hot path and must not allocate in
+	// steady state (the histogram's counts slice reaches full capacity
+	// once and stays there). Percentiles come from the histogram —
+	// which is also what the cluster plane merges across processes, so
+	// single- and multi-process numbers are computed the same way.
+	hist   metrics.Histogram
+	latSum time.Duration
+	latMax time.Duration
+	done   uint64
+	errs   []error
+	mu     sync.Mutex
 }
 
 // record logs one task execution on this session. Only the session's
@@ -63,7 +72,11 @@ type Session struct {
 // to call concurrently anyway.
 func (s *Session) record(d time.Duration, err error) {
 	s.mu.Lock()
-	s.lat.Add(d)
+	s.hist.Observe(d)
+	s.latSum += d
+	if d > s.latMax {
+		s.latMax = d
+	}
 	s.done++
 	if err != nil {
 		s.errs = append(s.errs, fmt.Errorf("session %d: %w", s.ID, err))
@@ -206,12 +219,16 @@ type Stats struct {
 	Tasks uint64
 	// Errors collects task errors in session order.
 	Errors []error
-	// P50, P99, Mean, Max summarize per-task wall-clock latency.
+	// P50, P99, Mean, Max summarize per-task wall-clock latency. The
+	// percentiles are computed from Hist (bucket upper bounds, ≤12.5%
+	// relative error) — the same arithmetic the cluster supervisor
+	// applies to merged shards, so single- and multi-process reports
+	// are directly comparable. Mean and Max are exact.
 	P50, P99, Mean, Max time.Duration
-	// Hist is the bucketed form of the same latencies. Unlike the
-	// point percentiles it can be merged across processes — the
-	// cluster supervisor sums per-worker histograms to compute
-	// fleet-wide p50/p99.
+	// Hist is the bucketed form of the same latencies. Unlike point
+	// percentiles it can be merged across processes — the cluster
+	// supervisor sums per-worker histograms to compute fleet-wide
+	// p50/p99.
 	Hist metrics.Histogram
 	// Decisions counts reference-monitor decisions recorded by every
 	// session's audit log.
@@ -231,22 +248,24 @@ type Stats struct {
 // snapshot.
 func (p *Pool) Stats() Stats {
 	st := Stats{Sessions: len(p.sessions)}
-	merged := &metrics.Sample{}
+	var sum time.Duration
 	for _, s := range p.sessions {
 		s.mu.Lock()
 		st.Tasks += s.done
 		st.Errors = append(st.Errors, s.errs...)
-		for _, d := range s.lat.Durations() {
-			merged.Add(d)
+		st.Hist.Merge(s.hist)
+		sum += s.latSum
+		if s.latMax > st.Max {
+			st.Max = s.latMax
 		}
 		s.mu.Unlock()
 		st.Decisions += uint64(s.Browser.Audit.Len())
 	}
-	st.P50 = merged.Percentile(50)
-	st.P99 = merged.Percentile(99)
-	st.Mean = merged.Mean()
-	st.Max = merged.Max()
-	st.Hist = merged.Histogram()
+	st.P50 = st.Hist.Quantile(50)
+	st.P99 = st.Hist.Quantile(99)
+	if st.Tasks > 0 {
+		st.Mean = sum / time.Duration(st.Tasks)
+	}
 	if p.cache != nil {
 		st.Cache = p.cache.Stats()
 	}
@@ -264,7 +283,14 @@ func (p *Pool) Stats() Stats {
 func (p *Pool) ResetStats() {
 	for _, s := range p.sessions {
 		s.mu.Lock()
-		s.lat = metrics.Sample{}
+		// Zero the histogram in place, keeping its capacity: the full
+		// backing array is cleared (not just the live prefix) so counts
+		// beyond a later reslice cannot resurface.
+		full := s.hist.Counts[:cap(s.hist.Counts)]
+		clear(full)
+		s.hist.Counts = full[:0]
+		s.latSum = 0
+		s.latMax = 0
 		s.done = 0
 		s.errs = nil
 		s.mu.Unlock()

@@ -1,0 +1,143 @@
+package httpd
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/origin"
+	"repro/internal/raceflag"
+	"repro/internal/web"
+)
+
+// nullResponseWriter is a ResponseWriter stub with a live header map,
+// so header installs behave like net/http's while Write goes nowhere.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(b []byte) (int, error) { w.n += len(b); return len(b), nil }
+func (w *nullResponseWriter) WriteHeader(status int)      { w.status = status }
+
+// TestWriteCachedPageAllocs pins the page-cache hit path at zero
+// allocations outside net/http's own plumbing: the frozen header value
+// slices are installed by reference and the body is written straight
+// from the cached byte slice.
+func TestWriteCachedPageAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := &Gateway{}
+	page := &cachedPage{
+		status: 200,
+		header: web.Header{
+			"Content-Type":  {"text/html"},
+			"Cache-Control": {"immutable"},
+		},
+		body:       []byte("<html><body>cached fixture body</body></html>"),
+		etag:       `"00000000deadbeef"`,
+		origKeys:   "Content-Type,Cache-Control",
+		etagVal:    []string{`"00000000deadbeef"`},
+		origKeyVal: []string{"Content-Type,Cache-Control"},
+	}
+	w := &nullResponseWriter{h: http.Header{}}
+	// Warm run populates the header map's buckets; after that, the
+	// assignments overwrite existing keys and allocate nothing.
+	g.writeCachedPage(w, page)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.writeCachedPage(w, page)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm cache-hit serving allocates %.1f times per request, want 0", allocs)
+	}
+}
+
+// TestTranslateResponseAllocs bounds the client-side header-set
+// reconstruction: the keep set is pooled, the X-Escudo-Orig-Keys list
+// is cut in place, and value slices are adopted from the net/http
+// header map — so a round trip's translation costs only the response
+// struct and its header map.
+func TestTranslateResponseAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	hresp := &http.Response{
+		StatusCode: 200,
+		Header: http.Header{
+			"Content-Type":   {"text/html"},
+			"Cache-Control":  {"immutable"},
+			"Set-Cookie":     {"sess=1; Path=/", "prefs=dark"},
+			"Date":           {"Thu, 01 Jan 2026 00:00:00 GMT"},
+			"Content-Length": {"64"},
+			HeaderGateway:    {"1"},
+			HeaderOrigKeys:   {"Content-Type,Cache-Control,Set-Cookie"},
+		},
+	}
+	body := "<html><body>fixture</body></html>"
+	translateResponse(hresp, body) // warm the keep-set pool
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		translateResponse(hresp, body)
+	})
+	// One web.Response struct plus one header map; anything above that
+	// means the keep-set pooling or slice adoption regressed.
+	if allocs > 3 {
+		t.Fatalf("translateResponse allocates %.1f times per response, want <= 3", allocs)
+	}
+
+	// The diet must not change semantics: plumbing headers are stripped,
+	// origin headers (multi-valued included) survive.
+	resp := translateResponse(hresp, body)
+	if resp.Header.Get("Date") != "" || resp.Header.Get(HeaderGateway) != "" {
+		t.Fatalf("plumbing headers leaked through: %+v", resp.Header)
+	}
+	if got := resp.Header.Values("Set-Cookie"); len(got) != 2 {
+		t.Fatalf("Set-Cookie values = %v, want 2 entries", got)
+	}
+	if resp.Header.Get("Content-Type") != "text/html" {
+		t.Fatalf("Content-Type lost: %+v", resp.Header)
+	}
+}
+
+// TestPprofAdminGating pins the profiling surface's exposure: off by
+// default (404 like any unknown admin path), and only on the admin
+// host when Config.EnablePprof is set — a web origin's Host header
+// must never reach it.
+func TestPprofAdminGating(t *testing.T) {
+	n := web.NewNetwork()
+	o := origin.MustParse("http://pprof-origin.example")
+	n.Register(o, web.HandlerFunc(func(req *web.Request) *web.Response {
+		return web.HTML("<html><body>ok</body></html>")
+	}))
+
+	off := startGateway(t, n, Config{})
+	resp := rawGet(t, off, "", "/debug/pprof/", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+
+	on := startGateway(t, n, Config{EnablePprof: true})
+	resp = rawGet(t, on, "", "/debug/pprof/", nil)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d body %q", resp.StatusCode, body[:min(len(body), 80)])
+	}
+	resp = rawGet(t, on, "", "/debug/pprof/cmdline", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d, want 200", resp.StatusCode)
+	}
+
+	// A mounted origin's Host must not expose the profiler even when
+	// enabled: the path routes to the origin's handler instead.
+	resp = rawGet(t, on, "pprof-origin.example", "/debug/pprof/", nil)
+	originBody := readBody(t, resp)
+	if strings.Contains(originBody, "goroutine profile") {
+		t.Fatalf("pprof leaked onto a web origin's host: %q", originBody)
+	}
+}

@@ -167,9 +167,15 @@ func (ca *CA) getCertificate(hello *tls.ClientHelloInfo) (*tls.Certificate, erro
 }
 
 // ServerConfig returns the tls.Config a Gateway terminates https with.
+// The ALPN list offers h2 first so clients that force HTTP/2 (the
+// pooled ClientTransport does) multiplex streams over one connection
+// per origin; http/1.1 stays on the list for plain keep-alive clients
+// and admin probes. The CA private key backing GetCertificate never
+// leaves this process — leafs are minted in-memory per SNI name.
 func (ca *CA) ServerConfig() *tls.Config {
 	return &tls.Config{
 		MinVersion:     tls.VersionTLS12,
+		NextProtos:     []string{"h2", "http/1.1"},
 		GetCertificate: ca.getCertificate,
 	}
 }

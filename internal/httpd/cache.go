@@ -37,12 +37,25 @@ type pageKey struct {
 // it arrived with, the strong validator the gateway advertises, and
 // the precomputed X-Escudo-Orig-Keys value (the header set of an
 // immutable entry never changes, so the hit path need not rebuild it).
+//
+// Everything in a cachedPage is frozen at fill time and shared by
+// every hit: the body is written straight from the byte slice, and
+// the header value slices (including the single-element etagVal and
+// origKeysVal) are installed into the ResponseWriter's header map by
+// reference. Nothing on the hit path may append to or mutate them —
+// that immutability is what makes a cache hit allocation-free apart
+// from net/http's own response plumbing.
 type cachedPage struct {
 	status   int
 	header   web.Header
-	body     string
+	body     []byte
 	etag     string
 	origKeys string
+
+	// Precomputed single-value slices for the hit path's direct
+	// header-map installs.
+	etagVal    []string
+	origKeyVal []string
 }
 
 // size approximates the entry's memory footprint for the byte bound.
@@ -220,10 +233,12 @@ func (c *pageCache) put(key pageKey, resp *web.Response) string {
 	page := &cachedPage{
 		status:   resp.Status,
 		header:   resp.Header.Clone(),
-		body:     resp.Body,
+		body:     []byte(resp.Body),
 		etag:     fmt.Sprintf("\"%016x\"", h.Sum64()),
 		origKeys: origKeysValue(resp.Header),
 	}
+	page.etagVal = []string{page.etag}
+	page.origKeyVal = []string{page.origKeys}
 	size := page.size()
 	if size > c.maxBytes {
 		return ""

@@ -1,6 +1,7 @@
 package httpd
 
 import (
+	"bytes"
 	"context"
 	"crypto/tls"
 	"crypto/x509"
@@ -11,6 +12,7 @@ import (
 	"net/http/httptrace"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +45,12 @@ type ClientTransport struct {
 	requests    atomic.Uint64
 	newConns    atomic.Uint64
 	reusedConns atomic.Uint64
+	h2Requests  atomic.Uint64
+
+	// trace is shared by every round trip: GotConn carries no
+	// per-request state, so one ClientTrace serves the whole stream
+	// without a per-request closure allocation.
+	trace httptrace.ClientTrace
 }
 
 var _ web.Transport = (*ClientTransport)(nil)
@@ -54,6 +62,24 @@ type ClientStats struct {
 	Requests    uint64 `json:"requests"`
 	NewConns    uint64 `json:"new_conns"`
 	ReusedConns uint64 `json:"reused_conns"`
+	// H2Requests counts round trips whose response arrived over a
+	// negotiated HTTP/2 stream (hresp.Proto == "HTTP/2.0").
+	H2Requests uint64 `json:"h2_requests"`
+}
+
+// Proto names the wire protocol the counted traffic predominantly
+// rode: "h2" when at least half the round trips were HTTP/2, else
+// "h1" (or "" when nothing was counted). Mixed streams happen only
+// when snapshots from h1 and h2 transports are summed.
+func (s ClientStats) Proto() string {
+	switch {
+	case s.Requests == 0:
+		return ""
+	case 2*s.H2Requests >= s.Requests:
+		return "h2"
+	default:
+		return "h1"
+	}
 }
 
 // ReuseRate is the fraction of round trips that reused a pooled
@@ -72,6 +98,7 @@ func (s ClientStats) Sub(base ClientStats) ClientStats {
 		Requests:    s.Requests - base.Requests,
 		NewConns:    s.NewConns - base.NewConns,
 		ReusedConns: s.ReusedConns - base.ReusedConns,
+		H2Requests:  s.H2Requests - base.H2Requests,
 	}
 }
 
@@ -82,13 +109,18 @@ func (s ClientStats) Add(o ClientStats) ClientStats {
 		Requests:    s.Requests + o.Requests,
 		NewConns:    s.NewConns + o.NewConns,
 		ReusedConns: s.ReusedConns + o.ReusedConns,
+		H2Requests:  s.H2Requests + o.H2Requests,
 	}
 }
 
 // newPooledClient builds the shared http.Client shape; tlsCfg nil
-// means plain HTTP.
-func newPooledClient(addr string, tlsCfg *tls.Config) *http.Client {
+// means plain HTTP. forceH2 opts the transport into HTTP/2 — it must
+// be explicit because a transport with a custom DialContext or
+// TLSClientConfig never upgrades on its own (net/http disables the
+// automatic h2 wiring the moment either is set).
+func newPooledClient(addr string, tlsCfg *tls.Config, forceH2 bool) *http.Client {
 	t := &http.Transport{
+		ForceAttemptHTTP2:   forceH2,
 		MaxIdleConns:        256,
 		MaxIdleConnsPerHost: 64,
 		IdleConnTimeout:     90 * time.Second,
@@ -112,19 +144,49 @@ func newPooledClient(addr string, tlsCfg *tls.Config) *http.Client {
 	}
 }
 
+// newClientTransport finishes construction: the connection-churn trace
+// is built once here so RoundTrip never allocates a closure for it.
+func newClientTransport(addr string, isTLS bool, client *http.Client) *ClientTransport {
+	c := &ClientTransport{addr: addr, tls: isTLS, client: client}
+	c.trace.GotConn = func(info httptrace.GotConnInfo) {
+		if info.Reused {
+			c.reusedConns.Add(1)
+		} else {
+			c.newConns.Add(1)
+		}
+	}
+	return c
+}
+
 // NewClientTransport builds a pooled plain-HTTP client for the
 // gateway at addr (as returned by Gateway.Addr).
 func NewClientTransport(addr string) *ClientTransport {
-	return &ClientTransport{addr: addr, client: newPooledClient(addr, nil)}
+	return newClientTransport(addr, false, newPooledClient(addr, nil, false))
 }
 
 // NewClientTransportTLS builds a pooled https client for a
 // TLS-terminating gateway at addr, verifying its per-origin leaf
 // certificates against roots (normally the gateway CA's pool, see
-// CA.Pool and LoadCAPool).
+// CA.Pool and LoadCAPool). The transport forces an HTTP/2 attempt:
+// the gateway offers h2 via ALPN, so every session multiplexes its
+// request stream over one connection per origin instead of a
+// keep-alive pool per host.
 func NewClientTransportTLS(addr string, roots *x509.CertPool) *ClientTransport {
 	cfg := &tls.Config{RootCAs: roots, MinVersion: tls.VersionTLS12}
-	return &ClientTransport{addr: addr, tls: true, client: newPooledClient(addr, cfg)}
+	return newClientTransport(addr, true, newPooledClient(addr, cfg, true))
+}
+
+// NewClientTransportTLSH1 is NewClientTransportTLS pinned to
+// HTTP/1.1: ALPN offers only http/1.1, so the gateway falls back to
+// keep-alive connections. The equivalence tests use it to pin that
+// verdicts, tallies, and jars are identical across h1 and h2 legs.
+func NewClientTransportTLSH1(addr string, roots *x509.CertPool) *ClientTransport {
+	cfg := &tls.Config{
+		RootCAs:    roots,
+		MinVersion: tls.VersionTLS12,
+		NextProtos: []string{"http/1.1"},
+	}
+	return newClientTransport(addr, true, newPooledClient(addr, cfg, false))
 }
 
 // Addr returns the gateway address this transport dials.
@@ -139,6 +201,7 @@ func (c *ClientTransport) Stats() ClientStats {
 		Requests:    c.requests.Load(),
 		NewConns:    c.newConns.Load(),
 		ReusedConns: c.reusedConns.Load(),
+		H2Requests:  c.h2Requests.Load(),
 	}
 }
 
@@ -238,25 +301,24 @@ func (c *ClientTransport) RoundTrip(req *web.Request) (*web.Response, error) {
 	}
 
 	// Count connection churn per round trip: GotConn fires once per
-	// request with the (possibly pooled) connection actually used.
+	// request with the (possibly pooled) connection actually used. The
+	// trace struct is shared; only the context wrapper is per-request.
 	c.requests.Add(1)
-	trace := &httptrace.ClientTrace{
-		GotConn: func(info httptrace.GotConnInfo) {
-			if info.Reused {
-				c.reusedConns.Add(1)
-			} else {
-				c.newConns.Add(1)
-			}
-		},
-	}
-	hreq = hreq.WithContext(httptrace.WithClientTrace(hreq.Context(), trace))
+	hreq = hreq.WithContext(httptrace.WithClientTrace(hreq.Context(), &c.trace))
 
 	hresp, err := c.client.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("httpd: round trip %s: %w", req.URL, err)
 	}
 	defer hresp.Body.Close()
-	data, err := io.ReadAll(hresp.Body)
+	if hresp.ProtoMajor == 2 {
+		c.h2Requests.Add(1)
+	}
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_, err = buf.ReadFrom(hresp.Body)
+	data := buf.String()
+	bodyBufPool.Put(buf)
 	if err != nil {
 		return nil, fmt.Errorf("httpd: reading %s: %w", req.URL, err)
 	}
@@ -266,6 +328,15 @@ func (c *ClientTransport) RoundTrip(req *web.Request) (*web.Response, error) {
 	return translateResponse(hresp, data), nil
 }
 
+// bodyBufPool recycles the scratch buffers response bodies are read
+// into; only the final string conversion allocates per response.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// keepSetPool recycles the header-key sets translateResponse rebuilds
+// from X-Escudo-Orig-Keys — the hottest map allocation on the client
+// path before the diet.
+var keepSetPool = sync.Pool{New: func() any { return make(map[string]bool, 16) }}
+
 // translateResponse rebuilds the origin's web.Response from the wire.
 // When the gateway advertised the origin's own header-key set, every
 // header the HTTP plumbing added (Date, Content-Length, sniffed
@@ -273,13 +344,25 @@ func (c *ClientTransport) RoundTrip(req *web.Request) (*web.Response, error) {
 // response — Set-Cookie attribute strings included — round-trips
 // byte-for-byte. Responses from foreign servers (no key list) keep
 // all their headers.
-func translateResponse(hresp *http.Response, body []byte) *web.Response {
-	resp := &web.Response{Status: hresp.StatusCode, Header: web.Header{}, Body: string(body)}
+//
+// Allocation discipline: the keep set is pooled (cleared, not
+// reallocated, per response), the key list is walked with strings.Cut
+// instead of a Split slice, and the value slices are adopted from
+// hresp.Header rather than copied — net/http builds that map fresh
+// per response and hands us ownership.
+func translateResponse(hresp *http.Response, body string) *web.Response {
+	resp := &web.Response{
+		Status: hresp.StatusCode,
+		Header: make(web.Header, len(hresp.Header)),
+		Body:   body,
+	}
 	var keep map[string]bool
 	if list, ok := hresp.Header[HeaderOrigKeys]; ok {
-		keep = map[string]bool{}
+		keep = keepSetPool.Get().(map[string]bool)
 		for _, l := range list {
-			for _, k := range strings.Split(l, ",") {
+			for l != "" {
+				var k string
+				k, l, _ = strings.Cut(l, ",")
 				if k != "" {
 					keep[k] = true
 				}
@@ -293,7 +376,11 @@ func translateResponse(hresp *http.Response, body []byte) *web.Response {
 		if keep == nil && (k == HeaderGateway || k == HeaderOrigKeys) {
 			continue
 		}
-		resp.Header[web.CanonicalKey(k)] = append([]string(nil), vs...)
+		resp.Header[web.CanonicalKey(k)] = vs
+	}
+	if keep != nil {
+		clear(keep)
+		keepSetPool.Put(keep)
 	}
 	return resp
 }

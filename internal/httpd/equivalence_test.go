@@ -142,80 +142,118 @@ func TestTLSTransportEquivalence(t *testing.T) {
 	defer plainCT.Close()
 	plainBrowser := runFixedSession(t, plainCT, pBench, pForumO, pTopic)
 
+	// The default TLS transport negotiates HTTP/2 via ALPN; the H1
+	// variant pins the same gateway protocol family to HTTP/1.1. Both
+	// are full legs of the equivalence check, so a protocol upgrade can
+	// never silently change a verdict.
 	tlsNet, tBench, tForumO, tTopic := buildSubstrate()
 	tg, ca := startGatewayTLS(t, tlsNet, Config{})
 	tlsCT := NewClientTransportTLS(tg.Addr(), ca.Pool())
 	defer tlsCT.Close()
 	tlsBrowser := runFixedSession(t, tlsCT, tBench, tForumO, tTopic)
 
+	h1Net, oBench, oForumO, oTopic := buildSubstrate()
+	og, oca := startGatewayTLS(t, h1Net, Config{})
+	h1CT := NewClientTransportTLSH1(og.Addr(), oca.Pool())
+	defer h1CT.Close()
+	h1Browser := runFixedSession(t, h1CT, oBench, oForumO, oTopic)
+
+	if st := tlsCT.Stats(); st.H2Requests == 0 || st.Proto() != "h2" {
+		t.Fatalf("default TLS transport did not negotiate h2: %d/%d h2 requests (proto %q)",
+			st.H2Requests, st.Requests, st.Proto())
+	}
+	if st := h1CT.Stats(); st.H2Requests != 0 || st.Proto() != "h1" {
+		t.Fatalf("forced-h1 TLS transport spoke h2: %d h2 requests (proto %q)", st.H2Requests, st.Proto())
+	}
+
 	mem := memBrowser.Audit.Len()
 	if mem == 0 {
 		t.Fatal("in-memory session recorded no decisions; workload broken")
 	}
-	if plain, tlsN := plainBrowser.Audit.Len(), tlsBrowser.Audit.Len(); mem != plain || mem != tlsN {
-		t.Fatalf("decision counts diverge: in-memory %d, plain http %d, tls %d", mem, plain, tlsN)
+	legs := map[string]*browser.Browser{
+		"plain http": plainBrowser,
+		"tls h2":     tlsBrowser,
+		"tls h1":     h1Browser,
 	}
 	memTally := auditTally(memBrowser)
-	if got := auditTally(plainBrowser); !reflect.DeepEqual(memTally, got) {
-		t.Fatalf("plain-http audit tally diverges:\n  in-memory: %v\n  http:      %v", memTally, got)
-	}
-	if got := auditTally(tlsBrowser); !reflect.DeepEqual(memTally, got) {
-		t.Fatalf("tls audit tally diverges:\n  in-memory: %v\n  tls:       %v", memTally, got)
-	}
-	if m, p, s := len(memBrowser.Audit.Denials()), len(plainBrowser.Audit.Denials()), len(tlsBrowser.Audit.Denials()); m != p || m != s {
-		t.Fatalf("denial counts diverge: in-memory %d, plain %d, tls %d", m, p, s)
-	}
 	memJar := memBrowser.Jar().All()
-	if got := plainBrowser.Jar().All(); !reflect.DeepEqual(memJar, got) {
-		t.Fatalf("plain-http jar diverges:\n  in-memory: %+v\n  http:      %+v", memJar, got)
-	}
-	if got := tlsBrowser.Jar().All(); !reflect.DeepEqual(memJar, got) {
-		t.Fatalf("tls jar diverges:\n  in-memory: %+v\n  tls:       %+v", memJar, got)
+	for name, b := range legs {
+		if got := b.Audit.Len(); got != mem {
+			t.Fatalf("%s decision count diverges: in-memory %d, %s %d", name, mem, name, got)
+		}
+		if got := auditTally(b); !reflect.DeepEqual(memTally, got) {
+			t.Fatalf("%s audit tally diverges:\n  in-memory: %v\n  %s: %v", name, memTally, name, got)
+		}
+		if m, g := len(memBrowser.Audit.Denials()), len(b.Audit.Denials()); m != g {
+			t.Fatalf("%s denial count diverges: in-memory %d, %s %d", name, m, name, g)
+		}
+		if got := b.Jar().All(); !reflect.DeepEqual(memJar, got) {
+			t.Fatalf("%s jar diverges:\n  in-memory: %+v\n  %s: %+v", name, memJar, name, got)
+		}
 	}
 }
 
 // tlsGatewayWrapper runs each attack environment's network behind its
 // own TLS-terminating loopback gateway, all leafs minted by one CA.
-func tlsGatewayWrapper(t *testing.T) attack.TransportWrapper {
+// forceH1 pins the client side to HTTP/1.1 (the default negotiates h2
+// via ALPN), so both protocol generations cover the corpus.
+func tlsGatewayWrapper(t *testing.T, forceH1 bool) attack.TransportWrapper {
 	t.Helper()
 	ca, err := NewCA()
 	if err != nil {
 		t.Fatalf("NewCA: %v", err)
 	}
 	return func(n *web.Network) (web.Transport, func(), error) {
-		_, ct, cleanup, err := WrapNetwork(n, Config{TLS: ca}, "127.0.0.1:0")
+		g, ct, cleanup, err := WrapNetwork(n, Config{TLS: ca}, "127.0.0.1:0")
 		if err != nil {
 			return nil, nil, err
 		}
-		return ct, cleanup, nil
+		if !forceH1 {
+			return ct, cleanup, nil
+		}
+		h1 := NewClientTransportTLSH1(g.Addr(), ca.Pool())
+		return h1, func() {
+			h1.Close()
+			cleanup()
+		}, nil
 	}
 }
 
 // TestAttackCorpusOverTLS replays the §6.4 corpus through
-// TLS-terminating gateways under Escudo and demands in-memory
-// verdicts: 18/18 neutralized, none created or lost by the https hop.
+// TLS-terminating gateways under Escudo — once over h2 (the default
+// ALPN outcome), once pinned to HTTP/1.1 — and demands in-memory
+// verdicts both times: 18/18 neutralized, none created or lost by the
+// https hop or the protocol generation.
 func TestAttackCorpusOverTLS(t *testing.T) {
-	wrap := tlsGatewayWrapper(t)
-	neutralized := 0
-	for _, atk := range attack.Corpus() {
-		mem := attack.RunOne(atk, browser.ModeEscudo)
-		if mem.Err != nil {
-			t.Fatalf("%s in-memory: %v", atk.Name, mem.Err)
-		}
-		overTLS := attack.RunOneOver(atk, browser.ModeEscudo, nil, wrap)
-		if overTLS.Err != nil {
-			t.Fatalf("%s over TLS: %v", atk.Name, overTLS.Err)
-		}
-		if mem.Succeeded != overTLS.Succeeded {
-			t.Errorf("%s verdict diverges: in-memory succeeded=%v, tls succeeded=%v",
-				atk.Name, mem.Succeeded, overTLS.Succeeded)
-		}
-		if overTLS.Neutralized() {
-			neutralized++
-		}
-	}
-	if neutralized != len(attack.Corpus()) {
-		t.Errorf("Escudo over TLS neutralized %d/%d", neutralized, len(attack.Corpus()))
+	for _, leg := range []struct {
+		name    string
+		forceH1 bool
+	}{{"h2", false}, {"h1", true}} {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			wrap := tlsGatewayWrapper(t, leg.forceH1)
+			neutralized := 0
+			for _, atk := range attack.Corpus() {
+				mem := attack.RunOne(atk, browser.ModeEscudo)
+				if mem.Err != nil {
+					t.Fatalf("%s in-memory: %v", atk.Name, mem.Err)
+				}
+				overTLS := attack.RunOneOver(atk, browser.ModeEscudo, nil, wrap)
+				if overTLS.Err != nil {
+					t.Fatalf("%s over TLS: %v", atk.Name, overTLS.Err)
+				}
+				if mem.Succeeded != overTLS.Succeeded {
+					t.Errorf("%s verdict diverges: in-memory succeeded=%v, tls succeeded=%v",
+						atk.Name, mem.Succeeded, overTLS.Succeeded)
+				}
+				if overTLS.Neutralized() {
+					neutralized++
+				}
+			}
+			if neutralized != len(attack.Corpus()) {
+				t.Errorf("Escudo over TLS (%s) neutralized %d/%d", leg.name, neutralized, len(attack.Corpus()))
+			}
+		})
 	}
 }
 

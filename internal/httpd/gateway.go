@@ -22,6 +22,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	nhpprof "net/http/pprof"
 	"net/url"
 	"sort"
 	"strings"
@@ -140,6 +141,12 @@ type Config struct {
 	// through its warm self-check so a supervisor's poll cannot race
 	// the mount loop.
 	HoldReady bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// admin host (the listener's own address, same isolation as
+	// /metricsz — a web-origin Host header can never reach it). Off by
+	// default: profiling endpoints are a diagnostic surface, opted
+	// into per run (`escudo-serve -pprof`).
+	EnablePprof bool
 }
 
 // vhost is one mounted origin: its identity and its bounded queue.
@@ -450,10 +457,27 @@ var requestHeaderSkip = map[string]bool{
 	HeaderInitiatorLabel:  true,
 }
 
+// reqPool recycles the web.Request every incoming HTTP request is
+// translated into. A request is returned to the pool only after its
+// response is written (releaseRequest); the one path that abandons a
+// possibly-queued job — shutdown — leaks its request to the GC
+// instead, because a worker may still be reading it.
+var reqPool = sync.Pool{New: func() any { return &web.Request{} }}
+
+// releaseRequest hands a translated request back to the pool.
+func releaseRequest(req *web.Request) { reqPool.Put(req) }
+
+// jobPool recycles job envelopes; the buffered done channel is reused
+// across requests. Jobs abandoned at shutdown are never pooled again
+// (the worker may still deliver into done).
+var jobPool = sync.Pool{New: func() any { return &job{done: make(chan jobResult, 1)} }}
+
 // translate builds the web.Request an incoming HTTP request denotes
-// for the given target origin.
+// for the given target origin. The request comes from reqPool; the
+// caller releases it after the response is written.
 func translate(r *http.Request, target origin.Origin) *web.Request {
-	req := web.NewRequest(r.Method, target.URL(r.URL.RequestURI()))
+	req := reqPool.Get().(*web.Request)
+	req.Reset(r.Method, target.URL(r.URL.RequestURI()))
 	for k, vs := range r.Header {
 		if requestHeaderSkip[k] {
 			continue
@@ -512,7 +536,9 @@ func (g *Gateway) writeResponse(w http.ResponseWriter, resp *web.Response, etag,
 	}
 	w.WriteHeader(resp.Status)
 	if resp.Body != "" {
-		fmt.Fprint(w, resp.Body) //nolint:errcheck // client went away; nothing to do
+		// io.WriteString, not fmt.Fprint: the latter boxes the body
+		// string into an interface argument on every response.
+		io.WriteString(w, resp.Body) //nolint:errcheck // client went away; nothing to do
 	}
 	g.served.Add(1)
 }
@@ -550,6 +576,10 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case "/policyz":
 			g.servePolicyz(w, r)
 		default:
+			if g.cfg.EnablePprof && strings.HasPrefix(r.URL.Path, "/debug/pprof") {
+				servePprof(w, r)
+				return
+			}
 			http.NotFound(w, r)
 		}
 		return
@@ -586,20 +616,22 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 		if page, ok := g.cache.get(key); ok {
 			if r.Header.Get("If-None-Match") == page.etag {
 				g.cache.notModified.Add(1)
-				w.Header().Set("ETag", page.etag)
+				w.Header()["Etag"] = page.etagVal
 				w.WriteHeader(http.StatusNotModified)
 				vh.served.Add(1)
 				g.served.Add(1)
+				releaseRequest(req)
 				return
 			}
-			cached := &web.Response{Status: page.status, Header: page.header, Body: page.body}
 			vh.served.Add(1)
-			g.writeResponse(w, cached, page.etag, page.origKeys)
+			g.writeCachedPage(w, page)
+			releaseRequest(req)
 			return
 		}
 	}
 
-	j := &job{req: req, done: make(chan jobResult, 1)}
+	j := jobPool.Get().(*job)
+	j.req = req
 	select {
 	case vh.jobs <- j:
 	default:
@@ -607,6 +639,9 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 		g.rejected.Add(1)
 		g.gatewayError(w, gatewayOverloaded, http.StatusServiceUnavailable,
 			fmt.Sprintf("origin %s queue full", vh.origin))
+		j.req = nil
+		jobPool.Put(j)
+		releaseRequest(req)
 		return
 	}
 	for depth := int64(len(vh.jobs)); ; {
@@ -618,7 +653,9 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 	// Also watch quit: a deadline-expired Shutdown may stop the
 	// workers while this job is still queued, and an abandoned job
 	// must not strand its handler (done is buffered, so a worker that
-	// did pick the job up can still deliver and move on).
+	// did pick the job up can still deliver and move on). Abandoned
+	// jobs and their requests are NOT pooled again — the worker may
+	// still touch both.
 	var res jobResult
 	select {
 	case res = <-j.done:
@@ -626,8 +663,11 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 		g.gatewayError(w, gatewayShuttingDown, http.StatusServiceUnavailable, "gateway shutting down")
 		return
 	}
+	j.req = nil
+	jobPool.Put(j)
 	if res.err != nil {
 		g.routeError(w, res.err)
+		releaseRequest(req)
 		return
 	}
 	var etag string
@@ -637,6 +677,46 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 	}
 	vh.served.Add(1)
 	g.writeResponse(w, res.resp, etag, "")
+	releaseRequest(req)
+}
+
+// writeCachedPage serves a page-cache hit without copying: headers are
+// installed into the response header map by reference (the cached
+// slices are frozen — see cachedPage) and the body is written straight
+// from the cached byte slice. Apart from net/http's own plumbing the
+// hit path allocates nothing.
+func (g *Gateway) writeCachedPage(w http.ResponseWriter, page *cachedPage) {
+	wh := w.Header()
+	for k, vs := range page.header {
+		wh[k] = vs
+	}
+	wh[HeaderOrigKeys] = page.origKeyVal
+	wh["Etag"] = page.etagVal
+	w.WriteHeader(page.status)
+	if len(page.body) > 0 {
+		w.Write(page.body) //nolint:errcheck // client went away; nothing to do
+	}
+	g.served.Add(1)
+}
+
+// servePprof dispatches the net/http/pprof handlers. It is reachable
+// only on the admin host and only with Config.EnablePprof — the
+// profiling surface shares /metricsz's isolation from web origins.
+func servePprof(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/debug/pprof/cmdline":
+		nhpprof.Cmdline(w, r)
+	case "/debug/pprof/profile":
+		nhpprof.Profile(w, r)
+	case "/debug/pprof/symbol":
+		nhpprof.Symbol(w, r)
+	case "/debug/pprof/trace":
+		nhpprof.Trace(w, r)
+	default:
+		// Index serves /debug/pprof/ and the named profiles
+		// (heap, goroutine, allocs, ...).
+		nhpprof.Index(w, r)
+	}
 }
 
 // serveFallback handles hosts with no mounted vhost by deriving the
@@ -651,7 +731,9 @@ func (g *Gateway) serveFallback(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("unusable Host %q", r.Host))
 		return
 	}
-	resp, err := g.inner.RoundTrip(translate(r, target))
+	req := translate(r, target)
+	resp, err := g.inner.RoundTrip(req)
+	releaseRequest(req)
 	if err != nil {
 		g.routeError(w, err)
 		return

@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/raceflag"
+)
+
+// TestHistogramObserveAllocs pins Observe's steady state at zero
+// allocations: the counts slice is grown with full capacity on first
+// need, so a warm histogram never reallocates — Observe sits on the
+// engine's per-request stats path.
+func TestHistogramObserveAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var h Histogram
+	// Warm across the whole range once, including the open-ended top
+	// bucket, so every later index is within capacity.
+	h.Observe(0)
+	h.Observe(5 * time.Hour)
+
+	samples := []time.Duration{
+		3 * time.Microsecond,
+		250 * time.Microsecond,
+		4 * time.Millisecond,
+		900 * time.Millisecond,
+		12 * time.Second,
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, d := range samples {
+			h.Observe(d)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Histogram.Observe allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -60,13 +60,21 @@ func bucketUpper(i int) time.Duration {
 	return time.Duration(lower+width-1) * time.Microsecond
 }
 
-// Observe records one measurement.
+// Observe records one measurement. The counts slice is grown with
+// full maxBucket+1 capacity on the first observation that needs more
+// room, so a warm histogram never allocates again whatever latencies
+// arrive — Observe sits on the per-request stats path and the
+// AllocsPerRun gate in histogram_test pins the steady state at zero.
 func (h *Histogram) Observe(d time.Duration) {
 	i := bucketOf(d)
 	if i >= len(h.Counts) {
-		grown := make([]uint64, i+1)
-		copy(grown, h.Counts)
-		h.Counts = grown
+		if i < cap(h.Counts) {
+			h.Counts = h.Counts[:i+1]
+		} else {
+			grown := make([]uint64, i+1, maxBucket+1)
+			copy(grown, h.Counts)
+			h.Counts = grown
+		}
 	}
 	h.Counts[i]++
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package raceflag reports whether the race detector is compiled in.
+// The AllocsPerRun gates skip under it: instrumentation adds its own
+// allocations, so the counts they pin are only meaningful without it.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -32,6 +32,9 @@ func CanonicalKey(k string) string {
 	if isCanonicalKey(k) {
 		return k
 	}
+	if v, ok := internedKeys[k]; ok {
+		return v
+	}
 	parts := strings.Split(strings.ToLower(k), "-")
 	for i, p := range parts {
 		if p == "" {
@@ -40,6 +43,29 @@ func CanonicalKey(k string) string {
 		parts[i] = strings.ToUpper(p[:1]) + p[1:]
 	}
 	return strings.Join(parts, "-")
+}
+
+// internedKeys maps the lower-case spellings of hot header keys to a
+// shared canonical string, so request-path callers that pass the
+// wire-typical lower-case form ("set-cookie", "content-type") get the
+// interned instance back instead of paying the split/join rebuild on
+// every header touch.
+var internedKeys = map[string]string{
+	"accept":                    "Accept",
+	"cache-control":             "Cache-Control",
+	"content-type":              "Content-Type",
+	"cookie":                    "Cookie",
+	"etag":                      "Etag",
+	"if-none-match":             "If-None-Match",
+	"location":                  "Location",
+	"referer":                   "Referer",
+	"retry-after":               "Retry-After",
+	"set-cookie":                "Set-Cookie",
+	"x-escudo-gateway":          "X-Escudo-Gateway",
+	"x-escudo-initiator-label":  "X-Escudo-Initiator-Label",
+	"x-escudo-initiator-origin": "X-Escudo-Initiator-Origin",
+	"x-escudo-maxring":          "X-Escudo-Maxring",
+	"x-escudo-orig-keys":        "X-Escudo-Orig-Keys",
 }
 
 // isCanonicalKey reports whether k is already in canonical form: each
@@ -143,6 +169,34 @@ type Request struct {
 // NewRequest builds a request with empty header and form.
 func NewRequest(method, rawURL string) *Request {
 	return &Request{Method: method, URL: rawURL, Header: Header{}, Form: url.Values{}}
+}
+
+// Reset prepares r for reuse from a request pool: the Header map is
+// cleared in place and kept, every other field — including the
+// memoized URL, query, and cookie parses — is dropped. Form is set to
+// nil rather than cleared because the request log may alias the old
+// map (LogEntry.Form); a reused request that carries a form gets a
+// fresh map. The caller must own r exclusively: Reset while a handler
+// or logger still reads r is a race.
+func (r *Request) Reset(method, rawURL string) {
+	if r.Header == nil {
+		r.Header = Header{}
+	} else {
+		clear(r.Header)
+	}
+	r.Method = method
+	r.URL = rawURL
+	r.Form = nil
+	r.InitiatorOrigin = origin.Origin{}
+	r.InitiatorLabel = ""
+	r.urlOnce = sync.Once{}
+	r.parsedURL = nil
+	r.target = origin.Origin{}
+	r.targetErr = nil
+	r.queryOnce = sync.Once{}
+	r.query = nil
+	r.cookieOnce = sync.Once{}
+	r.cookies = nil
 }
 
 // parse runs the one-time URL parse shared by TargetOrigin, Path, and
