@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare fuzz-script lint fmt-check vet serve serve-http serve-cluster profile clean
+.PHONY: all build test race bench bench-compare fuzz-script lint fmt-check vet serve serve-http serve-cluster soak profile clean
 
 all: build lint test
 
@@ -60,6 +60,17 @@ CLUSTER_WORKERS ?= 2
 serve-cluster:
 	$(GO) run ./cmd/escudo-serve -cluster $(CLUSTER_WORKERS) -tls
 
+# Leak-hunting soak: SOAK seconds of mixed load through the loopback
+# gateway under the race detector, with the runtime sampler recording
+# goroutine/heap shape every 200ms into the report's obs section. CI
+# gates on the sampler's verdict: goroutines must return to a fixed
+# band of the post-warmup count and the heap must not grow
+# monotonically across samples.
+SOAK ?= 30s
+soak:
+	$(GO) run -race ./cmd/escudo-serve -sessions 4 -iters 1 -phpbb-iters 2 -mixed-iters 2 \
+		-attacks=false -http 127.0.0.1:0 -soak $(SOAK) -out BENCH_engine.soak.json
+
 # Run the driver fresh and print phase-by-phase p50/p99 deltas against
 # the committed BENCH_engine.json. Override NEW_BENCH/OLD_BENCH to
 # compare arbitrary reports.
@@ -83,5 +94,5 @@ profile:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_engine.new.json
+	rm -f BENCH_engine.new.json BENCH_engine.soak.json
 	rm -rf profiles

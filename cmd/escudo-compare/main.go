@@ -130,6 +130,40 @@ type scriptSection struct {
 	AllocRatio float64      `json:"alloc_ratio"`
 }
 
+// obsSeries mirrors one sampled runtime series of the obs section.
+type obsSeries struct {
+	First int64 `json:"first"`
+	Last  int64 `json:"last"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+// obsSampler mirrors the runtime sampler summary inside the obs
+// section.
+type obsSampler struct {
+	Samples              int       `json:"samples"`
+	Goroutines           obsSeries `json:"goroutines"`
+	PostWarmupGoroutines int64     `json:"post_warmup_goroutines"`
+	HeapAllocBytes       obsSeries `json:"heap_alloc_bytes"`
+	HeapMonotonic        bool      `json:"heap_monotonic"`
+	GCPauseTotalMs       float64   `json:"gc_pause_total_ms"`
+	NumGC                uint32    `json:"num_gc"`
+}
+
+// obsVersion mirrors the build stamp of the obs section.
+type obsVersion struct {
+	Module string `json:"module"`
+	Go     string `json:"go"`
+}
+
+// obsSection mirrors the subset of the obs section compared. Reports
+// that predate the section carry nil and are rendered one-sided.
+type obsSection struct {
+	Version                obsVersion `json:"version"`
+	Sampler                obsSampler `json:"sampler"`
+	DecisionEventsRecorded uint64     `json:"decision_events_recorded"`
+}
+
 // report mirrors the subset of BENCH_engine.json being compared.
 type report struct {
 	Sessions   int             `json:"sessions"`
@@ -139,6 +173,7 @@ type report struct {
 	Script     *scriptSection  `json:"script"`
 	HTTP       *httpSection    `json:"http"`
 	Cluster    *clusterSection `json:"cluster"`
+	Obs        *obsSection     `json:"obs"`
 	TotalMs    float64         `json:"total_ms"`
 }
 
@@ -225,7 +260,41 @@ func run(args []string, out *os.File) error {
 	compareScript(out, oldR.Script, newR.Script)
 	compareHTTP(out, oldR.HTTP, newR.HTTP)
 	compareCluster(out, oldR.Cluster, newR.Cluster)
+	compareObs(out, oldR.Obs, newR.Obs)
 	return nil
+}
+
+// describeObs renders one report's runtime-health summary on a line.
+func describeObs(o *obsSection) string {
+	return fmt.Sprintf("%s, goroutines post-warmup/last %d/%d, heap last %.1f MiB (monotonic=%v), %d GC cycles, %d decision events",
+		o.Version.Go, o.Sampler.PostWarmupGoroutines, o.Sampler.Goroutines.Last,
+		float64(o.Sampler.HeapAllocBytes.Last)/(1<<20), o.Sampler.HeapMonotonic,
+		o.Sampler.NumGC, o.DecisionEventsRecorded)
+}
+
+// compareObs diffs the observability sections: runtime-health shape
+// and decision-trace traffic. One-sided when either report predates
+// the section — an old report without obs must render, not error.
+func compareObs(out *os.File, oldO, newO *obsSection) {
+	if oldO == nil && newO == nil {
+		return
+	}
+	fmt.Fprintf(out, "\nobs: ")
+	switch {
+	case oldO == nil:
+		fmt.Fprintf(out, "old report has none; new: %s\n", describeObs(newO))
+	case newO == nil:
+		fmt.Fprintf(out, "new report has none; old: %s\n", describeObs(oldO))
+	default:
+		fmt.Fprintf(out, "goroutines last %d → %d, heap last %s MiB, GC cycles %d → %d, decision events %d → %d\n",
+			oldO.Sampler.Goroutines.Last, newO.Sampler.Goroutines.Last,
+			delta(float64(oldO.Sampler.HeapAllocBytes.Last)/(1<<20), float64(newO.Sampler.HeapAllocBytes.Last)/(1<<20)),
+			oldO.Sampler.NumGC, newO.Sampler.NumGC,
+			oldO.DecisionEventsRecorded, newO.DecisionEventsRecorded)
+		if oldO.Version.Go != newO.Version.Go {
+			fmt.Fprintf(out, "toolchain changed: %s → %s\n", oldO.Version.Go, newO.Version.Go)
+		}
+	}
 }
 
 // compareHTTP diffs the http sections: negotiated protocol, connection

@@ -247,6 +247,101 @@ func TestCompareScriptSection(t *testing.T) {
 	}
 }
 
+const oldObsJSON = `{
+  "sessions": 8, "mode": "escudo", "gomaxprocs": 1, "total_ms": 60,
+  "phases": [],
+  "obs": {
+    "version": {"module": "repro", "go": "go1.22.0"},
+    "sampler": {
+      "samples": 10,
+      "goroutines": {"first": 20, "last": 21, "min": 18, "max": 30},
+      "post_warmup_goroutines": 20,
+      "heap_alloc_bytes": {"first": 10485760, "last": 10485760, "min": 8388608, "max": 20971520},
+      "heap_monotonic": false, "gc_pause_total_ms": 1.5, "num_gc": 4
+    },
+    "decision_events_recorded": 4000
+  }
+}`
+
+const newObsJSON = `{
+  "sessions": 8, "mode": "escudo", "gomaxprocs": 1, "total_ms": 55,
+  "phases": [],
+  "obs": {
+    "version": {"module": "repro", "go": "go1.23.0"},
+    "sampler": {
+      "samples": 12,
+      "goroutines": {"first": 20, "last": 24, "min": 18, "max": 35},
+      "post_warmup_goroutines": 22,
+      "heap_alloc_bytes": {"first": 10485760, "last": 12582912, "min": 8388608, "max": 25165824},
+      "heap_monotonic": false, "gc_pause_total_ms": 2.0, "num_gc": 6
+    },
+    "decision_events_recorded": 5000
+  }
+}`
+
+// TestCompareObsSection pins the observability diff: goroutine/heap
+// shape, GC cycles, decision-event traffic, and a toolchain-change
+// note. A pair where only one side has the section still diffs
+// cleanly — old reports predating obs must render, not error.
+func TestCompareObsSection(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldObsJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newObsJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.txt")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{oldPath, newPath}, f); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f.Close()
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "goroutines last 21 → 24") {
+		t.Errorf("missing goroutine delta in:\n%s", out)
+	}
+	if !strings.Contains(out, "GC cycles 4 → 6") {
+		t.Errorf("missing GC cycle delta in:\n%s", out)
+	}
+	if !strings.Contains(out, "decision events 4000 → 5000") {
+		t.Errorf("missing decision-event delta in:\n%s", out)
+	}
+	if !strings.Contains(out, "toolchain changed: go1.22.0 → go1.23.0") {
+		t.Errorf("missing toolchain note in:\n%s", out)
+	}
+
+	// One-sided: old report without an obs section.
+	plainPath := filepath.Join(dir, "plain.json")
+	if err := os.WriteFile(plainPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{plainPath, newPath}, f2); err != nil {
+		t.Fatalf("run one-sided: %v", err)
+	}
+	f2.Close()
+	data, err = os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "obs: old report has none") {
+		t.Errorf("one-sided obs diff not reported in:\n%s", data)
+	}
+}
+
 func TestCompareUsageError(t *testing.T) {
 	if err := run([]string{"one.json"}, os.Stdout); err == nil {
 		t.Fatal("want usage error with one argument")

@@ -8,6 +8,7 @@
 //
 //	escudo-inspect [-maxring N] [-policy policy.json]
 //	               [-query ring:op:id[@guest-origin]] [file]
+//	escudo-inspect -tracez host:port [-trace ID]
 //
 // With no file, a built-in demonstration page (the paper's Figure 3
 // blog shape) is inspected. -query may repeat.
@@ -18,19 +19,31 @@
 // and its §7 delegations mounted into the query monitor — a query
 // suffixed @guest-origin then asks as a principal of that origin, so
 // delegation floors can be inspected before deployment.
+//
+// -tracez switches to live-gateway mode: it fetches the decision-trace
+// ring from a running gateway's admin /tracez endpoint and
+// pretty-prints the audited decisions grouped by trace, so a developer
+// can follow one page load's provenance — trace ID, span order,
+// ⟨P ⊳ O⟩ triple, and verdict — without attaching a debugger. -trace
+// narrows the fetch to a single trace ID.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/url"
 	"os"
 	"strings"
+	"time"
 
 	escudo "repro"
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/html"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/origin"
 )
 
@@ -65,8 +78,17 @@ func run(args []string) error {
 	var queries queryList
 	fs.Var(&queries, "query", "access query ring:op:id[@guest-origin] (repeatable), e.g. 3:write:post or 0:write:slot@http://widget.example")
 	showRender := fs.Bool("render", false, "also print the text rendering")
+	tracezAddr := fs.String("tracez", "", "fetch decision traces from a live gateway's admin /tracez at this host:port and pretty-print them")
+	traceID := fs.String("trace", "", "with -tracez, show only this trace ID")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *tracezAddr != "" {
+		return runTracez(*tracezAddr, *traceID)
+	}
+	if *traceID != "" {
+		return fmt.Errorf("-trace needs -tracez (the gateway admin address to fetch from)")
 	}
 
 	markup := demoPage
@@ -135,6 +157,78 @@ func run(args []string) error {
 	if *showRender {
 		fmt.Println("\nRendering:")
 		fmt.Println(layout.RenderText(layout.Layout(doc.Root, 72), 72))
+	}
+	return nil
+}
+
+// tracezDoc mirrors the gateway's /tracez JSON document.
+type tracezDoc struct {
+	Total    uint64              `json:"total"`
+	Retained int                 `json:"retained"`
+	Matched  int                 `json:"matched"`
+	Events   []obs.DecisionEvent `json:"events"`
+}
+
+// runTracez fetches the decision-trace ring from a live gateway and
+// pretty-prints it, grouped by trace in span order.
+func runTracez(addr, traceID string) error {
+	u := "http://" + addr + "/tracez"
+	if traceID != "" {
+		u += "?trace=" + url.QueryEscape(traceID)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return fmt.Errorf("fetching %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%s answered 404 — is this the gateway's admin host, and does the deployment wire a decision ring?", u)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s answered %d", u, resp.StatusCode)
+	}
+	var doc tracezDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decoding /tracez: %w", err)
+	}
+
+	fmt.Printf("Decision traces at %s: %d recorded, %d retained, %d matched\n",
+		addr, doc.Total, doc.Retained, doc.Matched)
+	if len(doc.Events) == 0 {
+		if traceID != "" {
+			fmt.Printf("\nNo events for trace %s — the ring holds the last %d decisions, so older traces age out.\n",
+				traceID, doc.Retained)
+		}
+		return nil
+	}
+
+	// Group by trace, preserving the order traces first appear; within
+	// a trace the ring is already oldest-first, so spans come out
+	// ascending.
+	order := []string{}
+	byTrace := map[string][]obs.DecisionEvent{}
+	for _, e := range doc.Events {
+		id := e.TraceID
+		if id == "" {
+			id = "(untraced)"
+		}
+		if _, ok := byTrace[id]; !ok {
+			order = append(order, id)
+		}
+		byTrace[id] = append(byTrace[id], e)
+	}
+	for _, id := range order {
+		events := byTrace[id]
+		fmt.Printf("\ntrace %s — %d decisions:\n", id, len(events))
+		for _, e := range events {
+			verdict := "ALLOW"
+			if !e.Allowed {
+				verdict = "DENY "
+			}
+			fmt.Printf("  span %-4d %s %-28s %s on %s (ring %d, %s) [%s]\n",
+				e.Span, verdict, e.Rule, e.Principal, e.Object, e.Ring, e.Origin, e.Op)
+		}
 	}
 	return nil
 }

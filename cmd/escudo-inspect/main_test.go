@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	escudo "repro"
+	"repro/internal/httpd"
+	"repro/internal/obs"
+	"repro/internal/web"
 )
 
 func TestRunDemoPage(t *testing.T) {
@@ -35,6 +38,54 @@ func TestRunErrors(t *testing.T) {
 		{"-bogus"},
 	}
 	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+// TestRunTracez exercises the live-gateway mode: -tracez fetches the
+// decision ring from a running gateway's admin endpoint, and -trace
+// narrows it to one trace ID.
+func TestRunTracez(t *testing.T) {
+	ring := obs.NewDecisionRing(16)
+	ring.Record(obs.DecisionEvent{
+		TraceID: "aaaa-01", Span: 1, Origin: "http://site.example", Ring: 2,
+		Allowed: true, Rule: "same-origin ring access",
+		Principal: "⟨http://site.example, ring 2⟩", Op: "read", Object: "div#post",
+	})
+	ring.Record(obs.DecisionEvent{
+		TraceID: "bbbb-02", Span: 1, Origin: "http://site.example", Ring: 1,
+		Allowed: false, Rule: "ring too low",
+		Principal: "⟨http://evil.example, ring 3⟩", Op: "write", Object: "div#chrome",
+	})
+	gw, _, cleanup, err := httpd.WrapNetwork(web.NewNetwork(), httpd.Config{Ring: ring}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	for _, args := range [][]string{
+		{"-tracez", gw.Addr()},
+		{"-tracez", gw.Addr(), "-trace", "aaaa-01"},
+		{"-tracez", gw.Addr(), "-trace", "no-such-trace"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+
+	// A gateway without a ring answers 404, which must surface as a
+	// helpful error; -trace without -tracez is a usage error.
+	bare, _, bareCleanup, err := httpd.WrapNetwork(web.NewNetwork(), httpd.Config{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bareCleanup()
+	for _, args := range [][]string{
+		{"-tracez", bare.Addr()},
+		{"-trace", "aaaa-01"},
+	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v): want error", args)
 		}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/httpd"
 	"repro/internal/metrics"
 	"repro/internal/nonce"
+	"repro/internal/obs"
 	"repro/internal/origin"
 	"repro/internal/policy"
 	"repro/internal/scenarios"
@@ -145,12 +146,22 @@ func runServeOnly(cfg serveOnlyConfig, stop <-chan struct{}) error {
 		doc := doc
 		originCfgs[o] = httpd.OriginConfig{Policy: &doc}
 	}
+	// The server's observability plane: registry on /varz, a decision
+	// ring on /tracez (enforcement runs in the workers, so the server's
+	// ring stays empty — the endpoint existing uniformly across modes
+	// is the point), and a runtime sampler for the server process.
+	reg := obs.NewRegistry()
+	ring := obs.NewDecisionRing(0)
+	smp := obs.NewSampler(reg, 200*time.Millisecond)
+	smp.Start()
 	gwCfg := httpd.Config{
 		Inner:             sub.net,
 		DefaultWorkers:    cfg.workers,
 		DefaultQueueDepth: cfg.queue,
 		Origins:           originCfgs,
 		HoldReady:         true,
+		Obs:               reg,
+		Ring:              ring,
 	}
 	var ca *httpd.CA
 	if cfg.tls {
@@ -207,6 +218,7 @@ func runServeOnly(cfg serveOnlyConfig, stop <-chan struct{}) error {
 		return fmt.Errorf("self-check: scenario page answered %d", resp.Status)
 	}
 	gw.SetReady(true)
+	smp.Mark()
 	fmt.Printf("escudo-serve: serving %d origins at %s (tls=%v), ready\n",
 		substrateOrigins, gw.Addr(), cfg.tls)
 
@@ -218,11 +230,14 @@ func runServeOnly(cfg serveOnlyConfig, stop <-chan struct{}) error {
 		return fmt.Errorf("graceful shutdown: %w", err)
 	}
 	if cfg.statsFile != "" {
+		sampStats := smp.Stop()
 		st := cluster.ServerStats{
 			Addr:    gw.Addr(),
 			TLS:     cfg.tls,
 			Origins: substrateOrigins,
 			Gateway: gw.Stats(),
+			Version: obs.Version(),
+			Obs:     &sampStats,
 		}
 		data, err := json.MarshalIndent(st, "", "  ")
 		if err != nil {
@@ -305,10 +320,19 @@ func runConnect(cfg connectConfig) error {
 	}
 	defer ct.Close()
 
+	// Worker-side observability: decisions ring into the worker's own
+	// trace buffer (the monitors run here, not in the server), and the
+	// runtime sampler feeds the shard's obs section for the supervisor
+	// to merge fleet-wide.
+	reg := obs.NewRegistry()
+	ring := obs.NewDecisionRing(0)
+	smp := obs.NewSampler(reg, 200*time.Millisecond)
+	smp.Start()
+
 	pool, err := engine.NewPool(engine.Config{
 		Sessions:  cfg.sessions,
 		Transport: ct,
-		Options:   browser.Options{Mode: cfg.mode},
+		Options:   browser.Options{Mode: cfg.mode, DecisionRing: ring},
 		Uncached:  cfg.uncached,
 	})
 	if err != nil {
@@ -322,6 +346,7 @@ func runConnect(cfg connectConfig) error {
 		Sessions: cfg.sessions,
 		Mode:     cfg.mode.String(),
 		TLS:      cfg.tls,
+		Version:  obs.Version(),
 	}
 	bench := origin.MustParse("http://bench.example")
 	paths := scenarios.Paths()
@@ -334,6 +359,7 @@ func runConnect(cfg connectConfig) error {
 	if st := pool.Stats(); len(st.Errors) > 0 {
 		return fmt.Errorf("worker %d warmup: %w", cfg.workerID, st.Errors[0])
 	}
+	smp.Mark()
 
 	ph, errs := runShardPhase(pool, ct, "figure4", func() {
 		for r := 0; r < cfg.iters; r++ {
@@ -453,6 +479,8 @@ func runConnect(cfg connectConfig) error {
 		ac := cluster.FromClientStats(attackWire)
 		shard.AttackClient = &ac
 	}
+	sampStats := smp.Stop()
+	shard.Obs = &sampStats
 	shard.ElapsedMs = ms(time.Since(start))
 	if err := shard.WriteFile(cfg.out); err != nil {
 		return err
@@ -617,6 +645,10 @@ func runCluster(cfg clusterConfig) error {
 	if ac := rep.AttackClient; ac != nil {
 		fmt.Printf("Attack-env wire (throwaway gateways): %d requests, %d new conns\n",
 			ac.Requests, ac.NewConns)
+	}
+	if o := rep.Obs; o != nil {
+		fmt.Printf("Fleet obs (%s): %d samples, goroutines post-warmup/last %d/%d (summed), heap monotonic=%v, %d GC cycles\n",
+			rep.Version.Go, o.Samples, o.PostWarmupGoroutines, o.Goroutines.Last, o.HeapMonotonic, o.NumGC)
 	}
 	fmt.Printf("\nWrote cluster section to %s (%.0f ms total)\n", cfg.out, rep.ElapsedMs)
 	return nil

@@ -60,6 +60,7 @@ import (
 	"repro/internal/httpd"
 	"repro/internal/metrics"
 	"repro/internal/nonce"
+	"repro/internal/obs"
 	"repro/internal/origin"
 	"repro/internal/policy"
 	"repro/internal/scenarios"
@@ -96,6 +97,21 @@ type batchJSON struct {
 	NodesAuthorized   uint64  `json:"nodes_authorized"`
 	DistinctDecisions uint64  `json:"distinct_decisions"`
 	DedupRatio        float64 `json:"dedup_ratio"`
+}
+
+// obsJSON is the observability section of BENCH_engine.json: the
+// process's build stamp, the runtime sampler's summary over the whole
+// run (goroutines, heap, GC), and the decision-trace ring's traffic.
+// In cluster runs the workers' equivalents are merged into
+// cluster.obs; this section always describes the driving process.
+type obsJSON struct {
+	Version obs.Stamp        `json:"version"`
+	Sampler obs.SamplerStats `json:"sampler"`
+	// DecisionEventsRecorded counts every decision-trace event recorded
+	// over the run; DecisionEventsRetained is how many the ring still
+	// holds (min of recorded and ring capacity).
+	DecisionEventsRecorded uint64 `json:"decision_events_recorded"`
+	DecisionEventsRetained int    `json:"decision_events_retained"`
 }
 
 // phaseJSON is one benchmark phase in BENCH_engine.json.
@@ -217,7 +233,10 @@ type benchJSON struct {
 	// the supervisor (written by -cluster runs; other sections of an
 	// existing report are preserved).
 	Cluster *cluster.Report `json:"cluster,omitempty"`
-	TotalMs float64         `json:"total_ms"`
+	// Obs is the run's observability summary: build stamp, runtime
+	// sampler series, decision-trace ring traffic.
+	Obs     *obsJSON `json:"obs,omitempty"`
+	TotalMs float64  `json:"total_ms"`
 }
 
 // procsVariantJSON is the GOMAXPROCS>1 bench variant published
@@ -405,6 +424,15 @@ type httpSectionConfig struct {
 	portal         origin.Origin
 	topicID        int
 	memAttacks     []attack.Result
+	// reg and ring are the run's shared observability plane: the
+	// gateway exports reg on /varz and ring on /tracez, and the loadgen
+	// sessions record every mediated decision into ring.
+	reg  *obs.Registry
+	ring *obs.DecisionRing
+	// soak, when positive, appends an http-soak phase: mixed load
+	// looped until the deadline, long enough for the runtime sampler to
+	// establish whether goroutines and heap return to baseline.
+	soak time.Duration
 }
 
 // fillGatewayStats writes the gateway-side fields of a phase row from
@@ -512,6 +540,8 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 		DefaultQueueDepth: cfg.queue,
 		Origins:           originCfgs,
 		EnablePprof:       cfg.pprofOn,
+		Obs:               cfg.reg,
+		Ring:              cfg.ring,
 		ClientStatsFunc: func() any {
 			if c := clientRef.Load(); c != nil {
 				return c.Stats()
@@ -538,7 +568,7 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 	httpPool, err := engine.NewPool(engine.Config{
 		Sessions:  cfg.sessions,
 		Transport: ct,
-		Options:   browser.Options{Mode: cfg.mode},
+		Options:   browser.Options{Mode: cfg.mode, DecisionRing: cfg.ring},
 		Cache:     cfg.cache,
 		Uncached:  cfg.uncached,
 	})
@@ -619,6 +649,19 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 	if cfg.mixedIters > 0 {
 		section.Phases = append(section.Phases, runHTTPPhase(httpPool, gw, "http-mixed", func() {
 			httpPool.Each(mixedTask(cfg.forum, cfg.cal, cfg.portal, cfg.topicID, cfg.mixedIters))
+		}))
+	}
+
+	// Soak: mixed load looped until the deadline. The phase exists for
+	// the runtime sampler — long enough wall-clock for goroutine and
+	// heap series to show whether the process returns to its idle shape
+	// (the CI soak gate asserts exactly that on the obs section).
+	if cfg.soak > 0 {
+		deadline := time.Now().Add(cfg.soak)
+		section.Phases = append(section.Phases, runHTTPPhase(httpPool, gw, "http-soak", func() {
+			for time.Now().Before(deadline) {
+				httpPool.Each(mixedTask(cfg.forum, cfg.cal, cfg.portal, cfg.topicID, 1))
+			}
 		}))
 	}
 
@@ -709,6 +752,7 @@ func run(args []string) error {
 	httpAddr := fs.String("http", "", "also mount the origins on a real HTTP gateway at this address (e.g. 127.0.0.1:0) and replay the workloads over loopback sockets")
 	httpWorkers := fs.Int("http-workers", 4, "gateway per-origin worker count")
 	httpQueue := fs.Int("http-queue", 64, "gateway per-origin queue depth (overflow → 503)")
+	soak := fs.Duration("soak", 0, "append a soak phase: loop the mixed workload until this much wall-clock has passed, so the runtime sampler can judge goroutine/heap recovery (with -http the soak runs through the gateway)")
 	tlsOn := fs.Bool("tls", false, "terminate https on the gateway with an ephemeral in-memory CA (with -http, -serve-only, or -cluster; with -connect, trust -tls-ca)")
 	serveOnly := fs.Bool("serve-only", false, "server mode: mount the substrate on a gateway and serve until SIGTERM (no loadgen)")
 	connectAddr := fs.String("connect", "", "worker mode: generate load against a remote gateway at this address and write a BENCH shard to -out")
@@ -834,6 +878,14 @@ func run(args []string) error {
 		}()
 	}
 
+	// The run's observability plane: one registry (exported on /varz
+	// when a gateway is mounted), one decision-trace ring shared by all
+	// sessions, and a runtime sampler covering the whole run.
+	reg := obs.NewRegistry()
+	ring := obs.NewDecisionRing(0)
+	smp := obs.NewSampler(reg, 200*time.Millisecond)
+	smp.Start()
+
 	// Shared substrate: the Figure-4 scenario server, a phpBB instance
 	// with one account per session and a seeded topic, the
 	// mixed-workload apps, and their unified policy documents.
@@ -848,7 +900,7 @@ func run(args []string) error {
 	pool, err := engine.NewPool(engine.Config{
 		Sessions: *sessionsN,
 		Network:  net,
-		Options:  browser.Options{Mode: mode},
+		Options:  browser.Options{Mode: mode, DecisionRing: ring},
 		Uncached: *uncached,
 	})
 	if err != nil {
@@ -874,6 +926,9 @@ func run(args []string) error {
 		_, err := s.Browser.Navigate(benchOrigin.URL(paths[0]))
 		return err
 	})
+	// Post-warmup mark: the pool's steady-state goroutine count, the
+	// baseline the soak gate compares the end-of-run count against.
+	smp.Mark()
 	report.Phases = append(report.Phases, runPhase(pool, "figure4", func() {
 		for r := 0; r < *iters; r++ {
 			for _, path := range paths {
@@ -939,6 +994,18 @@ func run(args []string) error {
 	if *mixedIters > 0 {
 		report.Phases = append(report.Phases, runPhase(pool, "mixed", func() {
 			pool.Each(mixedTask(forumOrigin, calOrigin, portalOrigin, topicID, *mixedIters))
+		}))
+	}
+
+	// In-memory soak: when no gateway is mounted, the soak loop runs
+	// the mixed workload directly (with -http it runs through the
+	// gateway in the http section instead).
+	if *soak > 0 && *httpAddr == "" {
+		deadline := time.Now().Add(*soak)
+		report.Phases = append(report.Phases, runPhase(pool, "soak", func() {
+			for time.Now().Before(deadline) {
+				pool.Each(mixedTask(forumOrigin, calOrigin, portalOrigin, topicID, 1))
+			}
 		}))
 	}
 
@@ -1031,7 +1098,8 @@ func run(args []string) error {
 			Cache:    sharedCache,
 			Uncached: *uncached,
 			Options: browser.Options{
-				Mode: mode,
+				Mode:         mode,
+				DecisionRing: ring,
 				MonitorFactory: func(browser.PageRef) core.Monitor {
 					return core.Compose(&core.ERM{}, core.WithCache(sharedCache), core.WithDelegations(delPol))
 				},
@@ -1096,6 +1164,9 @@ func run(args []string) error {
 			portal:     portalOrigin,
 			topicID:    topicID,
 			memAttacks: memAttacks,
+			reg:        reg,
+			ring:       ring,
+			soak:       *soak,
 		})
 		if err != nil {
 			return err
@@ -1112,6 +1183,17 @@ func run(args []string) error {
 			return err
 		}
 		report.Script = s
+	}
+
+	// Close the observability window: a final sample, then the obs
+	// section with the run's build stamp, sampler series, and
+	// decision-trace ring traffic.
+	sampStats := smp.Stop()
+	report.Obs = &obsJSON{
+		Version:                obs.Version(),
+		Sampler:                sampStats,
+		DecisionEventsRecorded: ring.Total(),
+		DecisionEventsRetained: ring.Len(),
 	}
 
 	report.TotalMs = ms(time.Since(total))
@@ -1223,6 +1305,13 @@ func run(args []string) error {
 				return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
 			}
 		}
+	}
+	if o := report.Obs; o != nil {
+		fmt.Printf("\nObs: %s, %d samples every %.0f ms — goroutines first/post-warmup/last %d/%d/%d, heap monotonic=%v, %d GC cycles, %d decision events (%d retained)\n",
+			o.Version.Go, o.Sampler.Samples, o.Sampler.IntervalMs,
+			o.Sampler.Goroutines.First, o.Sampler.PostWarmupGoroutines, o.Sampler.Goroutines.Last,
+			o.Sampler.HeapMonotonic, o.Sampler.NumGC,
+			o.DecisionEventsRecorded, o.DecisionEventsRetained)
 	}
 	fmt.Printf("\nWrote %s (%.0f ms total)\n", *out, report.TotalMs)
 	return nil

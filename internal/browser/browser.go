@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/url"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/cookie"
 	"repro/internal/core"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/html"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/origin"
 	"repro/internal/script"
 	"repro/internal/web"
@@ -90,6 +92,10 @@ type Options struct {
 	// still governs configuration parsing and cookie attachment
 	// semantics.
 	MonitorFactory MonitorFactory
+	// DecisionRing, when non-nil, mirrors every audited decision into
+	// the last-N provenance ring the gateway serves at /tracez. Like
+	// Cache it is typically shared by every session of an engine pool.
+	DecisionRing *obs.DecisionRing
 }
 
 // PageRef identifies what a monitor is being built for: a page load
@@ -117,6 +123,12 @@ type Browser struct {
 	Console *script.Console
 	// Audit receives every access-control decision.
 	Audit *core.AuditLog
+	// trace is the causal trace of the task currently driving this
+	// session (nil between tasks). The engine swaps it per task; the
+	// monitor stack and fetch read it at decision/request time, so
+	// pages and monitors built under an earlier task stamp with the
+	// trace of the task actually asking.
+	trace atomic.Pointer[obs.Trace]
 }
 
 // New creates a browser on the given transport. All mediation (cookie
@@ -149,6 +161,14 @@ func New(t web.Transport, opts Options) *Browser {
 
 // Mode returns the browser's protection mode.
 func (b *Browser) Mode() Mode { return b.opts.Mode }
+
+// SetTrace installs the causal trace for the task about to drive this
+// session (nil clears it). Decisions and requests made while it is set
+// carry its ID.
+func (b *Browser) SetTrace(t *obs.Trace) { b.trace.Store(t) }
+
+// Trace returns the session's current task trace, or nil.
+func (b *Browser) Trace() *obs.Trace { return b.trace.Load() }
 
 // Jar exposes the cookie jar (the test harness seeds sessions with
 // it).
@@ -205,12 +225,17 @@ type Frame struct {
 // monitorFor builds the reference monitor for a page (or a
 // request-scoped mediation): the policy stack — from Options.
 // MonitorFactory when set, else the Mode's base monitor under the
-// shared decision cache — composed under the browser's audit layer, so
-// every decision is recorded exactly once whatever the stack. With a
-// decision cache configured, the hot path is a sharded cache lookup
-// and the rule evaluation only runs on misses.
+// shared decision cache — composed under the provenance layer and the
+// browser's audit layer, so every decision is recorded exactly once
+// whatever the stack. With a decision cache configured, the hot path
+// is a sharded cache lookup and the rule evaluation only runs on
+// misses. The provenance layer sits outside the cache (cached verdict
+// rebuilds must stamp with the asking task's trace, not the warming
+// task's) and inside audit (so audit records carry the stamps).
 func (b *Browser) monitorFor(ref PageRef) core.Monitor {
-	return core.Compose(b.policyMonitor(ref), core.WithAudit(b.Audit))
+	return core.Compose(b.policyMonitor(ref),
+		core.WithObs(b.trace.Load, b.opts.DecisionRing),
+		core.WithAudit(b.Audit))
 }
 
 // policyMonitor is the stack below the audit layer.
@@ -433,6 +458,7 @@ func (b *Browser) fetch(method, rawURL string, form url.Values, initiator core.C
 	}
 	req.InitiatorOrigin = initiator.Origin
 	req.InitiatorLabel = label
+	req.TraceID = b.trace.Load().ID()
 
 	// The request memoizes its URL parse; deriving the target through
 	// it means RoundTrip's own routing lookup reuses the same parse.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/httpd"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // ShardPhase is one measured phase inside a worker's BENCH shard.
@@ -80,7 +81,13 @@ type Shard struct {
 	// ephemeral gateway and transport, so its connections are new by
 	// design and would drag Client's reuse rate if folded in.
 	AttackClient *ClientJSON `json:"attack_client,omitempty"`
-	ElapsedMs    float64     `json:"elapsed_ms"`
+	// Version stamps the worker binary; the merge refuses shards from
+	// mismatched builds, since their numbers are not comparable.
+	Version obs.Stamp `json:"version"`
+	// Obs is the worker's runtime sampler summary (goroutines, heap,
+	// GC) over its run; absent when the worker did not sample.
+	Obs       *obs.SamplerStats `json:"obs,omitempty"`
+	ElapsedMs float64           `json:"elapsed_ms"`
 }
 
 // WriteFile serializes the shard to path.
@@ -143,6 +150,11 @@ type ServerStats struct {
 	TLS     bool        `json:"tls"`
 	Origins int         `json:"origins"`
 	Gateway httpd.Stats `json:"gateway"`
+	// Version stamps the server binary, cross-checked against the
+	// workers' stamps by the supervisor.
+	Version obs.Stamp `json:"version"`
+	// Obs is the server process's runtime sampler summary.
+	Obs *obs.SamplerStats `json:"obs,omitempty"`
 }
 
 // Report is the merged `cluster` section of BENCH_engine.json.
@@ -176,8 +188,16 @@ type Report struct {
 	AttackClient *ClientJSON `json:"attack_client,omitempty"`
 	// Server is the gateway-side stats written at graceful shutdown
 	// (absent when the server stats file was not configured).
-	Server    *ServerStats `json:"server,omitempty"`
-	ElapsedMs float64      `json:"elapsed_ms"`
+	Server *ServerStats `json:"server,omitempty"`
+	// Version is the fleet's common build stamp (all shards must agree
+	// on module version and Go toolchain for their numbers to merge).
+	Version obs.Stamp `json:"version"`
+	// Obs merges the workers' runtime sampler summaries: goroutine and
+	// heap series are summed across processes, GC totals accumulated,
+	// and HeapMonotonic holds only if every worker's heap grew without
+	// ever dipping. Absent when no worker sampled.
+	Obs       *obs.SamplerStats `json:"obs,omitempty"`
+	ElapsedMs float64           `json:"elapsed_ms"`
 }
 
 // MergeShards folds the workers' shards into the cluster report
@@ -204,10 +224,31 @@ func MergeShards(shards []Shard) (*Report, error) {
 	haveAttacks := false
 	haveAttackClient := false
 
+	rep.Version = shards[0].Version
+	var obsAcc *obs.SamplerStats
+
 	for _, sh := range shards {
 		if sh.TLS != rep.TLS {
 			return nil, fmt.Errorf("cluster: worker %d TLS=%v disagrees with worker %d TLS=%v",
 				sh.Worker, sh.TLS, shards[0].Worker, rep.TLS)
+		}
+		// Pre-observability shards carry a zero stamp; those are merged
+		// leniently so old reports keep working. Any two non-zero
+		// stamps must come from the same build.
+		if sh.Version != (obs.Stamp{}) && rep.Version != (obs.Stamp{}) && !obs.SameBinary(sh.Version, rep.Version) {
+			return nil, fmt.Errorf("cluster: worker %d runs %s/%s, worker %d runs %s/%s — refusing to merge mismatched builds",
+				sh.Worker, sh.Version.Module, sh.Version.Go, shards[0].Worker, rep.Version.Module, rep.Version.Go)
+		}
+		if rep.Version == (obs.Stamp{}) {
+			rep.Version = sh.Version
+		}
+		if sh.Obs != nil {
+			if obsAcc == nil {
+				cp := *sh.Obs
+				obsAcc = &cp
+			} else {
+				obsAcc.Merge(*sh.Obs)
+			}
 		}
 		for _, ph := range sh.Phases {
 			a, ok := accs[ph.Name]
@@ -295,5 +336,6 @@ func MergeShards(shards []Shard) (*Report, error) {
 		ac := FromClientStats(attackSum)
 		rep.AttackClient = &ac
 	}
+	rep.Obs = obsAcc
 	return rep, nil
 }

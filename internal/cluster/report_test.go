@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // histOf buckets a set of durations for test shards.
@@ -40,6 +41,7 @@ func testShard(worker int, p99Low bool) Shard {
 		},
 		Attacks:   &ShardAttacks{Total: 18, Neutralized: 18, MatchMemory: true},
 		Client:    ClientJSON{Requests: 210, NewConns: 10, ReusedConns: 200},
+		Version:   obs.Version(),
 		ElapsedMs: 500,
 	}
 }
@@ -102,6 +104,73 @@ func TestMergeShardsRejectsMixedTLS(t *testing.T) {
 	b.TLS = false
 	if _, err := MergeShards([]Shard{a, b}); err == nil {
 		t.Fatal("mixed TLS shards merged silently")
+	}
+}
+
+func TestMergeShardsRejectsMixedBuilds(t *testing.T) {
+	a := testShard(0, true)
+	b := testShard(1, true)
+	b.Version.Go = "go0.0-other"
+	if _, err := MergeShards([]Shard{a, b}); err == nil {
+		t.Fatal("mismatched build stamps merged silently")
+	}
+
+	// A pre-observability shard (zero stamp) must still merge: old
+	// reports keep working, and the fleet stamp comes from the shard
+	// that has one.
+	c := testShard(2, true)
+	c.Version = obs.Stamp{}
+	rep, err := MergeShards([]Shard{c, a})
+	if err != nil {
+		t.Fatalf("zero-stamp shard refused: %v", err)
+	}
+	if !obs.SameBinary(rep.Version, a.Version) {
+		t.Fatalf("fleet stamp not adopted from the stamped shard: %+v", rep.Version)
+	}
+}
+
+func TestMergeShardsObs(t *testing.T) {
+	a := testShard(0, true)
+	b := testShard(1, true)
+	a.Obs = &obs.SamplerStats{
+		Samples:        10,
+		Goroutines:     obs.SeriesInt{First: 20, Last: 22, Min: 18, Max: 30},
+		HeapAllocBytes: obs.SeriesInt{First: 1000, Last: 1200, Min: 900, Max: 1500},
+		HeapMonotonic:  false,
+		NumGC:          4,
+	}
+	b.Obs = &obs.SamplerStats{
+		Samples:        12,
+		Goroutines:     obs.SeriesInt{First: 25, Last: 24, Min: 21, Max: 40},
+		HeapAllocBytes: obs.SeriesInt{First: 2000, Last: 2500, Min: 2000, Max: 2600},
+		HeapMonotonic:  true,
+		NumGC:          6,
+	}
+	rep, err := MergeShards([]Shard{a, b})
+	if err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+	if rep.Obs == nil {
+		t.Fatal("merged report lost the obs section")
+	}
+	if rep.Obs.Samples != 22 || rep.Obs.NumGC != 10 {
+		t.Fatalf("obs scalar sums wrong: %+v", rep.Obs)
+	}
+	if rep.Obs.Goroutines.Max != 70 || rep.Obs.HeapAllocBytes.Last != 3700 {
+		t.Fatalf("obs series sums wrong: %+v", rep.Obs)
+	}
+	if rep.Obs.HeapMonotonic {
+		t.Fatal("one worker's heap dipped; the fleet flag must be false")
+	}
+
+	// One-sided: a fleet where only some workers sample still reports.
+	c := testShard(2, true)
+	rep, err = MergeShards([]Shard{c, a})
+	if err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+	if rep.Obs == nil || rep.Obs.Samples != 10 {
+		t.Fatalf("partial obs fleet mis-merged: %+v", rep.Obs)
 	}
 }
 

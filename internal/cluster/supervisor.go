@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/httpd"
+	"repro/internal/obs"
 )
 
 // Config configures a Supervisor run.
@@ -168,12 +169,27 @@ func (s *Supervisor) pollReady(ctx context.Context, client *http.Client, base st
 
 // crossCheck verifies the mounted substrate through the admin plane
 // before any load is generated: origin count via /metricsz, policy
-// document count via /policyz.
-func (s *Supervisor) crossCheck(client *http.Client, base string) error {
+// document count via /policyz. It returns the server's build stamp
+// (from /healthz) so Run can cross-check the workers against it.
+func (s *Supervisor) crossCheck(client *http.Client, base string) (obs.Stamp, error) {
+	var serverVer obs.Stamp
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return serverVer, fmt.Errorf("cluster: /healthz: %w", err)
+	}
+	var health struct {
+		Version obs.Stamp `json:"version"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		return serverVer, fmt.Errorf("cluster: decoding /healthz: %w", err)
+	}
+	serverVer = health.Version
 	if s.cfg.ExpectOrigins > 0 {
 		resp, err := client.Get(base + "/metricsz")
 		if err != nil {
-			return fmt.Errorf("cluster: /metricsz: %w", err)
+			return serverVer, fmt.Errorf("cluster: /metricsz: %w", err)
 		}
 		var doc struct {
 			Origins []json.RawMessage `json:"origins"`
@@ -181,28 +197,28 @@ func (s *Supervisor) crossCheck(client *http.Client, base string) error {
 		err = json.NewDecoder(resp.Body).Decode(&doc)
 		resp.Body.Close()
 		if err != nil {
-			return fmt.Errorf("cluster: decoding /metricsz: %w", err)
+			return serverVer, fmt.Errorf("cluster: decoding /metricsz: %w", err)
 		}
 		if len(doc.Origins) != s.cfg.ExpectOrigins {
-			return fmt.Errorf("cluster: /metricsz reports %d origins, want %d", len(doc.Origins), s.cfg.ExpectOrigins)
+			return serverVer, fmt.Errorf("cluster: /metricsz reports %d origins, want %d", len(doc.Origins), s.cfg.ExpectOrigins)
 		}
 	}
 	if s.cfg.ExpectPolicies > 0 {
 		resp, err := client.Get(base + "/policyz")
 		if err != nil {
-			return fmt.Errorf("cluster: /policyz: %w", err)
+			return serverVer, fmt.Errorf("cluster: /policyz: %w", err)
 		}
 		var docs map[string]json.RawMessage
 		err = json.NewDecoder(resp.Body).Decode(&docs)
 		resp.Body.Close()
 		if err != nil {
-			return fmt.Errorf("cluster: decoding /policyz: %w", err)
+			return serverVer, fmt.Errorf("cluster: decoding /policyz: %w", err)
 		}
 		if len(docs) != s.cfg.ExpectPolicies {
-			return fmt.Errorf("cluster: /policyz serves %d policy documents, want %d", len(docs), s.cfg.ExpectPolicies)
+			return serverVer, fmt.Errorf("cluster: /policyz serves %d policy documents, want %d", len(docs), s.cfg.ExpectPolicies)
 		}
 	}
-	return nil
+	return serverVer, nil
 }
 
 // Run executes the whole cluster lifecycle: spawn server → wait for
@@ -240,7 +256,8 @@ func (s *Supervisor) Run(ctx context.Context) (*Report, error) {
 		return nil, err
 	}
 	s.cfg.Logf("cluster: server ready at %s after %.0f ms (%d starting polls)", base, readyMs, startingPolls)
-	if err := s.crossCheck(client, base); err != nil {
+	serverVer, err := s.crossCheck(client, base)
+	if err != nil {
 		return nil, err
 	}
 
@@ -311,6 +328,12 @@ func (s *Supervisor) Run(ctx context.Context) (*Report, error) {
 	rep, err := MergeShards(shards)
 	if err != nil {
 		return nil, err
+	}
+	// The fleet's build must match the server's: mixed binaries mean
+	// the decision counts and latency numbers describe different code.
+	if serverVer != (obs.Stamp{}) && rep.Version != (obs.Stamp{}) && !obs.SameBinary(serverVer, rep.Version) {
+		return nil, fmt.Errorf("cluster: server runs %s/%s but workers run %s/%s — version mismatch",
+			serverVer.Module, serverVer.Go, rep.Version.Module, rep.Version.Go)
 	}
 	rep.Addr = addr
 	rep.ReadyMs = readyMs

@@ -49,6 +49,13 @@ type Decision struct {
 	Principal Context
 	Op        Op
 	Object    Context
+	// TraceID and Span place the decision in the causal trace of the
+	// task that triggered it (see internal/obs). Both are zero when the
+	// decision was made outside any traced task or without a WithObs
+	// layer mounted. They carry provenance only: equality of the policy
+	// outcome is judged on the fields above.
+	TraceID string
+	Span    uint64
 }
 
 // String renders the decision in the paper's ⟨P ⊳ O⟩ notation.

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// WithObs returns the provenance layer: every decision flowing out of
+// the inner stack is stamped with the current trace (ID plus the next
+// span number) and mirrored into the decision ring for the gateway's
+// /tracez endpoint. trace is resolved per decision — the browser hands
+// in a closure reading its current task's trace — so one layer serves
+// a session across many traced tasks. Either argument may be nil; if
+// both are, the layer is a pass-through.
+//
+// Mount it outside WithCache and inside WithAudit: cache hits rebuild
+// verdicts without trace fields, so stamping after the cache keeps a
+// decision's provenance tied to the task that asked (never the task
+// that happened to warm the cache), and the audit log then records the
+// stamped decisions.
+func WithObs(trace func() *obs.Trace, ring *obs.DecisionRing) Layer {
+	return func(inner Monitor) Monitor {
+		if trace == nil && ring == nil {
+			return inner
+		}
+		return &obsLayer{inner: inner, trace: trace, ring: ring}
+	}
+}
+
+// obsLayer stamps decisions with trace provenance and feeds the ring.
+type obsLayer struct {
+	inner Monitor
+	trace func() *obs.Trace
+	ring  *obs.DecisionRing
+}
+
+var (
+	_ Monitor         = (*obsLayer)(nil)
+	_ BatchAuthorizer = (*obsLayer)(nil)
+)
+
+// current resolves the task's trace, tolerating a nil provider.
+func (m *obsLayer) current() *obs.Trace {
+	if m.trace == nil {
+		return nil
+	}
+	return m.trace()
+}
+
+// event flattens a stamped decision for the ring.
+func event(d Decision) obs.DecisionEvent {
+	return obs.DecisionEvent{
+		TraceID:   d.TraceID,
+		Span:      d.Span,
+		Origin:    d.Object.Origin.String(),
+		Ring:      int(d.Object.Ring),
+		Allowed:   d.Allowed,
+		Rule:      d.Rule.String(),
+		Principal: d.Principal.String(),
+		Op:        d.Op.String(),
+		Object:    d.Object.String(),
+	}
+}
+
+// Authorize implements Monitor.
+func (m *obsLayer) Authorize(p Context, op Op, o Context) Decision {
+	d := m.inner.Authorize(p, op, o)
+	if t := m.current(); t != nil {
+		d.TraceID = t.ID()
+		d.Span = t.NextSpan()
+	}
+	if m.ring != nil {
+		m.ring.Record(event(d))
+	}
+	return d
+}
+
+// AuthorizeBatch implements BatchAuthorizer: the inner batch keeps its
+// per-class dedup untouched, then every node's decision is stamped
+// with its own span and mirrored as its own ring event — one trace
+// event per node, exactly mirroring the complete-mediation invariant.
+func (m *obsLayer) AuthorizeBatch(p Context, op Op, objects []Context) []Decision {
+	out := AuthorizeBatch(m.inner, p, op, objects)
+	t := m.current()
+	if t != nil {
+		id := t.ID()
+		for i := range out {
+			out[i].TraceID = id
+			out[i].Span = t.NextSpan()
+		}
+	}
+	if m.ring != nil {
+		for i := range out {
+			m.ring.Record(event(out[i]))
+		}
+	}
+	return out
+}

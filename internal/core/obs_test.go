@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/origin"
+)
+
+// stripProvenance zeroes the trace fields so decision sequences can be
+// compared on policy outcome alone.
+func stripProvenance(ds []Decision) []Decision {
+	out := append([]Decision(nil), ds...)
+	for i := range out {
+		out[i].TraceID = ""
+		out[i].Span = 0
+	}
+	return out
+}
+
+// obsRegion builds a wide batched region collapsing into exactly three
+// (origin, ring, ACL) classes — the figure4/phpbb shape in miniature.
+// The BENCH pins (figure4 4175→125, phpbb 7408→1312, mixed 3647→512)
+// are re-asserted at full scale by BENCH regeneration; this test pins
+// the mechanism: WithObs must not change how many decisions the batch
+// path computes.
+func obsRegion(site origin.Origin, n int) []Context {
+	region := make([]Context, 0, n)
+	for i := 0; i < n; i++ {
+		ring := Ring(1 + i%3)
+		region = append(region, Object(site, ring, UniformACL(ring), fmt.Sprintf("node-%d", i)))
+	}
+	return region
+}
+
+// TestWithObsBatchProvenance is the satellite coverage for WithObs
+// under batch authorization: one trace event per node, consecutive
+// spans, identical audit sequences and identical per-class computation
+// counts versus the untraced pipeline.
+func TestWithObsBatchProvenance(t *testing.T) {
+	site := origin.MustParse("http://site.example")
+	p := Principal(site, 1, "app-script")
+	region := obsRegion(site, 120)
+
+	run := func(m Monitor) ([]Decision, BatchStats) {
+		before := ReadBatchStats()
+		out := AuthorizeBatch(m, p, OpRead, region)
+		return out, ReadBatchStats().Sub(before)
+	}
+
+	plainAudit := &AuditLog{}
+	plain := Compose(&ERM{}, WithCache(NewDecisionCache()), WithAudit(plainAudit))
+	plainOut, plainStats := run(plain)
+
+	tr := obs.NewTrace()
+	ring := obs.NewDecisionRing(0)
+	tracedAudit := &AuditLog{}
+	traced := Compose(&ERM{}, WithCache(NewDecisionCache()),
+		WithObs(func() *obs.Trace { return tr }, ring), WithAudit(tracedAudit))
+	tracedOut, tracedStats := run(traced)
+
+	// Per-class computation counts unchanged: the provenance layer adds
+	// zero decision computations.
+	if plainStats != tracedStats {
+		t.Fatalf("batch accounting diverged: plain %+v, traced %+v", plainStats, tracedStats)
+	}
+	if tracedStats.Nodes != uint64(len(region)) || tracedStats.Distinct != 3 {
+		t.Fatalf("batch stats %+v, want %d nodes / 3 distinct", tracedStats, len(region))
+	}
+
+	// Identical decision sequences once provenance is stripped.
+	if !reflect.DeepEqual(plainOut, stripProvenance(tracedOut)) {
+		t.Fatal("traced pipeline changed the decision sequence")
+	}
+	if !reflect.DeepEqual(stripProvenance(plainAudit.All()), stripProvenance(tracedAudit.All())) {
+		t.Fatal("audit sequences diverge between traced and untraced pipelines")
+	}
+
+	// Every node's decision is stamped: same trace ID, spans 1..N in
+	// input order, and the audit log carries the stamps (WithAudit is
+	// outermost).
+	for i, d := range tracedOut {
+		if d.TraceID != tr.ID() {
+			t.Fatalf("node %d trace ID %q, want %q", i, d.TraceID, tr.ID())
+		}
+		if d.Span != uint64(i+1) {
+			t.Fatalf("node %d span %d, want %d", i, d.Span, i+1)
+		}
+	}
+	audited := tracedAudit.All()
+	if len(audited) != len(region) {
+		t.Fatalf("audit recorded %d decisions, want %d", len(audited), len(region))
+	}
+	if audited[0].TraceID != tr.ID() || audited[0].Span == 0 {
+		t.Fatalf("audit lost provenance: %+v", audited[0])
+	}
+
+	// One ring event per node, in span order, faithful to the verdicts.
+	events := ring.Snapshot(obs.RingFilter{TraceID: tr.ID(), Ring: -1})
+	if len(events) != len(region) {
+		t.Fatalf("ring holds %d events for the trace, want %d", len(events), len(region))
+	}
+	for i, e := range events {
+		if e.Span != uint64(i+1) {
+			t.Fatalf("event %d span %d, want %d", i, e.Span, i+1)
+		}
+		if e.Allowed != tracedOut[i].Allowed || e.Rule != tracedOut[i].Rule.String() {
+			t.Fatalf("event %d diverges from decision: %+v vs %v", i, e, tracedOut[i])
+		}
+		if e.Origin != site.String() || e.Ring != int(region[i].Ring) {
+			t.Fatalf("event %d object fields wrong: %+v", i, e)
+		}
+	}
+}
+
+// TestWithObsSingles pins the single-query path: stamped spans
+// continue across calls and the ring mirrors each decision.
+func TestWithObsSingles(t *testing.T) {
+	site := origin.MustParse("http://site.example")
+	other := origin.MustParse("http://other.example")
+	p := Principal(site, 1, "app-script")
+
+	tr := obs.NewTrace()
+	ring := obs.NewDecisionRing(8)
+	m := Compose(&ERM{}, WithObs(func() *obs.Trace { return tr }, ring))
+
+	allow := m.Authorize(p, OpRead, Object(site, 2, UniformACL(2), "post"))
+	deny := m.Authorize(p, OpUse, Object(other, 1, UniformACL(1), "foreign"))
+	if !allow.Allowed || deny.Allowed {
+		t.Fatalf("verdicts wrong: %v / %v", allow, deny)
+	}
+	if allow.Span != 1 || deny.Span != 2 || allow.TraceID != deny.TraceID {
+		t.Fatalf("span stamping wrong: %+v / %+v", allow, deny)
+	}
+	if got := len(ring.Snapshot(obs.RingFilter{Verdict: "deny", Ring: -1})); got != 1 {
+		t.Fatalf("ring deny filter matched %d, want 1", got)
+	}
+}
+
+// TestWithObsNilTrace pins that a nil trace provider result leaves
+// decisions unstamped but still mirrored, and that WithObs(nil, nil)
+// is a pass-through.
+func TestWithObsNilTrace(t *testing.T) {
+	base := &ERM{}
+	if m := Compose(base, WithObs(nil, nil)); m != Monitor(base) {
+		t.Fatalf("WithObs(nil, nil) must be a pass-through, got %T", m)
+	}
+
+	site := origin.MustParse("http://site.example")
+	p := Principal(site, 1, "s")
+	ring := obs.NewDecisionRing(4)
+	m := Compose(base, WithObs(func() *obs.Trace { return nil }, ring))
+	d := m.Authorize(p, OpRead, Object(site, 2, UniformACL(2), "o"))
+	if d.TraceID != "" || d.Span != 0 {
+		t.Fatalf("untraced decision stamped: %+v", d)
+	}
+	if ring.Total() != 1 {
+		t.Fatalf("ring total %d, want 1", ring.Total())
+	}
+}

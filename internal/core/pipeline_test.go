@@ -109,7 +109,7 @@ func TestComposeMatchesHardwiredStack(t *testing.T) {
 // are pass-throughs.
 func TestComposeNilLayers(t *testing.T) {
 	base := &ERM{}
-	m := Compose(base, nil, WithCache(nil), WithAudit(nil), WithTrace(nil), WithDelegations(nil))
+	m := Compose(base, nil, WithCache(nil), WithAudit(nil), WithTrace(nil), WithDelegations(nil), WithObs(nil, nil))
 	if m != Monitor(base) {
 		t.Fatalf("nil layers must compose to the base monitor, got %T", m)
 	}

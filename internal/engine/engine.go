@@ -17,6 +17,7 @@ import (
 	"repro/internal/browser"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/web"
 )
 
@@ -141,13 +142,18 @@ func NewPool(cfg Config) (*Pool, error) {
 	return p, nil
 }
 
-// work is one session's loop: pull a task, run it, time it.
+// work is one session's loop: pull a task, mint its trace, run it,
+// time it. The trace is the unit of provenance: every request the
+// task issues and every decision its mediation produces carries this
+// task's trace ID (see internal/obs).
 func (p *Pool) work(s *Session) {
 	defer p.workers.Done()
 	for task := range p.tasks {
+		s.Browser.SetTrace(obs.NewTrace())
 		start := time.Now()
 		err := task(s)
 		s.record(time.Since(start), err)
+		s.Browser.SetTrace(nil)
 		p.pending.Done()
 	}
 }
@@ -188,9 +194,11 @@ func (p *Pool) Each(t Task) {
 		wg.Add(1)
 		go func(s *Session) {
 			defer wg.Done()
+			s.Browser.SetTrace(obs.NewTrace())
 			start := time.Now()
 			err := t(s)
 			s.record(time.Since(start), err)
+			s.Browser.SetTrace(nil)
 		}(s)
 	}
 	wg.Wait()

@@ -30,7 +30,10 @@ func TestWriteCachedPageAllocs(t *testing.T) {
 	if raceflag.Enabled {
 		t.Skip("allocation counts are not meaningful under the race detector")
 	}
-	g := &Gateway{}
+	g, err := New(Config{Inner: web.NewNetwork()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	page := &cachedPage{
 		status: 200,
 		header: web.Header{

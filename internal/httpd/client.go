@@ -299,6 +299,9 @@ func (c *ClientTransport) RoundTrip(req *web.Request) (*web.Response, error) {
 	if req.InitiatorLabel != "" {
 		hreq.Header.Set(HeaderInitiatorLabel, req.InitiatorLabel)
 	}
+	if req.TraceID != "" {
+		hreq.Header.Set(HeaderTrace, req.TraceID)
+	}
 
 	// Count connection churn per round trip: GotConn fires once per
 	// request with the (possibly pooled) connection actually used. The

@@ -41,6 +41,14 @@ func buildSubstrate() (*web.Network, origin.Origin, origin.Origin, int) {
 func runFixedSession(t *testing.T, transport web.Transport, bench, forumO origin.Origin, topic int) *browser.Browser {
 	t.Helper()
 	b := browser.New(transport, browser.Options{Mode: browser.ModeEscudo})
+	driveFixedWorkload(t, b, bench, forumO, topic)
+	return b
+}
+
+// driveFixedWorkload runs the fixed session script on an existing
+// browser, so provenance tests can wire tracing options first.
+func driveFixedWorkload(t *testing.T, b *browser.Browser, bench, forumO origin.Origin, topic int) {
+	t.Helper()
 	for round := 0; round < 2; round++ {
 		for _, path := range scenarios.Paths() {
 			if _, err := b.Navigate(bench.URL(path)); err != nil {
@@ -77,7 +85,6 @@ func runFixedSession(t *testing.T, transport web.Transport, bench, forumO origin
 			}
 		}
 	}
-	return b
 }
 
 // auditTally folds an audit log into a comparable multiset: decision

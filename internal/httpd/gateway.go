@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/origin"
 	"repro/internal/policy"
 	"repro/internal/web"
@@ -56,6 +57,10 @@ const (
 	HeaderGateway         = "X-Escudo-Gateway"
 	HeaderInitiatorOrigin = "X-Escudo-Initiator-Origin"
 	HeaderInitiatorLabel  = "X-Escudo-Initiator-Label"
+	// HeaderTrace carries the issuing task's trace ID (internal/obs)
+	// across the socket, so the server-side request log links requests
+	// to the browser-side decisions the same trace stamps.
+	HeaderTrace = "X-Escudo-Trace"
 	// HeaderOrigKeys lists the header keys the origin's web.Response
 	// actually carried, so ClientTransport can strip everything the
 	// HTTP plumbing added (Date, Content-Length, sniffed Content-Type)
@@ -147,15 +152,27 @@ type Config struct {
 	// default: profiling endpoints are a diagnostic surface, opted
 	// into per run (`escudo-serve -pprof`).
 	EnablePprof bool
+	// Obs, when non-nil, is the metrics registry the gateway's counters
+	// register in (and that /varz exposes as Prometheus text). nil gets
+	// a private registry — the counters still work, /varz still serves.
+	// Share one registry across the gateway, the driver, and the
+	// sampler so /varz is the whole process in one page.
+	Obs *obs.Registry
+	// Ring, when non-nil, is the decision-provenance ring served at the
+	// admin /tracez endpoint. The driver shares it with the browser
+	// sessions (browser.Options.DecisionRing); a nil ring 404s /tracez.
+	Ring *obs.DecisionRing
 }
 
-// vhost is one mounted origin: its identity and its bounded queue.
+// vhost is one mounted origin: its identity, its bounded queue, and
+// its per-origin traffic counters (registry handles labeled by
+// origin, so /varz breaks traffic down per origin for free).
 type vhost struct {
 	origin  origin.Origin
 	cfg     OriginConfig
 	jobs    chan *job
-	served  atomic.Uint64
-	dropped atomic.Uint64
+	served  *obs.Counter
+	dropped *obs.Counter
 }
 
 // job carries one translated request to an origin worker.
@@ -228,10 +245,16 @@ type Gateway struct {
 	stopOnce sync.Once
 	workers  sync.WaitGroup
 
-	served   atomic.Uint64
-	rejected atomic.Uint64
-	maxDepth atomic.Int64
-	ready    atomic.Bool
+	// The traffic counters are registry handles (one atomic each, same
+	// hot-path cost as the raw atomics they replaced), so /metricsz,
+	// Stats(), and /varz all read the same instances. maxDepth keeps a
+	// raw atomic for its CAS race and mirrors into a gauge.
+	reg       *obs.Registry
+	served    *obs.Counter
+	rejected  *obs.Counter
+	maxDepth  atomic.Int64
+	maxDepthG *obs.Gauge
+	ready     atomic.Bool
 }
 
 // New builds a gateway over the inner transport.
@@ -252,6 +275,13 @@ func New(cfg Config) (*Gateway, error) {
 		mounts: map[origin.Origin]*vhost{},
 		quit:   make(chan struct{}),
 	}
+	g.reg = cfg.Obs
+	if g.reg == nil {
+		g.reg = obs.NewRegistry()
+	}
+	g.served = g.reg.Counter("escudo_gateway_served_total")
+	g.rejected = g.reg.Counter("escudo_gateway_rejected_total")
+	g.maxDepthG = g.reg.Gauge("escudo_gateway_queue_depth_max")
 	if !cfg.DisableCache {
 		g.cache = newPageCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes)
 	}
@@ -309,7 +339,13 @@ func (g *Gateway) MountOpts(o origin.Origin, cfg OriginConfig) error {
 	if g.started {
 		return errors.New("httpd: Mount after Start")
 	}
-	vh := &vhost{origin: o, cfg: cfg, jobs: make(chan *job, cfg.QueueDepth)}
+	vh := &vhost{
+		origin:  o,
+		cfg:     cfg,
+		jobs:    make(chan *job, cfg.QueueDepth),
+		served:  g.reg.Counter("escudo_origin_served_total", obs.L("origin", o.String())),
+		dropped: g.reg.Counter("escudo_origin_dropped_total", obs.L("origin", o.String())),
+	}
 	g.mounts[o] = vh
 	g.vhosts[hostKey(o)] = vh
 	// A client that spells the default port explicitly still lands on
@@ -405,13 +441,20 @@ func (g *Gateway) Close() error {
 // ResetQueueHighWater zeroes the max-queue-depth gauge, so a
 // measurement phase can record its own high-water mark instead of
 // inheriting an earlier phase's spike.
-func (g *Gateway) ResetQueueHighWater() { g.maxDepth.Store(0) }
+func (g *Gateway) ResetQueueHighWater() {
+	g.maxDepth.Store(0)
+	g.maxDepthG.Set(0)
+}
+
+// Registry returns the gateway's metrics registry (Config.Obs, or the
+// private one New created) — what /varz exposes.
+func (g *Gateway) Registry() *obs.Registry { return g.reg }
 
 // Stats snapshots the gateway counters.
 func (g *Gateway) Stats() Stats {
 	st := Stats{
-		Served:        g.served.Load(),
-		Rejected503:   g.rejected.Load(),
+		Served:        g.served.Value(),
+		Rejected503:   g.rejected.Value(),
 		MaxQueueDepth: g.maxDepth.Load(),
 	}
 	if g.cache != nil {
@@ -455,6 +498,7 @@ var requestHeaderSkip = map[string]bool{
 	"User-Agent":          true,
 	HeaderInitiatorOrigin: true,
 	HeaderInitiatorLabel:  true,
+	HeaderTrace:           true,
 }
 
 // reqPool recycles the web.Request every incoming HTTP request is
@@ -492,6 +536,7 @@ func translate(r *http.Request, target origin.Origin) *web.Request {
 		}
 	}
 	req.InitiatorLabel = r.Header.Get(HeaderInitiatorLabel)
+	req.TraceID = r.Header.Get(HeaderTrace)
 	// Forms travel as application/x-www-form-urlencoded bodies for
 	// every method (see ClientTransport.RoundTrip): parse the body
 	// directly rather than via r.ParseForm, which ignores GET bodies
@@ -573,6 +618,10 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			g.serveLivez(w)
 		case "/metricsz":
 			g.serveMetricsz(w)
+		case "/varz":
+			g.serveVarz(w)
+		case "/tracez":
+			g.serveTracez(w, r)
 		case "/policyz":
 			g.servePolicyz(w, r)
 		default:
@@ -646,7 +695,11 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 	}
 	for depth := int64(len(vh.jobs)); ; {
 		cur := g.maxDepth.Load()
-		if depth <= cur || g.maxDepth.CompareAndSwap(cur, depth) {
+		if depth <= cur {
+			break
+		}
+		if g.maxDepth.CompareAndSwap(cur, depth) {
+			g.maxDepthG.Set(depth)
 			break
 		}
 	}
@@ -761,13 +814,16 @@ type healthzJSON struct {
 	TLS     bool   `json:"tls"`
 	Origins int    `json:"origins"`
 	Addr    string `json:"addr"`
+	// Version stamps which binary answered, so cluster shards record —
+	// and the supervisor cross-checks — the build behind every worker.
+	Version obs.Stamp `json:"version"`
 }
 
 func (g *Gateway) serveHealthz(w http.ResponseWriter) {
 	g.mu.RLock()
 	origins := len(g.mounts)
 	g.mu.RUnlock()
-	doc := healthzJSON{Status: "ok", Ready: true, TLS: g.TLS(), Origins: origins, Addr: g.Addr()}
+	doc := healthzJSON{Status: "ok", Ready: true, TLS: g.TLS(), Origins: origins, Addr: g.Addr(), Version: obs.Version()}
 	if !g.ready.Load() {
 		doc.Status = "starting"
 		doc.Ready = false
@@ -780,12 +836,13 @@ func (g *Gateway) serveHealthz(w http.ResponseWriter) {
 // livezJSON is the /livez document: the process is up and serving its
 // listener, whatever the readiness state.
 type livezJSON struct {
-	Live bool   `json:"live"`
-	Addr string `json:"addr"`
+	Live    bool      `json:"live"`
+	Addr    string    `json:"addr"`
+	Version obs.Stamp `json:"version"`
 }
 
 func (g *Gateway) serveLivez(w http.ResponseWriter) {
-	writeJSON(w, livezJSON{Live: true, Addr: g.Addr()})
+	writeJSON(w, livezJSON{Live: true, Addr: g.Addr(), Version: obs.Version()})
 }
 
 // vhostJSON is one origin's row in /metricsz.
@@ -808,11 +865,12 @@ type metricszJSON struct {
 	Engine  any         `json:"engine,omitempty"`
 	// Client carries the co-resident ClientTransport's stats
 	// (connection reuse) when the driver wired ClientStatsFunc.
-	Client any `json:"client,omitempty"`
+	Client  any       `json:"client,omitempty"`
+	Version obs.Stamp `json:"version"`
 }
 
 func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
-	doc := metricszJSON{Gateway: g.Stats()}
+	doc := metricszJSON{Gateway: g.Stats(), Version: obs.Version()}
 	g.mu.RLock()
 	for _, vh := range g.mounts {
 		doc.Origins = append(doc.Origins, vhostJSON{
@@ -821,8 +879,8 @@ func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
 			Weight:   vh.cfg.Weight,
 			QueueLen: len(vh.jobs),
 			QueueCap: cap(vh.jobs),
-			Served:   vh.served.Load(),
-			Dropped:  vh.dropped.Load(),
+			Served:   vh.served.Value(),
+			Dropped:  vh.dropped.Value(),
 		})
 	}
 	g.mu.RUnlock()
@@ -834,6 +892,56 @@ func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
 		doc.Client = g.cfg.ClientStatsFunc()
 	}
 	writeJSON(w, doc)
+}
+
+// serveVarz writes the registry in Prometheus text exposition format.
+// Like every admin endpoint it answers only on the listener's own
+// address, never on a mounted origin's Host.
+func (g *Gateway) serveVarz(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, g.reg.Expose()) //nolint:errcheck // client went away; nothing to do
+}
+
+// tracezJSON is the /tracez document: the retained decision-provenance
+// events passing the query filter, oldest first.
+type tracezJSON struct {
+	// Total counts events ever recorded; Retained how many the ring
+	// currently holds; Matched how many passed the filter.
+	Total    uint64              `json:"total"`
+	Retained int                 `json:"retained"`
+	Matched  int                 `json:"matched"`
+	Events   []obs.DecisionEvent `json:"events"`
+}
+
+// serveTracez answers the decision-provenance queries: ?trace=<id>,
+// ?origin=<origin>, ?ring=<n>, ?verdict=allow|deny, all composable.
+// It shares the admin host's isolation (and 404s when the deployment
+// wired no ring), exactly like pprof.
+func (g *Gateway) serveTracez(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Ring == nil {
+		http.NotFound(w, r)
+		return
+	}
+	q := r.URL.Query()
+	f := obs.MatchAny
+	f.TraceID = q.Get("trace")
+	f.Origin = q.Get("origin")
+	f.Verdict = q.Get("verdict")
+	if s := q.Get("ring"); s != "" {
+		var ring int
+		if _, err := fmt.Sscanf(s, "%d", &ring); err != nil || ring < 0 {
+			http.Error(w, fmt.Sprintf("bad ring %q", s), http.StatusBadRequest)
+			return
+		}
+		f.Ring = ring
+	}
+	events := g.cfg.Ring.Snapshot(f)
+	writeJSON(w, tracezJSON{
+		Total:    g.cfg.Ring.Total(),
+		Retained: g.cfg.Ring.Len(),
+		Matched:  len(events),
+		Events:   events,
+	})
 }
 
 // servePolicyDoc writes one origin's policy document (the PolicyPath

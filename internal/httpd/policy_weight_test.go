@@ -232,13 +232,13 @@ func TestOverflowFairnessAcrossWeights(t *testing.T) {
 	// Fairness: the drops landed on the origin that overflowed, not on
 	// its neighbor, and the weighted origin absorbed twice the traffic.
 	lightVH, heavyVH := g.mounts[light], g.mounts[heavy]
-	if lightVH.dropped.Load() != 1 || heavyVH.dropped.Load() != 1 {
+	if lightVH.dropped.Value() != 1 || heavyVH.dropped.Value() != 1 {
 		t.Fatalf("dropped: light=%d heavy=%d, want 1 each",
-			lightVH.dropped.Load(), heavyVH.dropped.Load())
+			lightVH.dropped.Value(), heavyVH.dropped.Value())
 	}
 	releaseFn()
 	wg.Wait()
-	if ls, hs := lightVH.served.Load(), heavyVH.served.Load(); ls != 2 || hs != 4 {
+	if ls, hs := lightVH.served.Value(), heavyVH.served.Value(); ls != 2 || hs != 4 {
 		t.Fatalf("served: light=%d heavy=%d, want 2 and 4", ls, hs)
 	}
 	if st := g.Stats(); st.Rejected503 != 2 {

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// SeriesInt summarizes one sampled gauge over a run: the first and
+// last observations plus the running min/max. It is the shape the
+// leak gates read — "goroutines returned to the post-warmup band"
+// is Last vs PostWarmup, "heap did not grow monotonically" is the
+// Monotonic flag next to the heap series.
+type SeriesInt struct {
+	First int64 `json:"first"`
+	Last  int64 `json:"last"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+// observe folds one sample into the series.
+func (s *SeriesInt) observe(v int64, first bool) {
+	if first {
+		s.First, s.Min, s.Max = v, v, v
+	}
+	s.Last = v
+	if v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+}
+
+// merge folds another worker's series in: Max/Min span the fleet,
+// First/Last sum (each process contributes its own goroutines/heap).
+func (s *SeriesInt) merge(o SeriesInt) {
+	s.First += o.First
+	s.Last += o.Last
+	s.Min += o.Min
+	s.Max += o.Max
+}
+
+// SamplerStats is a run's runtime-health summary: the obs section of
+// BENCH_engine.json carries one per process, and the cluster
+// supervisor merges the workers' into a fleet view.
+type SamplerStats struct {
+	Samples    int     `json:"samples"`
+	IntervalMs float64 `json:"interval_ms"`
+	// Goroutines tracks runtime.NumGoroutine.
+	Goroutines SeriesInt `json:"goroutines"`
+	// PostWarmupGoroutines is the goroutine count captured by Mark()
+	// after the driver's warm-up — the baseline the soak gate bands
+	// the final count against (0 when Mark was never called).
+	PostWarmupGoroutines int64 `json:"post_warmup_goroutines,omitempty"`
+	// HeapAllocBytes tracks runtime.MemStats.HeapAlloc.
+	HeapAllocBytes SeriesInt `json:"heap_alloc_bytes"`
+	// HeapMonotonic reports whether heap usage only ever grew across
+	// samples — the monotone-growth signature of a leak. A healthy GC'd
+	// process dips between collections, so the soak gate asserts false.
+	HeapMonotonic bool `json:"heap_monotonic"`
+	// HeapSysBytes is the last-sampled runtime.MemStats.Sys — the
+	// process's reserved (RSS-shaped) memory.
+	HeapSysBytes int64 `json:"heap_sys_bytes"`
+	// GCPauseTotalMs and NumGC are deltas since the sampler started.
+	GCPauseTotalMs float64 `json:"gc_pause_total_ms"`
+	NumGC          uint32  `json:"num_gc"`
+}
+
+// Merge folds another process's sampler stats in (cluster shard
+// merging): series sum process contributions, GC work adds up, and
+// HeapMonotonic stays true only when every worker grew monotonically.
+func (s *SamplerStats) Merge(o SamplerStats) {
+	s.Samples += o.Samples
+	if o.IntervalMs > s.IntervalMs {
+		s.IntervalMs = o.IntervalMs
+	}
+	s.Goroutines.merge(o.Goroutines)
+	s.PostWarmupGoroutines += o.PostWarmupGoroutines
+	s.HeapAllocBytes.merge(o.HeapAllocBytes)
+	s.HeapMonotonic = s.HeapMonotonic && o.HeapMonotonic
+	s.HeapSysBytes += o.HeapSysBytes
+	s.GCPauseTotalMs += o.GCPauseTotalMs
+	s.NumGC += o.NumGC
+}
+
+// Sampler periodically samples runtime health — goroutine count, heap
+// in use, reserved memory, GC pause time — into registry gauges and a
+// running summary. One Sampler serves a whole process.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu        sync.Mutex
+	stats     SamplerStats
+	started   bool
+	baseGC    uint32
+	basePause uint64
+
+	stop chan struct{}
+	done chan struct{}
+
+	gGoroutines *Gauge
+	gHeapAlloc  *Gauge
+	gHeapSys    *Gauge
+	gGCPauseNs  *Gauge
+	gNumGC      *Gauge
+}
+
+// NewSampler builds a sampler publishing into reg (nil is allowed:
+// the summary still accumulates, nothing is exported). interval <= 0
+// defaults to one second.
+func NewSampler(reg *Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Sampler{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.stats.IntervalMs = float64(interval.Nanoseconds()) / 1e6
+	s.stats.HeapMonotonic = true
+	if reg != nil {
+		s.gGoroutines = reg.Gauge("escudo_goroutines")
+		s.gHeapAlloc = reg.Gauge("escudo_heap_alloc_bytes")
+		s.gHeapSys = reg.Gauge("escudo_heap_sys_bytes")
+		s.gGCPauseNs = reg.Gauge("escudo_gc_pause_total_ns")
+		s.gNumGC = reg.Gauge("escudo_gc_cycles_total")
+	}
+	return s
+}
+
+// Start samples once immediately (so short runs still have a first
+// sample) and then on every interval tick until Stop.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.baseGC = m.NumGC
+	s.basePause = m.PauseTotalNs
+	s.mu.Unlock()
+
+	s.Sample()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop, takes one final sample, and returns
+// the summary.
+func (s *Sampler) Stop() SamplerStats {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		select {
+		case <-s.stop:
+		default:
+			close(s.stop)
+		}
+		<-s.done
+	}
+	s.Sample()
+	return s.Stats()
+}
+
+// Sample takes one observation now. Phase boundaries call it so the
+// series brackets the interesting moments even when the run is
+// shorter than the tick interval.
+func (s *Sampler) Sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	goroutines := int64(runtime.NumGoroutine())
+
+	s.mu.Lock()
+	first := s.stats.Samples == 0
+	prevHeap := s.stats.HeapAllocBytes.Last
+	s.stats.Samples++
+	s.stats.Goroutines.observe(goroutines, first)
+	s.stats.HeapAllocBytes.observe(int64(m.HeapAlloc), first)
+	if !first && int64(m.HeapAlloc) < prevHeap {
+		s.stats.HeapMonotonic = false
+	}
+	s.stats.HeapSysBytes = int64(m.Sys)
+	s.stats.GCPauseTotalMs = float64(m.PauseTotalNs-s.basePause) / 1e6
+	s.stats.NumGC = m.NumGC - s.baseGC
+	s.mu.Unlock()
+
+	if s.gGoroutines != nil {
+		s.gGoroutines.Set(goroutines)
+		s.gHeapAlloc.Set(int64(m.HeapAlloc))
+		s.gHeapSys.Set(int64(m.Sys))
+		s.gGCPauseNs.Set(int64(m.PauseTotalNs - s.basePause))
+		s.gNumGC.Set(int64(m.NumGC - s.baseGC))
+	}
+}
+
+// Mark records the post-warmup goroutine baseline the soak gate bands
+// the run's final count against.
+func (s *Sampler) Mark() {
+	g := int64(runtime.NumGoroutine())
+	s.mu.Lock()
+	s.stats.PostWarmupGoroutines = g
+	s.mu.Unlock()
+}
+
+// Stats snapshots the summary so far.
+func (s *Sampler) Stats() SamplerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

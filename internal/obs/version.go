@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Stamp identifies the binary behind a health or metrics response:
+// module version, go toolchain, and the GOMAXPROCS it runs with. The
+// cluster supervisor cross-checks that every worker shard reports the
+// same Module+Go pair, catching a stale binary in a mixed fleet.
+type Stamp struct {
+	Module     string `json:"module"`
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+var (
+	stampOnce sync.Once
+	stamp     Stamp
+)
+
+// Version returns the process's build stamp. The module version comes
+// from the build info when the binary was built from a tagged module
+// ("(devel)" or empty under plain `go build`/`go test` — normalized to
+// "devel" so the field is never blank).
+func Version() Stamp {
+	stampOnce.Do(func() {
+		stamp = Stamp{Module: "devel", Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			stamp.Module = bi.Main.Version
+		}
+	})
+	return stamp
+}
+
+// SameBinary reports whether two stamps came from the same build —
+// the supervisor's version cross-check. GOMAXPROCS is deliberately
+// excluded: workers may legitimately run with different parallelism.
+func SameBinary(a, b Stamp) bool {
+	return a.Module == b.Module && a.Go == b.Go
+}

@@ -66,6 +66,7 @@ var internedKeys = map[string]string{
 	"x-escudo-initiator-origin": "X-Escudo-Initiator-Origin",
 	"x-escudo-maxring":          "X-Escudo-Maxring",
 	"x-escudo-orig-keys":        "X-Escudo-Orig-Keys",
+	"x-escudo-trace":            "X-Escudo-Trace",
 }
 
 // isCanonicalKey reports whether k is already in canonical form: each
@@ -153,6 +154,11 @@ type Request struct {
 	// InitiatorLabel describes the principal for the request log,
 	// e.g. "img", "form#post", "xhr".
 	InitiatorLabel string
+	// TraceID is the causal trace of the task that issued the request
+	// (see internal/obs); it travels as the X-Escudo-Trace header over
+	// real transports and into the request log, linking the request to
+	// the decisions it triggers. Empty when the task is untraced.
+	TraceID string
 
 	urlOnce   sync.Once
 	parsedURL *url.URL
@@ -189,6 +195,7 @@ func (r *Request) Reset(method, rawURL string) {
 	r.Form = nil
 	r.InitiatorOrigin = origin.Origin{}
 	r.InitiatorLabel = ""
+	r.TraceID = ""
 	r.urlOnce = sync.Once{}
 	r.parsedURL = nil
 	r.target = origin.Origin{}
@@ -331,6 +338,9 @@ type LogEntry struct {
 	Target          origin.Origin
 	InitiatorOrigin origin.Origin
 	InitiatorLabel  string
+	// TraceID links the request to the decision trace of the task that
+	// issued it; empty for untraced tasks.
+	TraceID string
 	// CookieNames are the cookies that arrived with the request —
 	// the CSRF success signal.
 	CookieNames []string
@@ -427,6 +437,7 @@ func (n *Network) RoundTrip(req *Request) (*Response, error) {
 		Target:          target,
 		InitiatorOrigin: req.InitiatorOrigin,
 		InitiatorLabel:  req.InitiatorLabel,
+		TraceID:         req.TraceID,
 		Form:            req.Form,
 	}
 	for name := range req.Cookies() {
