@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare fuzz-script lint fmt-check vet serve serve-http serve-cluster soak profile clean
+.PHONY: all build test race bench bench-compare fuzz-script lint fmt-check vet serve serve-http serve-cluster reload-smoke soak profile clean
 
 all: build lint test
 
@@ -60,6 +60,18 @@ CLUSTER_WORKERS ?= 2
 serve-cluster:
 	$(GO) run ./cmd/escudo-serve -cluster $(CLUSTER_WORKERS) -tls
 
+# Policy hot-reload smoke: mount TENANTS stamped tenant origins plus a
+# hot origin on a dedicated gateway, push a live policy flip mid-load
+# (the invalidation storm), and measure push ack, watcher propagation,
+# cache refill, and the throughput dip — then the noisy-neighbor
+# isolation probe. CI gates on the control section: no page load may
+# mix policy generations, the refill must be recorded, and the §6.4
+# corpus must stay 18/18 on both sides of the flip.
+TENANTS ?= 1024
+reload-smoke:
+	$(GO) run ./cmd/escudo-serve -sessions 4 -iters 2 -phpbb-iters 2 -mixed-iters 2 \
+		-script-iters 0 -control -tenants $(TENANTS) -out BENCH_engine.control.json
+
 # Leak-hunting soak: SOAK seconds of mixed load through the loopback
 # gateway under the race detector, with the runtime sampler recording
 # goroutine/heap shape every 200ms into the report's obs section. CI
@@ -94,5 +106,5 @@ profile:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_engine.new.json BENCH_engine.soak.json
+	rm -f BENCH_engine.new.json BENCH_engine.soak.json BENCH_engine.control.json
 	rm -rf profiles

@@ -9,6 +9,7 @@
 //	escudo-inspect [-maxring N] [-policy policy.json]
 //	               [-query ring:op:id[@guest-origin]] [file]
 //	escudo-inspect -tracez host:port [-trace ID]
+//	escudo-inspect -policyz host:port [-watch]
 //
 // With no file, a built-in demonstration page (the paper's Figure 3
 // blog shape) is inspected. -query may repeat.
@@ -26,20 +27,33 @@
 // can follow one page load's provenance — trace ID, span order,
 // ⟨P ⊳ O⟩ triple, and verdict — without attaching a debugger. -trace
 // narrows the fetch to a single trace ID.
+//
+// -policyz is the control-plane view: it fetches a running gateway's
+// admin /policyz document and prints the fleet generation plus every
+// mounted origin's policy version (rev, ring count, delegations).
+// With -watch it then long-polls the endpoint and streams each
+// generation flip as it lands — the operator's tail -f on a fleet-wide
+// version push.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	escudo "repro"
 	"repro/internal/core"
+	"repro/internal/ctlplane"
 	"repro/internal/dom"
 	"repro/internal/html"
 	"repro/internal/layout"
@@ -80,6 +94,8 @@ func run(args []string) error {
 	showRender := fs.Bool("render", false, "also print the text rendering")
 	tracezAddr := fs.String("tracez", "", "fetch decision traces from a live gateway's admin /tracez at this host:port and pretty-print them")
 	traceID := fs.String("trace", "", "with -tracez, show only this trace ID")
+	policyzAddr := fs.String("policyz", "", "fetch the mounted policy fleet from a live gateway's admin /policyz at this host:port and print per-origin versions")
+	watch := fs.Bool("watch", false, "with -policyz, keep long-polling and stream generation flips as they land")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +105,21 @@ func run(args []string) error {
 	}
 	if *traceID != "" {
 		return fmt.Errorf("-trace needs -tracez (the gateway admin address to fetch from)")
+	}
+	if *policyzAddr != "" {
+		stop := make(chan struct{})
+		if *watch {
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			go func() {
+				<-ch
+				close(stop)
+			}()
+		}
+		return runPolicyz(os.Stdout, *policyzAddr, *watch, stop)
+	}
+	if *watch {
+		return fmt.Errorf("-watch needs -policyz (the gateway admin address to poll)")
 	}
 
 	markup := demoPage
@@ -159,6 +190,88 @@ func run(args []string) error {
 		fmt.Println(layout.RenderText(layout.Layout(doc.Root, 72), 72))
 	}
 	return nil
+}
+
+// printPolicyzDoc renders one /policyz document: the fleet generation
+// headline, then one line per origin in sorted order.
+func printPolicyzDoc(out io.Writer, addr string, doc ctlplane.PolicyzDoc) error {
+	fmt.Fprintf(out, "Policy fleet at %s — generation %d, %d origins\n", addr, doc.Generation, len(doc.Policies))
+	origins := make([]string, 0, len(doc.Policies))
+	for o := range doc.Policies {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	for _, o := range origins {
+		pol, err := escudo.ParsePolicy(doc.Policies[o])
+		if err != nil {
+			return fmt.Errorf("policy document for %s: %w", o, err)
+		}
+		fmt.Fprintf(out, "  %-40s rev %-4d maxring %d, %d delegations\n",
+			o, doc.Revs[o], pol.MaxRing, len(pol.Delegations))
+	}
+	return nil
+}
+
+// runPolicyz fetches and prints a live gateway's policy fleet; with
+// watch it then streams generation flips (one line per flip, the
+// origins whose rev moved) until stop closes.
+func runPolicyz(out io.Writer, addr string, watch bool, stop <-chan struct{}) error {
+	doc, err := ctlplane.FetchPolicyz(context.Background(), nil, "http", addr)
+	if err != nil {
+		return fmt.Errorf("fetching /policyz from %s: %w", addr, err)
+	}
+	if err := printPolicyzDoc(out, addr, doc); err != nil {
+		return err
+	}
+	if !watch {
+		return nil
+	}
+
+	// stop governs only the watch loop: it cancels a parked long poll
+	// so an interrupt exits promptly instead of waiting out the hold.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-stop
+		cancel()
+	}()
+
+	fmt.Fprintf(out, "\nwatching for flips (interrupt to stop)...\n")
+	const hold = 10 * time.Second
+	prev := doc
+	for {
+		next, err := ctlplane.FetchPolicyzWait(ctx, nil, "http", addr, prev.Generation, hold)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // interrupted mid-poll: a clean exit, not an error
+			}
+			return fmt.Errorf("long-polling /policyz: %w", err)
+		}
+		if next.Generation == prev.Generation {
+			continue // hold expired unchanged; park again
+		}
+		// Name what moved: revs that changed or origins that appeared.
+		var moved []string
+		for o, rev := range next.Revs {
+			if prev.Revs[o] != rev {
+				moved = append(moved, fmt.Sprintf("%s rev %d", o, rev))
+			}
+		}
+		for o := range prev.Revs {
+			if _, ok := next.Revs[o]; !ok {
+				moved = append(moved, o+" unmounted")
+			}
+		}
+		sort.Strings(moved)
+		fmt.Fprintf(out, "flip: generation %d → %d — %s\n",
+			prev.Generation, next.Generation, strings.Join(moved, ", "))
+		prev = next
+		select {
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+	}
 }
 
 // tracezDoc mirrors the gateway's /tracez JSON document.

@@ -1,13 +1,21 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	escudo "repro"
+	"repro/internal/ctlplane"
 	"repro/internal/httpd"
 	"repro/internal/obs"
+	"repro/internal/origin"
+	"repro/internal/scenarios"
 	"repro/internal/web"
 )
 
@@ -138,4 +146,95 @@ func TestRunWithPolicy(t *testing.T) {
 			t.Errorf("run(%v): want error", args)
 		}
 	}
+}
+
+// TestRunPolicyz exercises the control-plane view against a real
+// gateway: the one-shot fleet listing, then -watch streaming a live
+// reload as one flip line.
+func TestRunPolicyz(t *testing.T) {
+	n := web.NewNetwork()
+	o := origin.MustParse("http://app.example")
+	n.Register(o, scenarios.Handler())
+	doc := scenarios.Policy(o)
+	gw, _, cleanup, err := httpd.WrapNetwork(n, httpd.Config{
+		Origins: map[string]httpd.OriginConfig{o.String(): {Policy: &doc}},
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	var buf bytes.Buffer
+	stop := make(chan struct{})
+	close(stop) // one-shot: no watch loop to interrupt
+	if err := runPolicyz(&buf, gw.Addr(), false, stop); err != nil {
+		t.Fatalf("runPolicyz: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "generation 1, 1 origins") {
+		t.Errorf("missing fleet headline in:\n%s", out)
+	}
+	if !strings.Contains(out, "http://app.example") || !strings.Contains(out, "rev 1") {
+		t.Errorf("missing origin row in:\n%s", out)
+	}
+
+	// Watch mode: start the stream, push a reload, expect one flip
+	// line, then stop.
+	var watchBuf syncBuffer
+	watchStop := make(chan struct{})
+	watchErr := make(chan error, 1)
+	go func() { watchErr <- runPolicyz(&watchBuf, gw.Addr(), true, watchStop) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(watchBuf.String(), "watching for flips") {
+		if time.Now().After(deadline) {
+			t.Fatal("watch stream never printed its header")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	doc2 := scenarios.Policy(o)
+	doc2.MaxRing = 2
+	data, err := doc2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctlplane.PostReload(context.Background(), nil, "http", gw.Addr(), data); err != nil {
+		t.Fatalf("PostReload: %v", err)
+	}
+	for !strings.Contains(watchBuf.String(), "flip: generation 1 → 2") {
+		if time.Now().After(deadline) {
+			t.Fatalf("flip never streamed; output:\n%s", watchBuf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(watchBuf.String(), "http://app.example rev 2") {
+		t.Errorf("flip line does not name the moved origin:\n%s", watchBuf.String())
+	}
+	close(watchStop)
+	select {
+	case err := <-watchErr:
+		if err != nil {
+			t.Fatalf("watch exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch loop did not stop")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the watch goroutine
+// writes while the test polls String.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

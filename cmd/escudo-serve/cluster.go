@@ -125,6 +125,7 @@ func buildSubstrate(users int) *substrate {
 type serveOnlyConfig struct {
 	addr           string
 	sessions       int
+	accounts       int
 	workers, queue int
 	tls            bool
 	tlsCAOut       string
@@ -140,7 +141,14 @@ type serveOnlyConfig struct {
 // /healthz flips from "starting" to ok only after a warm self-check
 // round-trips a scenario page through the full stack.
 func runServeOnly(cfg serveOnlyConfig, stop <-chan struct{}) error {
-	sub := buildSubstrate(cfg.sessions)
+	// A cluster supervisor passes -accounts workers×sessions so every
+	// worker process gets a private, non-overlapping phpBB account
+	// range; a bare serve-only run registers one account per session.
+	users := cfg.sessions
+	if cfg.accounts > users {
+		users = cfg.accounts
+	}
+	sub := buildSubstrate(users)
 	originCfgs := map[string]httpd.OriginConfig{}
 	for o, doc := range sub.policies {
 		doc := doc
@@ -255,6 +263,7 @@ func runServeOnly(cfg serveOnlyConfig, stop <-chan struct{}) error {
 type connectConfig struct {
 	addr            string
 	sessions, iters int
+	phpbbIters      int
 	mode            browser.Mode
 	uncached        bool
 	attacksOn       bool
@@ -264,6 +273,21 @@ type connectConfig struct {
 	httpWorkers     int
 	httpQueue       int
 	out             string
+}
+
+// clusterTopicID is the seeded phpBB topic every worker browses.
+// buildSubstrate seeds exactly one topic into a fresh forum, and phpBB
+// IDs are assigned sequentially from 1, so the ID is fixed by
+// construction — workers can rely on it without a discovery round-trip.
+const clusterTopicID = 1
+
+// clusterAccount names the phpBB/PHP-Calendar account a session owns:
+// worker w's sessions take the contiguous block [w×sessions,
+// (w+1)×sessions). The ranges are disjoint across workers, so no two
+// processes ever share a login — each account's cookie jar, posts, and
+// decision stream belong to exactly one session fleet-wide.
+func clusterAccount(workerID, sessions, sessionID int) string {
+	return fmt.Sprintf("user%d", workerID*sessions+sessionID)
 }
 
 // runShardPhase measures one worker phase: per-task latency across
@@ -379,6 +403,62 @@ func runConnect(cfg connectConfig) error {
 	shard.Phases = append(shard.Phases, ph)
 	if ph.Errors > 0 {
 		return fmt.Errorf("worker %d: figure4 had %d task errors", cfg.workerID, ph.Errors)
+	}
+
+	// phpBB over the wire: each session logs into its own account from
+	// this worker's private range, then alternates index and topic
+	// views with the occasional reply — the paper's "active session
+	// with a trusted site" workload, here crossing the process (and
+	// TLS) boundary. Login is inside the phase on purpose: stateful
+	// authenticated traffic is part of what the cluster measures.
+	if cfg.phpbbIters > 0 {
+		forum := origin.MustParse("http://forum.example")
+		ph, errs := runShardPhase(pool, ct, "phpbb", func() {
+			pool.Each(func(s *engine.Session) error {
+				p, err := s.Browser.Navigate(forum.URL("/"))
+				if err != nil {
+					return err
+				}
+				form := p.Doc.ByID("loginform")
+				if form == nil {
+					return fmt.Errorf("no loginform")
+				}
+				account := clusterAccount(cfg.workerID, cfg.sessions, s.ID)
+				if _, err := p.SubmitForm(form, map[string][]string{
+					"username": {account}, "password": {"pw"},
+				}); err != nil {
+					return err
+				}
+				for i := 0; i < cfg.phpbbIters; i++ {
+					if _, err := s.Browser.Navigate(forum.URL("/")); err != nil {
+						return err
+					}
+					tp, err := s.Browser.Navigate(forum.URL(fmt.Sprintf("/viewtopic?t=%d", clusterTopicID)))
+					if err != nil {
+						return err
+					}
+					if i%5 == 4 {
+						reply := tp.Doc.ByID("replyform")
+						if reply == nil {
+							return fmt.Errorf("no replyform")
+						}
+						if _, err := tp.SubmitForm(reply, map[string][]string{
+							"message": {fmt.Sprintf("reply from %s round %d", account, i)},
+						}); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+		})
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "escudo-serve: worker %d phpbb: %v\n", cfg.workerID, err)
+		}
+		shard.Phases = append(shard.Phases, ph)
+		if ph.Errors > 0 {
+			return fmt.Errorf("worker %d: phpbb had %d task errors", cfg.workerID, ph.Errors)
+		}
 	}
 
 	// Attack replay: each environment is a private substrate, so it
@@ -497,6 +577,7 @@ type clusterConfig struct {
 	bin         string
 	sessions    int
 	iters       int
+	phpbbIters  int
 	mode        string
 	attacksOn   bool
 	uncached    bool
@@ -533,6 +614,7 @@ func runCluster(cfg clusterConfig) error {
 		"-serve-only",
 		"-http", "127.0.0.1:0",
 		"-sessions", strconv.Itoa(cfg.sessions),
+		"-accounts", strconv.Itoa(cfg.workers * cfg.sessions),
 		"-http-workers", strconv.Itoa(cfg.httpWorkers),
 		"-http-queue", strconv.Itoa(cfg.httpQueue),
 		"-addr-file", addrFile,
@@ -565,6 +647,7 @@ func runCluster(cfg clusterConfig) error {
 				"-worker-id", strconv.Itoa(i),
 				"-sessions", strconv.Itoa(cfg.sessions),
 				"-iters", strconv.Itoa(cfg.iters),
+				"-phpbb-iters", strconv.Itoa(cfg.phpbbIters),
 				"-mode", cfg.mode,
 				fmt.Sprintf("-attacks=%v", cfg.attacksOn),
 				fmt.Sprintf("-uncached=%v", cfg.uncached),

@@ -233,6 +233,10 @@ type benchJSON struct {
 	// the supervisor (written by -cluster runs; other sections of an
 	// existing report are preserved).
 	Cluster *cluster.Report `json:"cluster,omitempty"`
+	// Control is the policy control plane section (written by -control
+	// runs): the invalidation storm, the multi-tenant mount scale, and
+	// the noisy-neighbor isolation figures.
+	Control *controlJSON `json:"control,omitempty"`
 	// Obs is the run's observability summary: build stamp, runtime
 	// sampler series, decision-trace ring traffic.
 	Obs     *obsJSON `json:"obs,omitempty"`
@@ -509,11 +513,14 @@ func fetchPolicyz(addr string, ca *httpd.CA) (map[string]policy.Policy, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("/policyz: status %d", resp.StatusCode)
 	}
-	var served map[string]policy.Policy
-	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+	var doc struct {
+		Generation uint64                   `json:"generation"`
+		Policies   map[string]policy.Policy `json:"policies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("decoding /policyz: %w", err)
 	}
-	return served, nil
+	return doc.Policies, nil
 }
 
 // runHTTPSection mounts the substrate on a gateway, replays the
@@ -763,6 +770,9 @@ func run(args []string) error {
 	addrFile := fs.String("addr-file", "", "serve-only: write the bound listener address to this file")
 	statsFile := fs.String("stats-file", "", "serve-only: write gateway-side stats JSON here on graceful shutdown")
 	workerID := fs.Int("worker-id", 0, "connect: this worker's index in the cluster (labels the shard)")
+	accountsN := fs.Int("accounts", 0, "serve-only: register this many phpBB/PHP-Calendar accounts (0 = one per session; a cluster supervisor passes workers×sessions so each worker gets a disjoint account range)")
+	controlOn := fs.Bool("control", false, "run the policy control-plane section: mount -tenants stamped origins on a dedicated gateway, push a live policy flip mid-load (invalidation storm), and measure noisy-neighbor isolation")
+	tenantsN := fs.Int("tenants", 1024, "tenant origins to mount in the -control section")
 	out := fs.String("out", "BENCH_engine.json", "output JSON path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -798,6 +808,7 @@ func run(args []string) error {
 			bin:         *clusterBin,
 			sessions:    *sessionsN,
 			iters:       *iters,
+			phpbbIters:  *phpbbIters,
 			mode:        *modeFlag,
 			attacksOn:   *attacksOn,
 			uncached:    *uncached,
@@ -823,6 +834,7 @@ func run(args []string) error {
 		return runServeOnly(serveOnlyConfig{
 			addr:      addr,
 			sessions:  *sessionsN,
+			accounts:  *accountsN,
 			workers:   *httpWorkers,
 			queue:     *httpQueue,
 			tls:       *tlsOn,
@@ -835,6 +847,7 @@ func run(args []string) error {
 			addr:        *connectAddr,
 			sessions:    *sessionsN,
 			iters:       *iters,
+			phpbbIters:  *phpbbIters,
 			mode:        mode,
 			uncached:    *uncached,
 			attacksOn:   *attacksOn,
@@ -1174,6 +1187,27 @@ func run(args []string) error {
 		report.HTTP = h
 	}
 
+	// Control-plane section — a dedicated multi-tenant gateway, a live
+	// policy flip pushed mid-load, and the noisy-neighbor harness. Runs
+	// on its own gateway and pool so its storm (which invalidates its
+	// decision cache) cannot perturb the equivalence-checked phases.
+	if *controlOn {
+		c, err := runControlSection(controlSectionConfig{
+			tenants:   *tenantsN,
+			sessions:  *sessionsN,
+			iters:     *iters,
+			workers:   *httpWorkers,
+			queue:     *httpQueue,
+			mode:      mode,
+			uncached:  *uncached,
+			attacksOn: *attacksOn,
+		})
+		if err != nil {
+			return err
+		}
+		report.Control = c
+	}
+
 	// Script section — interpreter vs compiled VM on the shared corpus,
 	// after every workload phase so the compile-cache counters cover
 	// the run's full <script> traffic.
@@ -1304,6 +1338,11 @@ func run(args []string) error {
 			if ph.Errors > 0 {
 				return fmt.Errorf("phase %s had %d task errors", ph.Name, ph.Errors)
 			}
+		}
+	}
+	if c := report.Control; c != nil {
+		if err := printControl(c); err != nil {
+			return err
 		}
 	}
 	if o := report.Obs; o != nil {

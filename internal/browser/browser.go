@@ -96,6 +96,16 @@ type Options struct {
 	// the last-N provenance ring the gateway serves at /tracez. Like
 	// Cache it is typically shared by every session of an engine pool.
 	DecisionRing *obs.DecisionRing
+	// PolicyGen, when non-nil, is the control-plane generation source
+	// (typically ctlplane.Watcher.Generation, or Store.Generation for
+	// in-memory deployments). The browser reads it exactly once at the
+	// entry of each top-level page load and pins the value for the
+	// whole load — frames, subresource fetches, cookie attachments, and
+	// every later operation through the page's monitor — so a policy
+	// flip mid-flight never mixes generations within one load (standing
+	// invariant 8; audited by core.AuditLog.GenerationMix). Nil leaves
+	// the monitor stack exactly as before — no stamping layer at all.
+	PolicyGen func() uint64
 }
 
 // PageRef identifies what a monitor is being built for: a page load
@@ -129,7 +139,17 @@ type Browser struct {
 	// pages and monitors built under an earlier task stamp with the
 	// trace of the task actually asking.
 	trace atomic.Pointer[obs.Trace]
+	// curGen and curPage pin the policy generation and page identity of
+	// the top-level load in flight (zero between loads). They are plain
+	// fields: a browser is a single session driven by one goroutine at
+	// a time, like the jar and history.
+	curGen  uint64
+	curPage uint64
 }
+
+// pageIDs mints process-unique page-load identities, so audit logs
+// merged across sessions never collide on PageID.
+var pageIDs atomic.Uint64
 
 // New creates a browser on the given transport. All mediation (cookie
 // attachment, DOM authorization, script confinement) happens on this
@@ -205,6 +225,12 @@ type Page struct {
 	// ranScripts tracks executed script elements so document.write
 	// can trigger newly injected scripts without re-running old ones.
 	ranScripts map[*html.Node]bool
+	// PolicyGen and PageID record the control-plane generation this
+	// load pinned and its unique load identity; zero without a
+	// PolicyGen source. Every decision the page's monitor makes — at
+	// load time or later — carries both.
+	PolicyGen uint64
+	PageID    uint64
 	// Frames holds the nested pages loaded for this page's iframes,
 	// in document order. Each frame is an independent ring system;
 	// same-origin frames have compatible rings (§4 "Rings").
@@ -232,10 +258,30 @@ type Frame struct {
 // misses. The provenance layer sits outside the cache (cached verdict
 // rebuilds must stamp with the asking task's trace, not the warming
 // task's) and inside audit (so audit records carry the stamps).
+// The generation layer sits inside the provenance layer: ring events
+// and audit records both carry the pinned generation.
 func (b *Browser) monitorFor(ref PageRef) core.Monitor {
+	gen, page := b.genStamp()
 	return core.Compose(b.policyMonitor(ref),
+		core.WithGen(gen, page),
 		core.WithObs(b.trace.Load, b.opts.DecisionRing),
 		core.WithAudit(b.Audit))
+}
+
+// genStamp resolves the generation and page identity a monitor built
+// right now must pin. Inside a load both come from the load's capture;
+// outside one (a post-load XHR's cookie attachment, say) the current
+// generation is read fresh with no page identity — such decisions
+// belong to no load and are skipped by the mixing audit. Without a
+// PolicyGen source everything is zero and WithGen composes to nothing.
+func (b *Browser) genStamp() (gen, page uint64) {
+	if b.curPage != 0 {
+		return b.curGen, b.curPage
+	}
+	if b.opts.PolicyGen != nil {
+		return b.opts.PolicyGen(), 0
+	}
+	return 0, 0
 }
 
 // policyMonitor is the stack below the audit layer.
@@ -289,8 +335,16 @@ func (b *Browser) load(rawURL string, initiator core.Context, label string) (*Pa
 	return b.loadDepth(rawURL, initiator, label, 0)
 }
 
-// loadDepth is load with frame-nesting bookkeeping.
+// loadDepth is load with frame-nesting bookkeeping. With a control
+// plane attached, the OUTERMOST load captures the policy generation
+// once, before its first fetch; nested frame loads and every monitor
+// built during the load inherit that capture, so the whole load —
+// frames included — observes exactly one generation.
 func (b *Browser) loadDepth(rawURL string, initiator core.Context, label string, depth int) (*Page, error) {
+	if b.opts.PolicyGen != nil && b.curPage == 0 {
+		b.curGen, b.curPage = b.opts.PolicyGen(), pageIDs.Add(1)
+		defer func() { b.curGen, b.curPage = 0, 0 }()
+	}
 	resp, err := b.fetch("GET", rawURL, nil, initiator, label)
 	if err != nil {
 		return nil, err
@@ -409,6 +463,7 @@ func (b *Browser) buildPage(rawURL string, resp *web.Response) (*Page, error) {
 		return nil, fmt.Errorf("browser: %w", err)
 	}
 	page := &Page{browser: b, URL: rawURL, Origin: pageOrigin, Monitor: b.monitorFor(PageRef{URL: rawURL, Origin: pageOrigin})}
+	page.PolicyGen, page.PageID = b.curGen, b.curPage
 
 	// Extract ESCUDO configuration (ignored entirely in SOP mode —
 	// a legacy browser does not know these headers, §6.3).

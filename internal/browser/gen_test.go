@@ -1,0 +1,75 @@
+package browser
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPolicyGenCapturedOncePerLoad pins the whole-load generation
+// contract: the source is read exactly once at the entry of each
+// top-level load, every frame of that load inherits the pinned value
+// (even though the source keeps advancing), and the audit log sees
+// zero mixed-generation pages.
+func TestPolicyGenCapturedOncePerLoad(t *testing.T) {
+	// A pathological source: every read returns a fresh generation, so
+	// any second read within one load would be visible as a mix.
+	var src atomic.Uint64
+	src.Store(5)
+	b := New(frameNetwork(), Options{Mode: ModeEscudo, PolicyGen: func() uint64 {
+		return src.Add(1) - 1
+	}})
+
+	p1, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.PolicyGen != 5 || p1.PageID == 0 {
+		t.Fatalf("page pinned gen=%d id=%d, want gen 5 and a nonzero id", p1.PolicyGen, p1.PageID)
+	}
+	// The frames loaded mid-flight — after the source already advanced
+	// — carry the parent's pinned generation and page identity.
+	for i, f := range p1.Frames {
+		if f.Page == nil {
+			continue
+		}
+		if f.Page.PolicyGen != p1.PolicyGen || f.Page.PageID != p1.PageID {
+			t.Fatalf("frame %d: gen=%d id=%d, want the parent's %d/%d",
+				i, f.Page.PolicyGen, f.Page.PageID, p1.PolicyGen, p1.PageID)
+		}
+	}
+
+	// The next top-level load captures afresh.
+	p2, err := b.Navigate(site.URL("/inner"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.PolicyGen <= p1.PolicyGen || p2.PageID == p1.PageID {
+		t.Fatalf("second load: gen=%d id=%d, want a later generation and a new id", p2.PolicyGen, p2.PageID)
+	}
+
+	// Every audited decision of a load carries its pinned generation:
+	// two loads, two generations, zero pages that saw more than one.
+	mix := b.Audit.GenerationMix()
+	if mix.Pages != 2 || mix.Mixed != 0 || mix.Generations != 2 {
+		t.Fatalf("generation mix = %+v, want 2 pages, 0 mixed, 2 generations", mix)
+	}
+}
+
+// TestNoPolicyGenStampsNothing pins the default: without a control
+// plane wired, pages and decisions carry zero stamps and the
+// generation audit has nothing to report — the monitor stack is
+// byte-identical to a build without the layer.
+func TestNoPolicyGenStampsNothing(t *testing.T) {
+	b := New(frameNetwork(), Options{Mode: ModeEscudo})
+	p, err := b.Navigate(site.URL("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PolicyGen != 0 || p.PageID != 0 {
+		t.Fatalf("unwired browser stamped gen=%d id=%d", p.PolicyGen, p.PageID)
+	}
+	mix := b.Audit.GenerationMix()
+	if mix.Pages != 0 || mix.Generations != 0 {
+		t.Fatalf("generation mix = %+v, want all zero", mix)
+	}
+}

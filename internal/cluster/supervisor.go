@@ -208,14 +208,17 @@ func (s *Supervisor) crossCheck(client *http.Client, base string) (obs.Stamp, er
 		if err != nil {
 			return serverVer, fmt.Errorf("cluster: /policyz: %w", err)
 		}
-		var docs map[string]json.RawMessage
-		err = json.NewDecoder(resp.Body).Decode(&docs)
+		var doc struct {
+			Generation uint64                     `json:"generation"`
+			Policies   map[string]json.RawMessage `json:"policies"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
 		resp.Body.Close()
 		if err != nil {
 			return serverVer, fmt.Errorf("cluster: decoding /policyz: %w", err)
 		}
-		if len(docs) != s.cfg.ExpectPolicies {
-			return serverVer, fmt.Errorf("cluster: /policyz serves %d policy documents, want %d", len(docs), s.cfg.ExpectPolicies)
+		if len(doc.Policies) != s.cfg.ExpectPolicies {
+			return serverVer, fmt.Errorf("cluster: /policyz serves %d policy documents, want %d", len(doc.Policies), s.cfg.ExpectPolicies)
 		}
 	}
 	return serverVer, nil

@@ -1,0 +1,56 @@
+package core
+
+// WithGen returns the generation-pinning layer: every decision flowing
+// out of the inner stack is stamped with a fixed policy generation and
+// page identity, both captured once — at page-load entry — when the
+// layer is built. The values are immutable for the layer's lifetime,
+// which is exactly the control plane's isolation contract: a monitor
+// built for a page keeps stamping the generation that page started
+// under even if the fleet counter moves mid-flight, so the audit log
+// can prove no load ever mixed generations (AuditLog.GenerationMix).
+//
+// Mount it inside WithObs (and hence inside WithAudit): the ring
+// events and audit records then carry the stamp. With both values zero
+// the layer is a pass-through, so deployments without a control plane
+// compose an unchanged stack.
+func WithGen(policyGen, pageID uint64) Layer {
+	return func(inner Monitor) Monitor {
+		if policyGen == 0 && pageID == 0 {
+			return inner
+		}
+		return &genLayer{inner: inner, gen: policyGen, page: pageID}
+	}
+}
+
+// genLayer stamps decisions with the pinned generation and page.
+type genLayer struct {
+	inner Monitor
+	gen   uint64
+	page  uint64
+}
+
+var (
+	_ Monitor         = (*genLayer)(nil)
+	_ BatchAuthorizer = (*genLayer)(nil)
+)
+
+// Authorize implements Monitor.
+func (m *genLayer) Authorize(p Context, op Op, o Context) Decision {
+	d := m.inner.Authorize(p, op, o)
+	d.PolicyGen = m.gen
+	d.PageID = m.page
+	return d
+}
+
+// AuthorizeBatch implements BatchAuthorizer: the inner batch keeps its
+// per-class dedup untouched (the stamp is constant across the region,
+// so it cannot change how classes collapse), then every node's
+// decision carries the pinned values.
+func (m *genLayer) AuthorizeBatch(p Context, op Op, objects []Context) []Decision {
+	out := AuthorizeBatch(m.inner, p, op, objects)
+	for i := range out {
+		out[i].PolicyGen = m.gen
+		out[i].PageID = m.page
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestWithGenStampsScalarAndBatch pins the stamping layer: every
+// decision — scalar or batched — carries the pinned generation and
+// page identity, and nothing else about the decision changes.
+func TestWithGenStampsScalarAndBatch(t *testing.T) {
+	inner := &ERM{}
+	m := WithGen(7, 42)(inner)
+	p := Principal(batchSite, 1, "script")
+	o := Object(batchSite, 2, UniformACL(2), "node")
+
+	d := m.Authorize(p, OpRead, o)
+	want := inner.Authorize(p, OpRead, o)
+	if d.Allowed != want.Allowed || d.Rule != want.Rule {
+		t.Fatalf("stamping changed the verdict: %v/%v vs %v/%v", d.Allowed, d.Rule, want.Allowed, want.Rule)
+	}
+	if d.PolicyGen != 7 || d.PageID != 42 {
+		t.Fatalf("scalar decision stamped %d/%d, want 7/42", d.PolicyGen, d.PageID)
+	}
+
+	ba, ok := m.(BatchAuthorizer)
+	if !ok {
+		t.Fatal("WithGen layer lost the batched path")
+	}
+	out := ba.AuthorizeBatch(p, OpRead, batchObjects(20, 4))
+	for i, d := range out {
+		if d.PolicyGen != 7 || d.PageID != 42 {
+			t.Fatalf("batch decision %d stamped %d/%d, want 7/42", i, d.PolicyGen, d.PageID)
+		}
+	}
+}
+
+// TestWithGenPreservesBatchDedup pins the batch counters across the
+// layer: stamping happens after the inner batched path runs, so the
+// distinct-decision dedup the cache relies on is untouched — the
+// equivalence invariant's fixed batch counts survive a mounted
+// control plane.
+func TestWithGenPreservesBatchDedup(t *testing.T) {
+	cache := NewDecisionCache()
+	cm := &CachedMonitor{Inner: &ERM{}, Cache: cache}
+	m := WithGen(3, 9)(cm)
+	p := Principal(batchSite, 1, "script")
+	objs := batchObjects(60, 3)
+	m.(BatchAuthorizer).AuthorizeBatch(p, OpRead, objs)
+	st := cache.Stats()
+	if got := st.Hits + st.Misses; got != 3 {
+		t.Fatalf("cache probes through the layer = %d, want 3 (one per class)", got)
+	}
+}
+
+// TestWithGenZeroIsPassThrough pins the unwired default: a zero stamp
+// composes to the identity, so a deployment without a control plane
+// runs the exact monitor stack it ran before the layer existed.
+func TestWithGenZeroIsPassThrough(t *testing.T) {
+	inner := &ERM{}
+	if m := WithGen(0, 0)(inner); m != Monitor(inner) {
+		t.Fatal("WithGen(0,0) built a layer instead of passing through")
+	}
+}
+
+// TestGenerationMixAudit pins the invariant's auditor: pages whose
+// decisions all share one generation are clean; a page that records
+// two generations is flagged as mixed.
+func TestGenerationMixAudit(t *testing.T) {
+	log := &AuditLog{}
+	p := Principal(batchSite, 1, "script")
+	o := Object(batchSite, 2, UniformACL(2), "node")
+
+	// The production order: the audit layer outermost, so it records
+	// decisions already stamped by the generation layer.
+	stack := func(gen, page uint64) Monitor {
+		return Compose(&ERM{}, WithGen(gen, page), WithAudit(log))
+	}
+
+	// Page 1 decides twice under generation 4; page 2 once under 5.
+	stack(4, 1).Authorize(p, OpRead, o)
+	stack(4, 1).Authorize(p, OpWrite, o)
+	stack(5, 2).Authorize(p, OpRead, o)
+	// A request-scoped decision (no page) is invisible to the audit.
+	stack(5, 0).Authorize(p, OpRead, o)
+
+	mix := log.GenerationMix()
+	if mix.Pages != 2 || mix.Mixed != 0 || mix.Generations != 2 {
+		t.Fatalf("clean log mix = %+v, want 2 pages, 0 mixed, 2 generations", mix)
+	}
+
+	// Now poison page 1 with a second generation.
+	stack(6, 1).Authorize(p, OpRead, o)
+	mix = log.GenerationMix()
+	if mix.Mixed != 1 {
+		t.Fatalf("poisoned log mix = %+v, want 1 mixed page", mix)
+	}
+}

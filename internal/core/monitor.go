@@ -56,6 +56,15 @@ type Decision struct {
 	// outcome is judged on the fields above.
 	TraceID string
 	Span    uint64
+	// PolicyGen and PageID pin the decision to the fleet policy
+	// generation its page load captured (see internal/ctlplane) and to
+	// that load's identity. Both are zero without a WithGen layer
+	// mounted. Like TraceID/Span they are provenance only — but the
+	// control plane's standing invariant ("a page load observes exactly
+	// one policy generation") is audited on them: every decision of one
+	// PageID must carry the same PolicyGen.
+	PolicyGen uint64
+	PageID    uint64
 }
 
 // String renders the decision in the paper's ⟨P ⊳ O⟩ notation.
@@ -287,6 +296,52 @@ func (l *AuditLog) Reset() {
 		s.batches = nil
 		s.mu.Unlock()
 	}
+}
+
+// GenerationMix summarizes how policy generations were observed across
+// the log's page-pinned decisions (records whose PageID is non-zero;
+// unpinned records predate the control plane or happened outside any
+// page load and are not counted).
+type GenerationMix struct {
+	// Pages is the number of distinct page loads observed.
+	Pages int `json:"pages"`
+	// Mixed counts pages whose decisions carry more than one distinct
+	// PolicyGen — the control plane's invariant demands zero.
+	Mixed int `json:"mixed"`
+	// Generations is the number of distinct policy generations seen
+	// across all pinned records (≥2 after a mid-run flip).
+	Generations int `json:"generations"`
+}
+
+// Add folds another summary into m (page sets are disjoint across
+// sessions — each browser mints unique page IDs — so counts sum; the
+// generation count takes the max, a lower bound on the union).
+func (m GenerationMix) Add(o GenerationMix) GenerationMix {
+	g := m.Generations
+	if o.Generations > g {
+		g = o.Generations
+	}
+	return GenerationMix{Pages: m.Pages + o.Pages, Mixed: m.Mixed + o.Mixed, Generations: g}
+}
+
+// GenerationMix scans the log and reports the per-page policy
+// generation spread — the audit behind standing invariant 8.
+func (l *AuditLog) GenerationMix() GenerationMix {
+	firstGen := map[uint64]uint64{}
+	mixed := map[uint64]bool{}
+	gens := map[uint64]bool{}
+	for _, d := range l.merged(nil) {
+		if d.PageID == 0 {
+			continue
+		}
+		gens[d.PolicyGen] = true
+		if g, ok := firstGen[d.PageID]; !ok {
+			firstGen[d.PageID] = d.PolicyGen
+		} else if g != d.PolicyGen {
+			mixed[d.PageID] = true
+		}
+	}
+	return GenerationMix{Pages: len(firstGen), Mixed: len(mixed), Generations: len(gens)}
 }
 
 // Len returns the number of recorded decisions.

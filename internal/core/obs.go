@@ -51,6 +51,7 @@ func event(d Decision) obs.DecisionEvent {
 	return obs.DecisionEvent{
 		TraceID:   d.TraceID,
 		Span:      d.Span,
+		Gen:       d.PolicyGen,
 		Origin:    d.Object.Origin.String(),
 		Ring:      int(d.Object.Ring),
 		Allowed:   d.Allowed,

@@ -1,0 +1,308 @@
+package ctlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PolicyzDoc mirrors the gateway's /policyz JSON document: the fleet
+// generation plus the per-origin document versions. The full documents
+// travel too (the Policies map), but the watcher only needs the
+// generation; escudo-inspect renders the rest.
+type PolicyzDoc struct {
+	Generation uint64                     `json:"generation"`
+	Policies   map[string]json.RawMessage `json:"policies"`
+	Revs       map[string]uint64          `json:"revs,omitempty"`
+}
+
+// WatcherConfig wires a Watcher to one gateway's admin plane.
+type WatcherConfig struct {
+	// Addr is the gateway's admin host:port (the listener address).
+	Addr string
+	// Scheme is "http" or "https"; empty means http.
+	Scheme string
+	// Client performs the polls; nil uses a default with a timeout
+	// slightly above the long-poll hold (the request must outlive it).
+	Client *http.Client
+	// HoldFor is how long the gateway is asked to park a long poll
+	// before answering "unchanged"; 0 means 10s.
+	HoldFor time.Duration
+	// PollInterval is the fallback cadence against gateways that answer
+	// ?wait immediately (or on transport errors); 0 means 250ms.
+	PollInterval time.Duration
+	// OnFlip, when set, runs on the watcher goroutine after each
+	// observed generation bump (cache invalidation, MonitorFactory
+	// rebuilds). The published Generation() is advanced before OnFlip
+	// runs, so new page loads during the callback already pin the new
+	// generation.
+	OnFlip func(gen uint64)
+}
+
+// WatcherStats counts the subscription's wire activity.
+type WatcherStats struct {
+	// Polls is the number of /policyz fetches issued.
+	Polls uint64 `json:"polls"`
+	// Flips is the number of generation bumps observed.
+	Flips uint64 `json:"flips"`
+	// Errors counts failed fetches (the watcher backs off and retries;
+	// the last known generation stays published).
+	Errors uint64 `json:"errors"`
+}
+
+// Watcher subscribes to one gateway's policy generation: it long-polls
+// /policyz?wait=gen, republishes the observed generation through an
+// atomic (sessions read Generation() once per page load), and fires
+// OnFlip per bump. The propagation contract is deliberately eventual:
+// until the watcher observes a flip, its consumers keep running —
+// correctly — under the generation they last saw.
+type Watcher struct {
+	cfg    WatcherConfig
+	gen    atomic.Uint64
+	synced atomic.Bool
+	base   string
+
+	polls  atomic.Uint64
+	flips  atomic.Uint64
+	errors atomic.Uint64
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewWatcher builds a watcher; call Start to begin polling.
+func NewWatcher(cfg WatcherConfig) *Watcher {
+	if cfg.Scheme == "" {
+		cfg.Scheme = "http"
+	}
+	if cfg.HoldFor <= 0 {
+		cfg.HoldFor = 10 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.HoldFor + 5*time.Second}
+	}
+	return &Watcher{cfg: cfg, base: cfg.Scheme + "://" + cfg.Addr + "/policyz"}
+}
+
+// Generation returns the last generation observed from the gateway —
+// what a session pins at page-load time.
+func (w *Watcher) Generation() uint64 { return w.gen.Load() }
+
+// Stats snapshots the poll counters.
+func (w *Watcher) Stats() WatcherStats {
+	return WatcherStats{Polls: w.polls.Load(), Flips: w.flips.Load(), Errors: w.errors.Load()}
+}
+
+// fetch performs one poll. wait>0 asks the gateway to park the request
+// until its generation exceeds wait (bounded by HoldFor).
+func (w *Watcher) fetch(ctx context.Context, wait uint64) (uint64, error) {
+	u := w.base
+	if wait > 0 {
+		u += "?wait=" + fmt.Sprint(wait) + "&timeout=" + fmt.Sprint(w.cfg.HoldFor.Milliseconds())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	w.polls.Add(1)
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("ctlplane: %s answered %d", u, resp.StatusCode)
+	}
+	var doc PolicyzDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, fmt.Errorf("ctlplane: decoding /policyz: %w", err)
+	}
+	return doc.Generation, nil
+}
+
+// Sync performs one synchronous poll and publishes the result; Start
+// calls it first so consumers see the gateway's current generation
+// before any load is generated.
+func (w *Watcher) Sync(ctx context.Context) (uint64, error) {
+	gen, err := w.fetch(ctx, 0)
+	if err != nil {
+		w.errors.Add(1)
+		return w.gen.Load(), err
+	}
+	w.publish(gen)
+	return gen, nil
+}
+
+// publish advances the observed generation and fires OnFlip once per
+// bump. The very first observation is a sync, not a flip — nothing ran
+// under an earlier generation, so there is nothing to invalidate.
+func (w *Watcher) publish(gen uint64) {
+	first := w.synced.CompareAndSwap(false, true)
+	if gen <= w.gen.Load() && !first {
+		return
+	}
+	w.gen.Store(gen)
+	if !first {
+		w.flips.Add(1)
+		if w.cfg.OnFlip != nil {
+			w.cfg.OnFlip(gen)
+		}
+	}
+}
+
+// Start syncs once, then long-polls on a background goroutine until
+// Stop. The long poll is self-pacing — the gateway parks unchanged
+// polls for HoldFor — so the fallback sleep only engages when answers
+// come back immediately (older gateway, error).
+func (w *Watcher) Start(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	w.cancel = cancel
+	w.done = make(chan struct{})
+	if _, err := w.Sync(ctx); err != nil {
+		cancel()
+		close(w.done)
+		return err
+	}
+	go w.loop(ctx)
+	return nil
+}
+
+func (w *Watcher) loop(ctx context.Context) {
+	defer close(w.done)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		start := time.Now()
+		gen, err := w.fetch(ctx, w.gen.Load())
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.errors.Add(1)
+		} else {
+			w.publish(gen)
+		}
+		// Long polls that parked for a while may fire again right away;
+		// instant answers (gateway without ?wait support, errors) fall
+		// back to the periodic cadence.
+		if time.Since(start) < w.cfg.PollInterval {
+			select {
+			case <-time.After(w.cfg.PollInterval):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// Stop cancels the poll loop and waits for it to exit.
+func (w *Watcher) Stop() {
+	w.once.Do(func() {
+		if w.cancel != nil {
+			w.cancel()
+			<-w.done
+		}
+	})
+}
+
+// ReloadResult is the gateway's answer to POST /policyz/reload.
+type ReloadResult struct {
+	Origin     string `json:"origin"`
+	Generation uint64 `json:"generation"`
+	Rev        uint64 `json:"rev"`
+}
+
+// PostReload pushes a policy document to a gateway's admin
+// POST /policyz/reload and returns the accepted generation. It is the
+// fleet-push client half: escudo-serve's control section and
+// escudo-inspect both drive flips through it.
+func PostReload(ctx context.Context, client *http.Client, scheme, addr string, doc []byte) (ReloadResult, error) {
+	var res ReloadResult
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if scheme == "" {
+		scheme = "http"
+	}
+	u := scheme + "://" + addr + "/policyz/reload"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(doc))
+	if err != nil {
+		return res, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error != "" {
+			return res, fmt.Errorf("ctlplane: reload rejected (%d): %s", resp.StatusCode, e.Error)
+		}
+		return res, fmt.Errorf("ctlplane: %s answered %d", u, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return res, fmt.Errorf("ctlplane: decoding reload result: %w", err)
+	}
+	return res, nil
+}
+
+// FetchPolicyz reads a gateway's /policyz document once.
+func FetchPolicyz(ctx context.Context, client *http.Client, scheme, addr string) (PolicyzDoc, error) {
+	return fetchPolicyzDoc(ctx, client, scheme, addr, 0, 0)
+}
+
+// FetchPolicyzWait long-polls /policyz: the gateway parks the request
+// up to hold until its generation exceeds after, then answers with
+// the full document (the unchanged document, if the hold expires).
+// The streaming half of escudo-inspect -policyz -watch.
+func FetchPolicyzWait(ctx context.Context, client *http.Client, scheme, addr string, after uint64, hold time.Duration) (PolicyzDoc, error) {
+	if client == nil {
+		client = &http.Client{Timeout: hold + 5*time.Second}
+	}
+	return fetchPolicyzDoc(ctx, client, scheme, addr, after, hold)
+}
+
+func fetchPolicyzDoc(ctx context.Context, client *http.Client, scheme, addr string, after uint64, hold time.Duration) (PolicyzDoc, error) {
+	var doc PolicyzDoc
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if scheme == "" {
+		scheme = "http"
+	}
+	u := scheme + "://" + addr + "/policyz"
+	if after > 0 {
+		u += "?wait=" + fmt.Sprint(after) + "&timeout=" + fmt.Sprint(hold.Milliseconds())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return doc, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("ctlplane: %s answered %d", u, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return doc, fmt.Errorf("ctlplane: decoding /policyz: %w", err)
+	}
+	return doc, nil
+}

@@ -241,6 +241,10 @@ type Stats struct {
 	// Decisions counts reference-monitor decisions recorded by every
 	// session's audit log.
 	Decisions uint64
+	// GenMix folds every session's per-page policy-generation audit
+	// (core.AuditLog.GenerationMix): after a live flip, Generations ≥ 2
+	// and Mixed must still be 0 — no page load saw two generations.
+	GenMix core.GenerationMix
 	// Cache snapshots the shared decision cache (zero when Uncached).
 	Cache core.CacheStats
 	// Batch is the delta of the batched-authorization counters since
@@ -268,6 +272,7 @@ func (p *Pool) Stats() Stats {
 		}
 		s.mu.Unlock()
 		st.Decisions += uint64(s.Browser.Audit.Len())
+		st.GenMix = st.GenMix.Add(s.Browser.Audit.GenerationMix())
 	}
 	st.P50 = st.Hist.Quantile(50)
 	st.P99 = st.Hist.Quantile(99)

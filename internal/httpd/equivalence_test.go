@@ -1,15 +1,21 @@
 package httpd
 
 import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/url"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/apps/phpbb"
 	"repro/internal/attack"
 	"repro/internal/browser"
 	"repro/internal/core"
+	"repro/internal/ctlplane"
 	"repro/internal/mashup"
 	"repro/internal/nonce"
 	"repro/internal/origin"
@@ -372,6 +378,160 @@ func TestAttackCorpusOverSockets(t *testing.T) {
 				t.Errorf("Escudo over sockets neutralized %d/%d", neutralized, len(attack.Corpus()))
 			}
 		})
+	}
+}
+
+// TestGenerationIsolationEquivalence extends the transport-
+// independence invariant to the control plane: a policy version push
+// lands mid-session on every leg — the in-memory store, a plain
+// gateway, a TLS/h2 gateway, and a TLS/h1 gateway — and each leg must
+// produce the identical verdict sequence with zero mixed-generation
+// pages (standing invariant 8: a page load observes exactly one
+// policy generation, whatever the transport).
+func TestGenerationIsolationEquivalence(t *testing.T) {
+	type leg struct {
+		name string
+		b    *browser.Browser
+	}
+	var legs []leg
+
+	// The post-flip half re-browses the whole substrate on the already
+	// logged-in session (driveFixedWorkload's login form is gone once
+	// the session is established).
+	drivePostFlip := func(t *testing.T, b *browser.Browser, bench, forumO origin.Origin, topic int) {
+		t.Helper()
+		for _, path := range scenarios.Paths() {
+			if _, err := b.Navigate(bench.URL(path)); err != nil {
+				t.Fatalf("post-flip navigate %s: %v", path, err)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := b.Navigate(forumO.URL("/")); err != nil {
+				t.Fatalf("post-flip forum browse: %v", err)
+			}
+			if _, err := b.Navigate(forumO.URL(fmt.Sprintf("/viewtopic?t=%d", topic))); err != nil {
+				t.Fatalf("post-flip viewtopic: %v", err)
+			}
+		}
+	}
+
+	// Leg 1: in-memory deployment pinning generations straight off a
+	// local store.
+	{
+		n, bench, forumO, topic := buildSubstrate()
+		store := ctlplane.NewStore()
+		doc := scenarios.Policy(bench)
+		if _, _, err := store.Set(doc); err != nil {
+			t.Fatalf("seed store: %v", err)
+		}
+		b := browser.New(n, browser.Options{Mode: browser.ModeEscudo, PolicyGen: store.Generation})
+		driveFixedWorkload(t, b, bench, forumO, topic)
+		// The version push: same document content (the flip must not
+		// change verdicts), new generation.
+		if _, _, err := store.Set(doc); err != nil {
+			t.Fatalf("flip store: %v", err)
+		}
+		drivePostFlip(t, b, bench, forumO, topic)
+		legs = append(legs, leg{"memory", b})
+	}
+
+	// Gateway legs: the generation travels the admin plane — a watcher
+	// long-polls /policyz and the flip arrives via POST /policyz/reload.
+	runGatewayLeg := func(name string, withTLS, forceH1 bool) {
+		n, bench, forumO, topic := buildSubstrate()
+		doc := scenarios.Policy(bench)
+		cfg := Config{Origins: map[string]OriginConfig{bench.String(): {Policy: &doc}}}
+		var (
+			transport web.Transport
+			addr      string
+			client    *http.Client
+			scheme    = "http"
+		)
+		if withTLS {
+			g, ca := startGatewayTLS(t, n, cfg)
+			addr, scheme = g.Addr(), "https"
+			client = &http.Client{
+				Transport: &http.Transport{TLSClientConfig: &tls.Config{RootCAs: ca.Pool(), MinVersion: tls.VersionTLS12}},
+				Timeout:   15 * time.Second,
+			}
+			if forceH1 {
+				ct := NewClientTransportTLSH1(addr, ca.Pool())
+				defer ct.Close()
+				transport = ct
+			} else {
+				ct := NewClientTransportTLS(addr, ca.Pool())
+				defer ct.Close()
+				transport = ct
+			}
+		} else {
+			g := startGateway(t, n, cfg)
+			addr = g.Addr()
+			ct := NewClientTransport(addr)
+			defer ct.Close()
+			transport = ct
+		}
+
+		w := ctlplane.NewWatcher(ctlplane.WatcherConfig{
+			Addr: addr, Scheme: scheme, Client: client,
+			HoldFor: 2 * time.Second, PollInterval: 10 * time.Millisecond,
+		})
+		if err := w.Start(context.Background()); err != nil {
+			t.Fatalf("%s: watcher start: %v", name, err)
+		}
+		defer w.Stop()
+
+		b := browser.New(transport, browser.Options{Mode: browser.ModeEscudo, PolicyGen: w.Generation})
+		driveFixedWorkload(t, b, bench, forumO, topic)
+
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		res, err := ctlplane.PostReload(context.Background(), client, scheme, addr, data)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", name, err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for w.Generation() < res.Generation {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: watcher never observed generation %d", name, res.Generation)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		drivePostFlip(t, b, bench, forumO, topic)
+		legs = append(legs, leg{name, b})
+	}
+	runGatewayLeg("plain http", false, false)
+	runGatewayLeg("tls h2", true, false)
+	runGatewayLeg("tls h1", true, true)
+
+	// Verdict sequences are identical across every leg...
+	ref := legs[0]
+	refLen, refTally := ref.b.Audit.Len(), auditTally(ref.b)
+	if refLen == 0 {
+		t.Fatal("reference leg recorded no decisions; workload broken")
+	}
+	for _, l := range legs[1:] {
+		if got := l.b.Audit.Len(); got != refLen {
+			t.Fatalf("%s decision count diverges across the flip: %s %d, %s %d", l.name, ref.name, refLen, l.name, got)
+		}
+		if got := auditTally(l.b); !reflect.DeepEqual(refTally, got) {
+			t.Fatalf("%s audit tally diverges:\n  %s: %v\n  %s: %v", l.name, ref.name, refTally, l.name, got)
+		}
+	}
+	// ...and no leg let a page load straddle the flip: pages ran under
+	// both generations, none under two at once.
+	for _, l := range legs {
+		mix := l.b.Audit.GenerationMix()
+		if mix.Pages == 0 {
+			t.Fatalf("%s: no page-pinned decisions recorded", l.name)
+		}
+		if mix.Generations != 2 {
+			t.Fatalf("%s: pages ran under %d generations, want both sides of the flip", l.name, mix.Generations)
+		}
+		if mix.Mixed != 0 {
+			t.Fatalf("%s: %d page loads mixed generations", l.name, mix.Mixed)
+		}
 	}
 }
 

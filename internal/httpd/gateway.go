@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ctlplane"
 	"repro/internal/obs"
 	"repro/internal/origin"
 	"repro/internal/policy"
@@ -162,17 +163,58 @@ type Config struct {
 	// admin /tracez endpoint. The driver shares it with the browser
 	// sessions (browser.Options.DecisionRing); a nil ring 404s /tracez.
 	Ring *obs.DecisionRing
+	// Policies, when non-nil, is the control-plane store holding the
+	// fleet's per-origin policy documents. nil gets a private store.
+	// Mount seeds it from OriginConfig.Policy; /policyz serves it
+	// (generation included, ?wait long-polls it); POST /policyz/reload
+	// swaps documents in it live. Enforcement never moves — the store
+	// versions and distributes documents, the browser-side monitors
+	// decide.
+	Policies *ctlplane.Store
 }
 
 // vhost is one mounted origin: its identity, its bounded queue, and
 // its per-origin traffic counters (registry handles labeled by
-// origin, so /varz breaks traffic down per origin for free).
+// origin, so /varz breaks traffic down per origin for free). stop is
+// closed by Unmount, terminating this origin's workers — and rescuing
+// any requester still parked on a queued job — without touching the
+// rest of the fleet.
 type vhost struct {
 	origin  origin.Origin
 	cfg     OriginConfig
 	jobs    chan *job
+	stop    chan struct{}
 	served  *obs.Counter
 	dropped *obs.Counter
+}
+
+// vhostTable is one immutable generation of the mount table, read
+// lock-free on every request via an atomic pointer. Mount and Unmount
+// copy-on-write a fresh table under the mount mutex and swap — the
+// same discipline as web.Network's server table and ctlplane.Store —
+// so the request path never contends with mount churn at thousands of
+// origins.
+type vhostTable struct {
+	byHost   map[string]*vhost        // Host-header key → vhost
+	byOrigin map[origin.Origin]*vhost // one vhost per origin
+}
+
+// emptyVhostTable is the before-first-mount generation.
+var emptyVhostTable = &vhostTable{byHost: map[string]*vhost{}, byOrigin: map[origin.Origin]*vhost{}}
+
+// clone copies the table for a COW mutation.
+func (t *vhostTable) clone() *vhostTable {
+	next := &vhostTable{
+		byHost:   make(map[string]*vhost, len(t.byHost)+2),
+		byOrigin: make(map[origin.Origin]*vhost, len(t.byOrigin)+1),
+	}
+	for k, v := range t.byHost {
+		next.byHost[k] = v
+	}
+	for k, v := range t.byOrigin {
+		next.byOrigin[k] = v
+	}
+	return next
 }
 
 // job carries one translated request to an origin worker.
@@ -230,14 +272,16 @@ func (s Stats) Add(o Stats) Stats {
 
 // Gateway serves a web substrate over a real net/http listener.
 type Gateway struct {
-	cfg   Config
-	inner web.Transport
-	cache *pageCache
+	cfg      Config
+	inner    web.Transport
+	cache    *pageCache
+	policies *ctlplane.Store
 
-	mu      sync.RWMutex
-	vhosts  map[string]*vhost        // Host-header key → vhost
-	mounts  map[origin.Origin]*vhost // one vhost per origin
-	started bool
+	// mountMu serializes mount-table mutations (Mount, Unmount, Start);
+	// the request path reads table lock-free.
+	mountMu sync.Mutex
+	table   atomic.Pointer[vhostTable]
+	started bool // under mountMu
 
 	srv      *http.Server
 	ln       net.Listener
@@ -269,11 +313,14 @@ func New(cfg Config) (*Gateway, error) {
 		cfg.DefaultQueueDepth = 64
 	}
 	g := &Gateway{
-		cfg:    cfg,
-		inner:  cfg.Inner,
-		vhosts: map[string]*vhost{},
-		mounts: map[origin.Origin]*vhost{},
-		quit:   make(chan struct{}),
+		cfg:      cfg,
+		inner:    cfg.Inner,
+		policies: cfg.Policies,
+		quit:     make(chan struct{}),
+	}
+	g.table.Store(emptyVhostTable)
+	if g.policies == nil {
+		g.policies = ctlplane.NewStore()
 	}
 	g.reg = cfg.Obs
 	if g.reg == nil {
@@ -282,6 +329,9 @@ func New(cfg Config) (*Gateway, error) {
 	g.served = g.reg.Counter("escudo_gateway_served_total")
 	g.rejected = g.reg.Counter("escudo_gateway_rejected_total")
 	g.maxDepthG = g.reg.Gauge("escudo_gateway_queue_depth_max")
+	// The fleet policy-generation counter mirrors into /varz on every
+	// accepted swap.
+	g.policies.SetGauge(g.reg.Gauge("escudo_policy_generation"))
 	if !cfg.DisableCache {
 		g.cache = newPageCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes)
 	}
@@ -298,11 +348,14 @@ func hostKey(o origin.Origin) string {
 }
 
 // Mount registers an origin for virtual hosting with the queue shape
-// from Config.Origins (or the defaults). Mount before Start. Only
-// http-scheme origins can be mounted: origins are logical http://
-// identities throughout the substrate, and TLS (Config.TLS) is
-// applied at the transport layer without changing them — that is
-// what keeps verdicts identical across plain and https deployments.
+// from Config.Origins (or the defaults). Mounting is live: before
+// Start it stages the origin; after Start the origin's workers spawn
+// immediately and the COW table swap makes it routable without
+// stalling a single in-flight request. Only http-scheme origins can
+// be mounted: origins are logical http:// identities throughout the
+// substrate, and TLS (Config.TLS) is applied at the transport layer
+// without changing them — that is what keeps verdicts identical
+// across plain and https deployments.
 func (g *Gateway) Mount(o origin.Origin) error {
 	if pre, ok := g.cfg.Origins[o.String()]; ok {
 		return g.MountOpts(o, pre)
@@ -334,26 +387,73 @@ func (g *Gateway) MountOpts(o origin.Origin, cfg OriginConfig) error {
 			return fmt.Errorf("httpd: mounting %s: policy document names origin %q", o, cfg.Policy.Origin)
 		}
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.started {
-		return errors.New("httpd: Mount after Start")
+	g.mountMu.Lock()
+	defer g.mountMu.Unlock()
+	if _, exists := g.table.Load().byOrigin[o]; exists {
+		return fmt.Errorf("httpd: %s already mounted", o)
 	}
 	vh := &vhost{
 		origin:  o,
 		cfg:     cfg,
 		jobs:    make(chan *job, cfg.QueueDepth),
+		stop:    make(chan struct{}),
 		served:  g.reg.Counter("escudo_origin_served_total", obs.L("origin", o.String())),
 		dropped: g.reg.Counter("escudo_origin_dropped_total", obs.L("origin", o.String())),
 	}
-	g.mounts[o] = vh
-	g.vhosts[hostKey(o)] = vh
+	next := g.table.Load().clone()
+	next.byOrigin[o] = vh
+	next.byHost[hostKey(o)] = vh
 	// A client that spells the default port explicitly still lands on
 	// the same origin.
 	if o.Port == 80 {
-		g.vhosts[o.Host+":80"] = vh
+		next.byHost[o.Host+":80"] = vh
+	}
+	g.table.Store(next)
+	if cfg.Policy != nil {
+		// Seeding the store bumps the fleet generation like any other
+		// swap; the mount is the document's first publication.
+		if _, _, err := g.policies.Set(*cfg.Policy); err != nil {
+			// Unreachable: the document validated above.
+			return fmt.Errorf("httpd: mounting %s: %w", o, err)
+		}
+	}
+	if g.started {
+		g.spawnWorkers(vh)
 	}
 	return nil
+}
+
+// Unmount removes an origin live: the COW table swap makes it
+// unroutable, its workers exit, any requester still parked on its
+// queue is rescued with a no-server answer (the in-memory semantics of
+// an unregistered origin), and its policy document leaves the store.
+// Unmounting an unknown origin is a no-op.
+func (g *Gateway) Unmount(o origin.Origin) {
+	g.mountMu.Lock()
+	defer g.mountMu.Unlock()
+	cur := g.table.Load()
+	vh, ok := cur.byOrigin[o]
+	if !ok {
+		return
+	}
+	next := cur.clone()
+	delete(next.byOrigin, o)
+	for k, v := range next.byHost {
+		if v == vh {
+			delete(next.byHost, k)
+		}
+	}
+	g.table.Store(next)
+	close(vh.stop)
+	g.policies.Remove(o.String())
+}
+
+// spawnWorkers starts one origin's worker pool (mountMu held).
+func (g *Gateway) spawnWorkers(vh *vhost) {
+	for i := 0; i < vh.cfg.Workers; i++ {
+		g.workers.Add(1)
+		go g.work(vh)
+	}
 }
 
 // MountNetwork mounts every origin currently registered on the
@@ -371,14 +471,14 @@ func (g *Gateway) MountNetwork(n *web.Network) error {
 // port), spawns every mounted origin's workers, and serves in the
 // background until Shutdown.
 func (g *Gateway) Start(addr string) error {
-	g.mu.Lock()
+	g.mountMu.Lock()
 	if g.started {
-		g.mu.Unlock()
+		g.mountMu.Unlock()
 		return errors.New("httpd: already started")
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		g.mu.Unlock()
+		g.mountMu.Unlock()
 		return fmt.Errorf("httpd: listen %s: %w", addr, err)
 	}
 	g.ln = ln
@@ -388,13 +488,10 @@ func (g *Gateway) Start(addr string) error {
 	}
 	g.srv = &http.Server{Handler: g, ReadHeaderTimeout: 10 * time.Second}
 	g.started = true
-	for _, vh := range g.mounts {
-		for i := 0; i < vh.cfg.Workers; i++ {
-			g.workers.Add(1)
-			go g.work(vh)
-		}
+	for _, vh := range g.table.Load().byOrigin {
+		g.spawnWorkers(vh)
 	}
-	g.mu.Unlock()
+	g.mountMu.Unlock()
 	// Readiness flips only after every origin's worker pool is up; a
 	// HoldReady gateway additionally waits for SetReady (the driver's
 	// own warm-up gate).
@@ -464,7 +561,8 @@ func (g *Gateway) Stats() Stats {
 }
 
 // work is one origin worker: pull a translated request, round-trip it
-// on the inner transport, hand the result back.
+// on the inner transport, hand the result back. vh.stop ends the pool
+// when the origin is unmounted; g.quit ends every pool at shutdown.
 func (g *Gateway) work(vh *vhost) {
 	defer g.workers.Done()
 	for {
@@ -472,19 +570,25 @@ func (g *Gateway) work(vh *vhost) {
 		case j := <-vh.jobs:
 			resp, err := g.inner.RoundTrip(j.req)
 			j.done <- jobResult{resp: resp, err: err}
+		case <-vh.stop:
+			return
 		case <-g.quit:
 			return
 		}
 	}
 }
 
-// lookupVhost resolves the Host header to a mounted origin.
+// lookupVhost resolves the Host header to a mounted origin — one
+// atomic load, no lock, however many thousands of origins are mounted
+// and however hard Mount/Unmount churn the table.
 func (g *Gateway) lookupVhost(host string) (*vhost, bool) {
-	g.mu.RLock()
-	vh, ok := g.vhosts[strings.ToLower(host)]
-	g.mu.RUnlock()
+	vh, ok := g.table.Load().byHost[strings.ToLower(host)]
 	return vh, ok
 }
+
+// Policies returns the gateway's control-plane store (Config.Policies,
+// or the private one New created).
+func (g *Gateway) Policies() *ctlplane.Store { return g.policies }
 
 // requestHeaderSkip are HTTP-plumbing request headers that in-memory
 // requests never carry; dropping them keeps the translated request —
@@ -624,6 +728,8 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			g.serveTracez(w, r)
 		case "/policyz":
 			g.servePolicyz(w, r)
+		case "/policyz/reload":
+			g.serveReload(w, r)
 		default:
 			if g.cfg.EnablePprof && strings.HasPrefix(r.URL.Path, "/debug/pprof") {
 				servePprof(w, r)
@@ -639,15 +745,19 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // serveOrigin is the mounted-origin path: policy delivery, cache
 // probe, bounded enqueue, worker round trip, response translation.
 func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost) {
-	// Wire delivery of the origin's policy document. The document is
-	// data — the browser-side monitors consume it; the gateway decides
-	// nothing. Origins without a mounted policy fall through to their
-	// handler (which may well serve its own).
-	if r.Method == "GET" && r.URL.Path == PolicyPath && vh.cfg.Policy != nil {
-		g.servePolicyDoc(w, *vh.cfg.Policy)
-		vh.served.Add(1)
-		g.served.Add(1)
-		return
+	// Wire delivery of the origin's policy document — read from the
+	// control-plane store, so a live reload is what PolicyPath serves
+	// from the instant the swap lands. The document is data — the
+	// browser-side monitors consume it; the gateway decides nothing.
+	// Origins without a mounted policy fall through to their handler
+	// (which may well serve its own).
+	if r.Method == "GET" && r.URL.Path == PolicyPath {
+		if p, _, ok := g.policies.Get(vh.origin.String()); ok {
+			g.servePolicyDoc(w, p)
+			vh.served.Add(1)
+			g.served.Add(1)
+			return
+		}
 	}
 	req := translate(r, vh.origin)
 
@@ -703,15 +813,22 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 			break
 		}
 	}
-	// Also watch quit: a deadline-expired Shutdown may stop the
-	// workers while this job is still queued, and an abandoned job
-	// must not strand its handler (done is buffered, so a worker that
-	// did pick the job up can still deliver and move on). Abandoned
-	// jobs and their requests are NOT pooled again — the worker may
-	// still touch both.
+	// Also watch quit and the vhost's own stop: a deadline-expired
+	// Shutdown may stop the workers while this job is still queued, and
+	// a live Unmount retires this origin's pool the same way — in both
+	// cases an abandoned job must not strand its handler (done is
+	// buffered, so a worker that did pick the job up can still deliver
+	// and move on). An unmounted origin answers exactly like an
+	// unregistered one: a marked no-server 502, the in-memory contract.
+	// Abandoned jobs and their requests are NOT pooled again — the
+	// worker may still touch both.
 	var res jobResult
 	select {
 	case res = <-j.done:
+	case <-vh.stop:
+		g.gatewayError(w, gatewayNoServer, http.StatusBadGateway,
+			fmt.Sprintf("origin %s unmounted", vh.origin))
+		return
 	case <-g.quit:
 		g.gatewayError(w, gatewayShuttingDown, http.StatusServiceUnavailable, "gateway shutting down")
 		return
@@ -820,9 +937,7 @@ type healthzJSON struct {
 }
 
 func (g *Gateway) serveHealthz(w http.ResponseWriter) {
-	g.mu.RLock()
-	origins := len(g.mounts)
-	g.mu.RUnlock()
+	origins := len(g.table.Load().byOrigin)
 	doc := healthzJSON{Status: "ok", Ready: true, TLS: g.TLS(), Origins: origins, Addr: g.Addr(), Version: obs.Version()}
 	if !g.ready.Load() {
 		doc.Status = "starting"
@@ -871,8 +986,9 @@ type metricszJSON struct {
 
 func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
 	doc := metricszJSON{Gateway: g.Stats(), Version: obs.Version()}
-	g.mu.RLock()
-	for _, vh := range g.mounts {
+	table := g.table.Load()
+	doc.Origins = make([]vhostJSON, 0, len(table.byOrigin))
+	for _, vh := range table.byOrigin {
 		doc.Origins = append(doc.Origins, vhostJSON{
 			Origin:   vh.origin.String(),
 			Workers:  vh.cfg.Workers,
@@ -883,7 +999,6 @@ func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
 			Dropped:  vh.dropped.Value(),
 		})
 	}
-	g.mu.RUnlock()
 	sort.Slice(doc.Origins, func(a, b int) bool { return doc.Origins[a].Origin < doc.Origins[b].Origin })
 	if g.cfg.StatsFunc != nil {
 		doc.Engine = g.cfg.StatsFunc()
@@ -956,36 +1071,120 @@ func (g *Gateway) servePolicyDoc(w http.ResponseWriter, p policy.Policy) {
 	w.Write(data) //nolint:errcheck // client went away; nothing to do
 }
 
-// servePolicyz is the admin inspection endpoint: the policy documents
-// of every mounted origin that has one, keyed by origin. With
-// ?origin=http://forum.example it returns that origin's document alone
-// (404 when the origin is unmounted or policy-less).
+// policyzJSON is the /policyz document: the fleet policy generation,
+// every mounted document keyed by origin, and each origin's revision
+// counter. The shape matches ctlplane.PolicyzDoc — watchers decode the
+// generation, escudo-inspect renders the rest.
+type policyzJSON struct {
+	Generation uint64                   `json:"generation"`
+	Policies   map[string]policy.Policy `json:"policies"`
+	Revs       map[string]uint64        `json:"revs"`
+}
+
+// maxPolicyzHold bounds how long a ?wait long poll may park.
+const maxPolicyzHold = 30 * time.Second
+
+// servePolicyz is the admin control-plane endpoint. Plain GET returns
+// the fleet generation plus every mounted policy document and its
+// revision. ?origin=http://forum.example returns that origin's
+// document alone (404 when it has none). ?wait=N (&timeout=ms, capped
+// at 30s) parks the request until the fleet generation exceeds N —
+// the long-poll half of ctlplane.Watcher — and then answers with the
+// current snapshot either way.
 func (g *Gateway) servePolicyz(w http.ResponseWriter, r *http.Request) {
-	if want := r.URL.Query().Get("origin"); want != "" {
-		o, err := origin.Parse(want)
-		if err != nil {
+	q := r.URL.Query()
+	if want := q.Get("origin"); want != "" {
+		if _, err := origin.Parse(want); err != nil {
 			http.Error(w, fmt.Sprintf("bad origin %q", want), http.StatusBadRequest)
 			return
 		}
-		g.mu.RLock()
-		vh, ok := g.mounts[o]
-		g.mu.RUnlock()
-		if !ok || vh.cfg.Policy == nil {
+		p, _, ok := g.policies.Get(want)
+		if !ok {
 			http.NotFound(w, r)
 			return
 		}
-		g.servePolicyDoc(w, *vh.cfg.Policy)
+		g.servePolicyDoc(w, p)
 		return
 	}
-	docs := map[string]policy.Policy{}
-	g.mu.RLock()
-	for _, vh := range g.mounts {
-		if vh.cfg.Policy != nil {
-			docs[vh.origin.String()] = *vh.cfg.Policy
+	if s := q.Get("wait"); s != "" {
+		var after uint64
+		if _, err := fmt.Sscanf(s, "%d", &after); err != nil {
+			http.Error(w, fmt.Sprintf("bad wait %q", s), http.StatusBadRequest)
+			return
 		}
+		hold := 10 * time.Second
+		if ts := q.Get("timeout"); ts != "" {
+			var ms int64
+			if _, err := fmt.Sscanf(ts, "%d", &ms); err != nil || ms < 0 {
+				http.Error(w, fmt.Sprintf("bad timeout %q", ts), http.StatusBadRequest)
+				return
+			}
+			hold = time.Duration(ms) * time.Millisecond
+		}
+		if hold > maxPolicyzHold {
+			hold = maxPolicyzHold
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), hold)
+		g.policies.Wait(ctx, after)
+		cancel()
 	}
-	g.mu.RUnlock()
-	writeJSON(w, docs)
+	snap := g.policies.Snapshot()
+	doc := policyzJSON{
+		Generation: snap.Gen,
+		Policies:   make(map[string]policy.Policy, snap.Len()),
+		Revs:       make(map[string]uint64, snap.Len()),
+	}
+	snap.Each(func(o string, e ctlplane.Entry) {
+		doc.Policies[o] = e.Policy
+		doc.Revs[o] = e.Rev
+	})
+	writeJSON(w, doc)
+}
+
+// maxReloadBytes bounds a reload request body.
+const maxReloadBytes = 1 << 20
+
+// reloadError answers a rejected reload with a JSON error document.
+func reloadError(w http.ResponseWriter, status int, msg string) {
+	writeJSONStatus(w, status, map[string]string{"error": msg})
+}
+
+// serveReload is POST /policyz/reload: parse the posted policy
+// document, require its origin to be mounted, and swap it into the
+// control-plane store — validation runs strictly before the swap, so a
+// rejected document leaves the old policy mounted at the old
+// generation. Like every admin endpoint it answers only on the
+// listener's own address; a web-origin Host header can never reach it.
+func (g *Gateway) serveReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		reloadError(w, http.StatusMethodNotAllowed, "POST a policy document")
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxReloadBytes))
+	if err != nil {
+		reloadError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	doc, err := policy.Parse(data)
+	if err != nil {
+		reloadError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	o, err := origin.Parse(doc.Origin)
+	if err != nil {
+		reloadError(w, http.StatusUnprocessableEntity, fmt.Sprintf("policy origin: %v", err))
+		return
+	}
+	if _, mounted := g.table.Load().byOrigin[o]; !mounted {
+		reloadError(w, http.StatusNotFound, fmt.Sprintf("origin %s not mounted", o))
+		return
+	}
+	gen, rev, err := g.policies.Set(doc)
+	if err != nil {
+		reloadError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, ctlplane.ReloadResult{Origin: doc.Origin, Generation: gen, Rev: rev})
 }
 
 func writeJSON(w http.ResponseWriter, doc any) {

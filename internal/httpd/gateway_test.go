@@ -380,7 +380,7 @@ func TestQueueOverflowReturns503(t *testing.T) {
 	}
 	wg.Add(1)
 	go func() { defer wg.Done(); codes <- get() }()
-	vh := g.mounts[slow]
+	vh := g.table.Load().byOrigin[slow]
 	deadline := time.Now().Add(5 * time.Second)
 	for len(vh.jobs) < 1 {
 		if time.Now().After(deadline) {

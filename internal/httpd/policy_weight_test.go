@@ -60,14 +60,21 @@ func TestPolicyWireDelivery(t *testing.T) {
 		t.Fatalf("policy-less origin hijacked: %d %q", resp.StatusCode, body)
 	}
 
-	// Admin /policyz lists every mounted document...
+	// Admin /policyz lists every mounted document under the fleet
+	// generation (1: the mount's seed publication was the only swap)...
 	resp = rawGet(t, g, g.Addr(), "/policyz", nil)
-	var docs map[string]policy.Policy
-	if err := json.Unmarshal([]byte(readBody(t, resp)), &docs); err != nil {
+	var listing policyzJSON
+	if err := json.Unmarshal([]byte(readBody(t, resp)), &listing); err != nil {
 		t.Fatalf("policyz: %v", err)
 	}
-	if len(docs) != 1 || !docs[forum.String()].Equal(doc) {
-		t.Fatalf("policyz = %+v", docs)
+	if listing.Generation != 1 {
+		t.Fatalf("policyz generation = %d, want 1", listing.Generation)
+	}
+	if len(listing.Policies) != 1 || !listing.Policies[forum.String()].Equal(doc) {
+		t.Fatalf("policyz = %+v", listing.Policies)
+	}
+	if listing.Revs[forum.String()] != 1 {
+		t.Fatalf("policyz revs = %+v, want forum at 1", listing.Revs)
 	}
 	// ...and answers per-origin queries.
 	resp = rawGet(t, g, g.Addr(), "/policyz?origin=http://forum.example", nil)
@@ -130,7 +137,7 @@ func TestAdmissionWeightsShapeQueues(t *testing.T) {
 	}
 	want := map[origin.Origin][2]int{a: {2, 8}, b: {6, 24}, c: {1, 2}}
 	for o, shape := range want {
-		vh := g.mounts[o]
+		vh := g.table.Load().byOrigin[o]
 		if vh.cfg.Workers != shape[0] || cap(vh.jobs) != shape[1] {
 			t.Errorf("%s: workers=%d queue=%d, want %v", o, vh.cfg.Workers, cap(vh.jobs), shape)
 		}
@@ -204,7 +211,7 @@ func TestOverflowFairnessAcrossWeights(t *testing.T) {
 				t.Fatalf("%s worker %d never started", o, i)
 			}
 		}
-		vh := g.mounts[o]
+		vh := g.table.Load().byOrigin[o]
 		for i := 0; i < depth; i++ {
 			wg.Add(1)
 			go func() { defer wg.Done(); get(hostKey(o)) }()
@@ -231,7 +238,8 @@ func TestOverflowFairnessAcrossWeights(t *testing.T) {
 
 	// Fairness: the drops landed on the origin that overflowed, not on
 	// its neighbor, and the weighted origin absorbed twice the traffic.
-	lightVH, heavyVH := g.mounts[light], g.mounts[heavy]
+	table := g.table.Load()
+	lightVH, heavyVH := table.byOrigin[light], table.byOrigin[heavy]
 	if lightVH.dropped.Value() != 1 || heavyVH.dropped.Value() != 1 {
 		t.Fatalf("dropped: light=%d heavy=%d, want 1 each",
 			lightVH.dropped.Value(), heavyVH.dropped.Value())

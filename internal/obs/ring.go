@@ -18,6 +18,9 @@ type DecisionEvent struct {
 	// ring — the filterable dimensions of /tracez.
 	Origin string `json:"origin"`
 	Ring   int    `json:"ring"`
+	// Gen is the policy generation the deciding page load was pinned
+	// to; zero when no control plane stamped the decision.
+	Gen uint64 `json:"gen,omitempty"`
 	// Allowed and Rule are the verdict.
 	Allowed bool   `json:"allowed"`
 	Rule    string `json:"rule"`

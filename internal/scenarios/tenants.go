@@ -1,0 +1,33 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/internal/origin"
+	"repro/internal/web"
+)
+
+// TenantOrigin returns the i-th template-stamped tenant origin
+// ("http://tenant-0042.example"). The multi-tenant gateway scale runs
+// mount thousands of these over one shared scenario handler — the
+// paper's "thousands of origins behind one deployment" shape without
+// thousands of handler copies.
+func TenantOrigin(i int) origin.Origin {
+	return origin.MustParse(fmt.Sprintf("http://tenant-%04d.example", i))
+}
+
+// RegisterTenants registers count template-stamped tenant origins on
+// the network, every one serving the shared scenario handler, and
+// returns them in index order. Each tenant gets its own policy
+// document from Policy — per-origin identity, per-origin policy, one
+// body of content.
+func RegisterTenants(n *web.Network, count int) []origin.Origin {
+	h := Handler()
+	out := make([]origin.Origin, 0, count)
+	for i := 0; i < count; i++ {
+		o := TenantOrigin(i)
+		n.Register(o, h)
+		out = append(out, o)
+	}
+	return out
+}
