@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare fuzz-script lint fmt-check vet serve serve-http serve-cluster reload-smoke soak profile clean
+.PHONY: all build test race bench bench-compare fuzz-script lint fmt-check vet serve serve-http serve-cluster reload-smoke soak slo-smoke profile clean
 
 all: build lint test
 
@@ -83,6 +83,22 @@ soak:
 	$(GO) run -race ./cmd/escudo-serve -sessions 4 -iters 1 -phpbb-iters 2 -mixed-iters 2 \
 		-attacks=false -http 127.0.0.1:0 -soak $(SOAK) -out BENCH_engine.soak.json
 
+# Open-loop SLO smoke: SLO_DURATION of seeded Poisson arrivals with
+# login/logout churn against the loopback gateway, no coordinated
+# omission. Deliberately NOT under -race — the race detector inflates
+# latency ~10x, which would make the p99 budget and the leak window
+# meaningless. CI jq-gates the slo section of the report (leak verdict
+# clean, p99 within budget) and runs the escudo-compare SLO gate.
+SLO_RATE ?= 200
+SLO_DURATION ?= 30s
+SLO_CHURN ?= 20
+SLO_P99_MS ?= 250
+slo-smoke:
+	$(GO) run ./cmd/escudo-serve -sessions 4 -iters 1 -phpbb-iters 1 -mixed-iters 1 \
+		-script-iters 0 -attacks=false -http 127.0.0.1:0 \
+		-openloop rate=$(SLO_RATE),duration=$(SLO_DURATION),churn=$(SLO_CHURN),p99=$(SLO_P99_MS) \
+		-out BENCH_engine.slo.json
+
 # Run the driver fresh and print phase-by-phase p50/p99 deltas against
 # the committed BENCH_engine.json. Override NEW_BENCH/OLD_BENCH to
 # compare arbitrary reports.
@@ -106,5 +122,5 @@ profile:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_engine.new.json BENCH_engine.soak.json BENCH_engine.control.json
+	rm -f BENCH_engine.new.json BENCH_engine.soak.json BENCH_engine.control.json BENCH_engine.slo.json
 	rm -rf profiles

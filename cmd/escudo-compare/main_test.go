@@ -342,6 +342,189 @@ func TestCompareObsSection(t *testing.T) {
 	}
 }
 
+const oldSLOJSON = `{
+  "sessions": 8, "mode": "escudo", "gomaxprocs": 1, "total_ms": 60,
+  "phases": [],
+  "slo": {
+    "target_rate": 200, "offered_rate": 195, "achieved_rate": 190,
+    "duration_sec": 30, "dropped": 2, "errors": 0, "error_fraction": 0,
+    "p50_ms": 1.0, "p99_ms": 8.0, "p999_ms": 20.0,
+    "p99_budget_ms": 250, "p99_within_budget": true,
+    "stages": {
+      "handler": {"p50_ms": 0.5, "p99_ms": 4.0, "p999_ms": 10.0, "count": 5000}
+    },
+    "leak": {"slope_bytes_per_sec": 100, "growth_fraction": 0.01,
+             "window_sec": 29, "points": 140, "leak_suspected": false}
+  }
+}`
+
+const newSLOJSON = `{
+  "sessions": 8, "mode": "escudo", "gomaxprocs": 1, "total_ms": 55,
+  "phases": [],
+  "slo": {
+    "target_rate": 200, "offered_rate": 198, "achieved_rate": 196,
+    "duration_sec": 30, "dropped": 1, "errors": 0, "error_fraction": 0,
+    "p50_ms": 0.9, "p99_ms": 9.0, "p999_ms": 18.0,
+    "p99_budget_ms": 250, "p99_within_budget": true,
+    "stages": {
+      "handler": {"p50_ms": 0.4, "p99_ms": 3.5, "p999_ms": 9.0, "count": 5200}
+    },
+    "leak": {"slope_bytes_per_sec": 80, "growth_fraction": 0.01,
+             "window_sec": 29, "points": 140, "leak_suspected": false}
+  }
+}`
+
+// sloVariant patches newSLOJSON for the gate cases.
+func sloVariant(t *testing.T, old, new string) string {
+	t.Helper()
+	out := strings.Replace(newSLOJSON, old, new, 1)
+	if out == newSLOJSON {
+		t.Fatalf("variant pattern %q not found", old)
+	}
+	return out
+}
+
+// TestCompareSLOSection pins the one section with teeth: a clean pair
+// passes, and each gate condition — dirty leak verdict, missed p99
+// budget, p99 regression past the noise envelope — fails the run
+// after printing its diff. Small regressions inside the envelope
+// stay advisory.
+func TestCompareSLOSection(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(oldPath, []byte(oldSLOJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runPair := func(t *testing.T, newDoc string) (string, error) {
+		t.Helper()
+		newPath := filepath.Join(dir, "new.json")
+		if err := os.WriteFile(newPath, []byte(newDoc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		outPath := filepath.Join(dir, "out.txt")
+		f, err := os.Create(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runErr := run([]string{oldPath, newPath}, f)
+		f.Close()
+		data, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data), runErr
+	}
+
+	// Clean pair: diff prints, gate passes.
+	out, err := runPair(t, newSLOJSON)
+	if err != nil {
+		t.Fatalf("clean pair failed the gate: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out, "slo: offered 195.000 → 198.000") {
+		t.Errorf("missing offered-rate delta in:\n%s", out)
+	}
+	if !strings.Contains(out, "8.000 → 9.000 (+12.5%)") {
+		t.Errorf("missing total p99 delta in:\n%s", out)
+	}
+	if !strings.Contains(out, "handler") {
+		t.Errorf("missing per-stage row in:\n%s", out)
+	}
+	if !strings.Contains(out, "SLO gate: pass") {
+		t.Errorf("missing gate pass line in:\n%s", out)
+	}
+
+	// Dirty leak verdict fails.
+	out, err = runPair(t, sloVariant(t, `"leak_suspected": false}`, `"leak_suspected": true}`))
+	if err == nil {
+		t.Errorf("dirty leak verdict passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "SLO GATE FAIL: leak verdict dirty") {
+		t.Errorf("leak failure not named in:\n%s", out)
+	}
+
+	// Missed p99 budget fails.
+	out, err = runPair(t, sloVariant(t, `"p99_within_budget": true`, `"p99_within_budget": false`))
+	if err == nil {
+		t.Errorf("missed budget passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "misses the declared 250.0 ms budget") {
+		t.Errorf("budget failure not named in:\n%s", out)
+	}
+
+	// Regression past the envelope (8 → 40 ms: > 2x and > 5 ms) fails.
+	out, err = runPair(t, sloVariant(t, `"p99_ms": 9.0`, `"p99_ms": 40.0`))
+	if err == nil {
+		t.Errorf("5x p99 regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "SLO GATE FAIL: p99 regressed 8.000 → 40.000 ms") {
+		t.Errorf("regression failure not named in:\n%s", out)
+	}
+
+	// Regression inside the envelope (8 → 12 ms: < 2x) stays advisory.
+	out, err = runPair(t, sloVariant(t, `"p99_ms": 9.0`, `"p99_ms": 12.0`))
+	if err != nil {
+		t.Errorf("in-envelope regression tripped the gate: %v\noutput:\n%s", err, out)
+	}
+
+	// One-sided: a new slo section with no old counterpart renders and
+	// still enforces its own declared terms (budget, leak) but has no
+	// regression baseline.
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runPair(t, newSLOJSON)
+	if err != nil {
+		t.Fatalf("one-sided slo diff failed: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out, "slo: old report has none") {
+		t.Errorf("one-sided slo diff not reported in:\n%s", out)
+	}
+}
+
+// TestCompareSLOFromCluster: in -cluster mode the merged slo section
+// lives at cluster.slo; the gate must find it there.
+func TestCompareSLOFromCluster(t *testing.T) {
+	clusterSLO := strings.Replace(newClusterJSON,
+		`"per_worker": [`,
+		`"slo": {
+      "target_rate": 400, "offered_rate": 390, "achieved_rate": 380,
+      "duration_sec": 30, "dropped": 0, "errors": 0, "error_fraction": 0,
+      "p50_ms": 1.0, "p99_ms": 10.0, "p999_ms": 20.0,
+      "p99_budget_ms": 50, "p99_within_budget": false,
+      "leak": null
+    },
+    "per_worker": [`, 1)
+	if clusterSLO == newClusterJSON {
+		t.Fatal("cluster slo splice failed")
+	}
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldClusterJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(clusterSLO), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.txt")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run([]string{oldPath, newPath}, f)
+	f.Close()
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr == nil {
+		t.Errorf("cluster slo over budget passed the gate:\n%s", data)
+	}
+	if !strings.Contains(string(data), "misses the declared 50.0 ms budget") {
+		t.Errorf("cluster slo budget failure not named in:\n%s", data)
+	}
+}
+
 func TestCompareUsageError(t *testing.T) {
 	if err := run([]string{"one.json"}, os.Stdout); err == nil {
 		t.Fatal("want usage error with one argument")

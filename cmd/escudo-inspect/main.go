@@ -9,6 +9,7 @@
 //	escudo-inspect [-maxring N] [-policy policy.json]
 //	               [-query ring:op:id[@guest-origin]] [file]
 //	escudo-inspect -tracez host:port [-trace ID]
+//	escudo-inspect -slowz host:port [-phase NAME]
 //	escudo-inspect -policyz host:port [-watch]
 //
 // With no file, a built-in demonstration page (the paper's Figure 3
@@ -27,6 +28,14 @@
 // can follow one page load's provenance — trace ID, span order,
 // ⟨P ⊳ O⟩ triple, and verdict — without attaching a debugger. -trace
 // narrows the fetch to a single trace ID.
+//
+// -slowz fetches the tail-exemplar ring from a running gateway's admin
+// /slowz endpoint: the slowest retained requests per phase, each with
+// its trace ID and per-stage latency breakdown — so a p99 on a
+// dashboard always resolves to at least one concrete request. -phase
+// narrows the fetch to one phase label. Trace IDs printed here join
+// against -tracez, which shows the same request's authorization
+// decisions.
 //
 // -policyz is the control-plane view: it fetches a running gateway's
 // admin /policyz document and prints the fleet generation plus every
@@ -94,6 +103,8 @@ func run(args []string) error {
 	showRender := fs.Bool("render", false, "also print the text rendering")
 	tracezAddr := fs.String("tracez", "", "fetch decision traces from a live gateway's admin /tracez at this host:port and pretty-print them")
 	traceID := fs.String("trace", "", "with -tracez, show only this trace ID")
+	slowzAddr := fs.String("slowz", "", "fetch tail exemplars from a live gateway's admin /slowz at this host:port and pretty-print them")
+	phase := fs.String("phase", "", "with -slowz, show only this phase label")
 	policyzAddr := fs.String("policyz", "", "fetch the mounted policy fleet from a live gateway's admin /policyz at this host:port and print per-origin versions")
 	watch := fs.Bool("watch", false, "with -policyz, keep long-polling and stream generation flips as they land")
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +116,12 @@ func run(args []string) error {
 	}
 	if *traceID != "" {
 		return fmt.Errorf("-trace needs -tracez (the gateway admin address to fetch from)")
+	}
+	if *slowzAddr != "" {
+		return runSlowz(*slowzAddr, *phase)
+	}
+	if *phase != "" {
+		return fmt.Errorf("-phase needs -slowz (the gateway admin address to fetch from)")
 	}
 	if *policyzAddr != "" {
 		stop := make(chan struct{})
@@ -343,6 +360,70 @@ func runTracez(addr, traceID string) error {
 				e.Span, verdict, e.Rule, e.Principal, e.Object, e.Ring, e.Origin, e.Op)
 		}
 	}
+	return nil
+}
+
+// slowzDoc mirrors the gateway's /slowz JSON document.
+type slowzDoc struct {
+	Phases    []string           `json:"phases"`
+	Size      int                `json:"size"`
+	Exemplars []obs.SlowExemplar `json:"exemplars"`
+}
+
+// runSlowz fetches the tail-exemplar ring from a live gateway and
+// pretty-prints it: one block per exemplar (slowest first, the order
+// the endpoint serves), with the per-stage breakdown in pipeline
+// order and each stage's share of the total.
+func runSlowz(addr, phase string) error {
+	u := "http://" + addr + "/slowz"
+	if phase != "" {
+		u += "?phase=" + url.QueryEscape(phase)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return fmt.Errorf("fetching %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%s answered 404 — is this the gateway's admin host, and does the deployment wire a slow ring?", u)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s answered %d", u, resp.StatusCode)
+	}
+	var doc slowzDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decoding /slowz: %w", err)
+	}
+
+	fmt.Printf("Tail exemplars at %s: phases [%s], slowest %d retained per phase\n",
+		addr, strings.Join(doc.Phases, " "), doc.Size)
+	if len(doc.Exemplars) == 0 {
+		if phase != "" {
+			fmt.Printf("\nNo exemplars for phase %q — known phases: %s\n", phase, strings.Join(doc.Phases, ", "))
+		} else {
+			fmt.Println("\nNo exemplars retained yet — the ring fills as requests complete.")
+		}
+		return nil
+	}
+	for _, ex := range doc.Exemplars {
+		fmt.Printf("\n%.3f ms  trace %s  (phase %s)\n", float64(ex.TotalNs)/1e6, ex.TraceID, ex.Phase)
+		// Stages print in pipeline order, not map order; batch_auth
+		// nests inside script_vm/render, so shares are attribution,
+		// not a partition of the total.
+		for _, name := range obs.StageNames() {
+			ns, ok := ex.Stages[name]
+			if !ok || ns == 0 {
+				continue
+			}
+			share := 0.0
+			if ex.TotalNs > 0 {
+				share = 100 * float64(ns) / float64(ex.TotalNs)
+			}
+			fmt.Printf("    %-12s %10.3f ms  (%5.1f%%)\n", name, float64(ns)/1e6, share)
+		}
+	}
+	fmt.Println("\nTrace IDs join against -tracez: escudo-inspect -tracez " + addr + " -trace <ID>")
 	return nil
 }
 

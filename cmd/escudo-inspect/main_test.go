@@ -100,6 +100,50 @@ func TestRunTracez(t *testing.T) {
 	}
 }
 
+// TestRunSlowz exercises the tail-exemplar mode against a real
+// gateway: -slowz fetches the slow ring from the admin endpoint,
+// -phase narrows it, and the 404/usage failure paths surface as
+// errors.
+func TestRunSlowz(t *testing.T) {
+	slow := obs.NewSlowRing(0)
+	var stages [obs.NumStages]int64
+	stages[obs.StageHandler] = 3_000_000
+	stages[obs.StageBatchAuth] = 1_500_000
+	slow.Record("openloop", "cccc-03", 5*time.Millisecond, stages)
+	slow.Record("gateway", "dddd-04", 2*time.Millisecond, [obs.NumStages]int64{})
+	gw, _, cleanup, err := httpd.WrapNetwork(web.NewNetwork(), httpd.Config{Slow: slow}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	for _, args := range [][]string{
+		{"-slowz", gw.Addr()},
+		{"-slowz", gw.Addr(), "-phase", "openloop"},
+		{"-slowz", gw.Addr(), "-phase", "no-such-phase"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+
+	// A gateway without a slow ring answers 404, which must surface as
+	// a helpful error; -phase without -slowz is a usage error.
+	bare, _, bareCleanup, err := httpd.WrapNetwork(web.NewNetwork(), httpd.Config{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bareCleanup()
+	for _, args := range [][]string{
+		{"-slowz", bare.Addr()},
+		{"-phase", "openloop"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
 // TestRunWithPolicy exercises the -policy path: a unified document is
 // loaded, its ring count labels the page, and delegation queries
 // answer through the mounted §7 layer.

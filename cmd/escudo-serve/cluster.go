@@ -272,7 +272,11 @@ type connectConfig struct {
 	workerID        int
 	httpWorkers     int
 	httpQueue       int
-	out             string
+	// openloop, when rate > 0, appends an open-loop SLO phase against
+	// the remote gateway and writes its mergeable fragment to the
+	// shard.
+	openloop openLoopSpec
+	out      string
 }
 
 // clusterTopicID is the seeded phpBB topic every worker browses.
@@ -349,15 +353,27 @@ func runConnect(cfg connectConfig) error {
 	// runtime sampler feeds the shard's obs section for the supervisor
 	// to merge fleet-wide.
 	reg := obs.NewRegistry()
-	ring := obs.NewDecisionRing(0)
+	ringSize := 0
+	if cfg.openloop.rate > 0 {
+		ringSize = 65536
+	}
+	ring := obs.NewDecisionRing(ringSize)
 	smp := obs.NewSampler(reg, 200*time.Millisecond)
 	smp.Start()
+
+	// Worker-local latency attribution: the stage histograms and slow
+	// ring feed the shard's slo fragment (the supervisor merges the
+	// fleet's).
+	stages := obs.NewStageSet(reg)
+	slowRing := obs.NewSlowRing(0)
 
 	pool, err := engine.NewPool(engine.Config{
 		Sessions:  cfg.sessions,
 		Transport: ct,
 		Options:   browser.Options{Mode: cfg.mode, DecisionRing: ring},
 		Uncached:  cfg.uncached,
+		Stages:    stages,
+		Slow:      slowRing,
 	})
 	if err != nil {
 		return err
@@ -550,6 +566,23 @@ func runConnect(cfg connectConfig) error {
 		}
 	}
 
+	// Open-loop SLO phase: this worker offers its share of the fleet's
+	// Poisson load against the remote gateway and ships the mergeable
+	// fragment in its shard. Sessions churn through this worker's
+	// private account range.
+	if cfg.openloop.rate > 0 {
+		forum := origin.MustParse("http://forum.example")
+		res, err := driveOpenLoop(pool, cfg.openloop, bench, forum, stages, slowRing,
+			func(id int) string { return clusterAccount(cfg.workerID, cfg.sessions, id) }, nil)
+		if err != nil {
+			return fmt.Errorf("worker %d openloop: %w", cfg.workerID, err)
+		}
+		shard.SLO = res
+		if res.Errors > 0 {
+			return fmt.Errorf("worker %d: openloop had %d task errors", cfg.workerID, res.Errors)
+		}
+	}
+
 	// Main-gateway transport and attack wire are reported apart: the
 	// gateway path is the long-lived pool whose reuse rate the cluster
 	// CI gate asserts, while the attack environments are per-attack
@@ -584,7 +617,11 @@ type clusterConfig struct {
 	tls         bool
 	httpWorkers int
 	httpQueue   int
-	out         string
+	// openloop is the -openloop spec passed through to every worker
+	// ("" disables); each worker offers the spec's rate, so the fleet's
+	// target is workers × rate and the merged section reflects that.
+	openloop string
+	out      string
 }
 
 // runCluster fork/execs one -serve-only server and N -connect workers
@@ -657,6 +694,9 @@ func runCluster(cfg clusterConfig) error {
 			}
 			if cfg.tls {
 				args = append(args, "-tls", "-tls-ca", caFile)
+			}
+			if cfg.openloop != "" {
+				args = append(args, "-openloop", cfg.openloop)
 			}
 			return cluster.Spec{Name: fmt.Sprintf("worker-%d", i), Path: bin, Args: args}
 		},
@@ -732,6 +772,11 @@ func runCluster(cfg clusterConfig) error {
 	if o := rep.Obs; o != nil {
 		fmt.Printf("Fleet obs (%s): %d samples, goroutines post-warmup/last %d/%d (summed), heap monotonic=%v, %d GC cycles\n",
 			rep.Version.Go, o.Samples, o.PostWarmupGoroutines, o.Goroutines.Last, o.HeapMonotonic, o.NumGC)
+	}
+	if s := rep.SLO; s != nil {
+		if err := printSLO(s); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("\nWrote cluster section to %s (%.0f ms total)\n", cfg.out, rep.ElapsedMs)
 	return nil

@@ -64,6 +64,7 @@ import (
 	"repro/internal/origin"
 	"repro/internal/policy"
 	"repro/internal/scenarios"
+	"repro/internal/slo"
 	"repro/internal/template"
 	"repro/internal/web"
 )
@@ -239,8 +240,13 @@ type benchJSON struct {
 	Control *controlJSON `json:"control,omitempty"`
 	// Obs is the run's observability summary: build stamp, runtime
 	// sampler series, decision-trace ring traffic.
-	Obs     *obsJSON `json:"obs,omitempty"`
-	TotalMs float64  `json:"total_ms"`
+	Obs *obsJSON `json:"obs,omitempty"`
+	// SLO is the open-loop section (written by -openloop runs): offered
+	// vs achieved rate, per-stage latency percentiles, error budget,
+	// exemplar traces, and the leak verdict for the window. In -cluster
+	// runs the merged fleet view lives at Cluster.SLO instead.
+	SLO     *slo.Result `json:"slo,omitempty"`
+	TotalMs float64     `json:"total_ms"`
 }
 
 // procsVariantJSON is the GOMAXPROCS>1 bench variant published
@@ -355,8 +361,10 @@ func mixedTask(forumO, calO, portalO origin.Origin, topicID, iters int) engine.T
 }
 
 // runPhase executes fn between stat resets and packages the phase
-// measurements.
+// measurements. The phase name also labels the pool's slow-ring
+// exemplars for the duration.
 func runPhase(pool *engine.Pool, name string, fn func()) phaseJSON {
+	pool.SetPhase(name)
 	pool.ResetStats()
 	var before engine.Stats
 	if pool.Cache() != nil {
@@ -433,6 +441,11 @@ type httpSectionConfig struct {
 	// sessions record every mediated decision into ring.
 	reg  *obs.Registry
 	ring *obs.DecisionRing
+	// stages and slow are the latency-attribution plane: per-stage
+	// histograms (escudo_stage_seconds) and the slowest-N exemplar ring
+	// (/slowz), shared by the gateway and the loadgen pool.
+	stages *obs.StageSet
+	slow   *obs.SlowRing
 	// soak, when positive, appends an http-soak phase: mixed load
 	// looped until the deadline, long enough for the runtime sampler to
 	// establish whether goroutines and heap return to baseline.
@@ -462,6 +475,7 @@ func fillGatewayStats(ph *httpPhaseJSON, st httpd.Stats) {
 // gateways (the loadgen phases the shared one, the attack phase an
 // aggregate of per-environment ones).
 func runClientPhase(pool *engine.Pool, name string, fn func()) httpPhaseJSON {
+	pool.SetPhase(name)
 	pool.ResetStats()
 	start := time.Now()
 	fn()
@@ -549,6 +563,8 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 		EnablePprof:       cfg.pprofOn,
 		Obs:               cfg.reg,
 		Ring:              cfg.ring,
+		Stages:            cfg.stages,
+		Slow:              cfg.slow,
 		ClientStatsFunc: func() any {
 			if c := clientRef.Load(); c != nil {
 				return c.Stats()
@@ -578,6 +594,8 @@ func runHTTPSection(cfg httpSectionConfig) (*httpJSON, error) {
 		Options:   browser.Options{Mode: cfg.mode, DecisionRing: cfg.ring},
 		Cache:     cfg.cache,
 		Uncached:  cfg.uncached,
+		Stages:    cfg.stages,
+		Slow:      cfg.slow,
 	})
 	if err != nil {
 		return nil, err
@@ -760,6 +778,7 @@ func run(args []string) error {
 	httpWorkers := fs.Int("http-workers", 4, "gateway per-origin worker count")
 	httpQueue := fs.Int("http-queue", 64, "gateway per-origin queue depth (overflow → 503)")
 	soak := fs.Duration("soak", 0, "append a soak phase: loop the mixed workload until this much wall-clock has passed, so the runtime sampler can judge goroutine/heap recovery (with -http the soak runs through the gateway)")
+	openloopFlag := fs.String("openloop", "", "open-loop SLO mode: rate=R,duration=D[,churn=C][,p99=MS][,seed=N] — offer Poisson arrivals at R req/s for D against a loopback gateway (C login/logout events/s woven in) and write the slo section; in -cluster mode each worker drives this spec and the shards merge")
 	tlsOn := fs.Bool("tls", false, "terminate https on the gateway with an ephemeral in-memory CA (with -http, -serve-only, or -cluster; with -connect, trust -tls-ca)")
 	serveOnly := fs.Bool("serve-only", false, "server mode: mount the substrate on a gateway and serve until SIGTERM (no loadgen)")
 	connectAddr := fs.String("connect", "", "worker mode: generate load against a remote gateway at this address and write a BENCH shard to -out")
@@ -797,6 +816,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var olSpec openLoopSpec
+	if *openloopFlag != "" {
+		if olSpec, err = parseOpenLoop(*openloopFlag); err != nil {
+			return err
+		}
+	}
 
 	// The multi-process modes: a cluster supervisor, a server-only
 	// gateway process, or a loadgen worker. Each is a complete program
@@ -815,6 +840,7 @@ func run(args []string) error {
 			tls:         *tlsOn,
 			httpWorkers: *httpWorkers,
 			httpQueue:   *httpQueue,
+			openloop:    *openloopFlag,
 			out:         *out,
 		})
 	case *serveOnly:
@@ -856,6 +882,7 @@ func run(args []string) error {
 			workerID:    *workerID,
 			httpWorkers: *httpWorkers,
 			httpQueue:   *httpQueue,
+			openloop:    olSpec,
 			out:         *out,
 		})
 	}
@@ -893,11 +920,25 @@ func run(args []string) error {
 
 	// The run's observability plane: one registry (exported on /varz
 	// when a gateway is mounted), one decision-trace ring shared by all
-	// sessions, and a runtime sampler covering the whole run.
+	// sessions, and a runtime sampler covering the whole run. Open-loop
+	// runs widen the ring so the slow exemplars' trace IDs stay
+	// resolvable on /tracez after the storm.
 	reg := obs.NewRegistry()
-	ring := obs.NewDecisionRing(0)
+	ringSize := 0
+	if *openloopFlag != "" {
+		ringSize = 65536
+	}
+	ring := obs.NewDecisionRing(ringSize)
 	smp := obs.NewSampler(reg, 200*time.Millisecond)
 	smp.Start()
+
+	// The latency-attribution plane: per-stage histograms and the
+	// slowest-N exemplar ring, threaded through every pool and gateway
+	// this run builds. Stage timing is always on — invariant 9 (timing
+	// observation never changes a verdict or a batch count) is enforced
+	// by construction and cross-checked in the httpd equivalence tests.
+	stages := obs.NewStageSet(reg)
+	slowRing := obs.NewSlowRing(0)
 
 	// Shared substrate: the Figure-4 scenario server, a phpBB instance
 	// with one account per session and a seeded topic, the
@@ -915,6 +956,8 @@ func run(args []string) error {
 		Network:  net,
 		Options:  browser.Options{Mode: mode, DecisionRing: ring},
 		Uncached: *uncached,
+		Stages:   stages,
+		Slow:     slowRing,
 	})
 	if err != nil {
 		return err
@@ -1179,12 +1222,44 @@ func run(args []string) error {
 			memAttacks: memAttacks,
 			reg:        reg,
 			ring:       ring,
+			stages:     stages,
+			slow:       slowRing,
 			soak:       *soak,
 		})
 		if err != nil {
 			return err
 		}
 		report.HTTP = h
+	}
+
+	// SLO section — open-loop Poisson arrivals against a dedicated
+	// loopback gateway sharing the substrate, cache, and observability
+	// plane: offered vs achieved rate, per-stage tails, churn
+	// bookkeeping, exemplar traces, and the window's leak verdict.
+	if *openloopFlag != "" {
+		res, err := runOpenLoopSection(openLoopSectionConfig{
+			spec:     olSpec,
+			sessions: *sessionsN,
+			workers:  *httpWorkers,
+			queue:    *httpQueue,
+			httpCfg: httpSectionConfig{
+				mode:     mode,
+				uncached: *uncached,
+				cache:    pool.Cache(),
+				net:      net,
+				policies: policies,
+				bench:    benchOrigin,
+				forum:    forumOrigin,
+				reg:      reg,
+				ring:     ring,
+			},
+			stages: stages,
+			slow:   slowRing,
+		})
+		if err != nil {
+			return err
+		}
+		report.SLO = res
 	}
 
 	// Control-plane section — a dedicated multi-tenant gateway, a live
@@ -1342,6 +1417,11 @@ func run(args []string) error {
 	}
 	if c := report.Control; c != nil {
 		if err := printControl(c); err != nil {
+			return err
+		}
+	}
+	if s := report.SLO; s != nil {
+		if err := printSLO(s); err != nil {
 			return err
 		}
 	}

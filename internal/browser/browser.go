@@ -13,6 +13,7 @@ import (
 	"net/url"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cookie"
 	"repro/internal/core"
@@ -139,6 +140,14 @@ type Browser struct {
 	// pages and monitors built under an earlier task stamp with the
 	// trace of the task actually asking.
 	trace atomic.Pointer[obs.Trace]
+	// stageClock is the latency-attribution clock of the current task
+	// (nil when stage timing is off). Like trace it is swapped per
+	// task by the engine; the monitor pipeline, script runner, and
+	// render path accrue their spans on whatever clock is installed at
+	// the moment they run. A nil clock costs nothing: the timing layer
+	// is only composed while a clock is installed, and StageClock.Add
+	// is a nil-safe no-op.
+	stageClock atomic.Pointer[obs.StageClock]
 	// curGen and curPage pin the policy generation and page identity of
 	// the top-level load in flight (zero between loads). They are plain
 	// fields: a browser is a single session driven by one goroutine at
@@ -189,6 +198,16 @@ func (b *Browser) SetTrace(t *obs.Trace) { b.trace.Store(t) }
 
 // Trace returns the session's current task trace, or nil.
 func (b *Browser) Trace() *obs.Trace { return b.trace.Load() }
+
+// SetStageClock installs the latency-attribution clock for the task
+// about to drive this session (nil clears it). While set, the monitor
+// pipeline accrues batch-authorization time and the script/render
+// paths accrue their spans on it; the decisions themselves are
+// untouched (invariant 9).
+func (b *Browser) SetStageClock(c *obs.StageClock) { b.stageClock.Store(c) }
+
+// StageClock returns the session's current stage clock, or nil.
+func (b *Browser) StageClock() *obs.StageClock { return b.stageClock.Load() }
 
 // Jar exposes the cookie jar (the test harness seeds sessions with
 // it).
@@ -262,10 +281,20 @@ type Frame struct {
 // and audit records both carry the pinned generation.
 func (b *Browser) monitorFor(ref PageRef) core.Monitor {
 	gen, page := b.genStamp()
-	return core.Compose(b.policyMonitor(ref),
+	m := core.Compose(b.policyMonitor(ref),
 		core.WithGen(gen, page),
 		core.WithObs(b.trace.Load, b.opts.DecisionRing),
 		core.WithAudit(b.Audit))
+	// Latency attribution is composed outermost, and only while a
+	// clock is installed — an untimed session's monitors carry no
+	// timing layer at all, so the hot path is byte-for-byte the stack
+	// above. The clock is still resolved per call (b.stageClock.Load),
+	// so a monitor built mid-task accrues onto whatever task is
+	// actually asking.
+	if b.stageClock.Load() != nil {
+		m = core.WithStageTiming(b.stageClock.Load)(m)
+	}
+	return m
 }
 
 // genStamp resolves the generation and page identity a monitor built
@@ -376,7 +405,9 @@ func (b *Browser) loadDepth(rawURL string, initiator core.Context, label string,
 	b.loadSubresources(page)
 	page.buildStyles()
 	if !b.opts.DisableRender {
+		renderStart := time.Now()
 		page.Layout = layout.LayoutHidden(page.Doc.Root, b.opts.ViewportWidth, page.renderHidden())
+		b.stageClock.Load().Add(obs.StageRender, time.Since(renderStart))
 	}
 	if !b.opts.DisableScripts {
 		page.runStyleExpressions()
@@ -671,13 +702,19 @@ func scriptLabel(n *html.Node) string {
 // hot <script> across pages and sessions skip parse and lowering) and
 // executed by a fresh VM whose fuel budget is MaxScriptSteps.
 func (p *Page) RunScriptAs(principal core.Context, src string) error {
+	start := time.Now()
 	c, err := script.CompileCached(src)
 	if err != nil {
+		p.browser.stageClock.Load().Add(obs.StageScriptVM, time.Since(start))
 		return err
 	}
 	env := p.scriptEnv(principal)
 	vm := &script.VM{MaxSteps: p.browser.opts.MaxScriptSteps}
 	_, err = vm.Run(c, env)
+	// The span covers compile-cache probe and VM execution. Monitor
+	// calls the script makes accrue on batch_auth as well, so script
+	// and batch spans can nest — attribution, not a partition.
+	p.browser.stageClock.Load().Add(obs.StageScriptVM, time.Since(start))
 	return err
 }
 
@@ -789,7 +826,10 @@ func (p *Page) DispatchEvent(target *html.Node, event string, principal *core.Co
 // DOM since the load-time layout) and paints it as text. Like the
 // load-time layout, the traversal's reads are batch-authorized.
 func (p *Page) RenderText() string {
+	start := time.Now()
 	p.buildStyles()
 	p.Layout = layout.LayoutHidden(p.Doc.Root, p.browser.opts.ViewportWidth, p.renderHidden())
-	return layout.RenderText(p.Layout, p.browser.opts.ViewportWidth)
+	out := layout.RenderText(p.Layout, p.browser.opts.ViewportWidth)
+	p.browser.stageClock.Load().Add(obs.StageRender, time.Since(start))
+	return out
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/httpd"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/slo"
 )
 
 // ShardPhase is one measured phase inside a worker's BENCH shard.
@@ -86,8 +87,12 @@ type Shard struct {
 	Version obs.Stamp `json:"version"`
 	// Obs is the worker's runtime sampler summary (goroutines, heap,
 	// GC) over its run; absent when the worker did not sample.
-	Obs       *obs.SamplerStats `json:"obs,omitempty"`
-	ElapsedMs float64           `json:"elapsed_ms"`
+	Obs *obs.SamplerStats `json:"obs,omitempty"`
+	// SLO is the worker's open-loop section (written by -openloop
+	// workers): mergeable histograms the supervisor folds into the
+	// fleet-wide slo view.
+	SLO       *slo.Result `json:"slo,omitempty"`
+	ElapsedMs float64     `json:"elapsed_ms"`
 }
 
 // WriteFile serializes the shard to path.
@@ -196,8 +201,13 @@ type Report struct {
 	// heap series are summed across processes, GC totals accumulated,
 	// and HeapMonotonic holds only if every worker's heap grew without
 	// ever dipping. Absent when no worker sampled.
-	Obs       *obs.SamplerStats `json:"obs,omitempty"`
-	ElapsedMs float64           `json:"elapsed_ms"`
+	Obs *obs.SamplerStats `json:"obs,omitempty"`
+	// SLO merges the workers' open-loop sections: counts and histogram
+	// buckets sum, quantiles recomputed from the merged buckets, the
+	// leak verdict ORed — one leaking worker fails the fleet gate.
+	// Absent when no worker ran -openloop.
+	SLO       *slo.Result `json:"slo,omitempty"`
+	ElapsedMs float64     `json:"elapsed_ms"`
 }
 
 // MergeShards folds the workers' shards into the cluster report
@@ -249,6 +259,12 @@ func MergeShards(shards []Shard) (*Report, error) {
 			} else {
 				obsAcc.Merge(*sh.Obs)
 			}
+		}
+		if sh.SLO != nil {
+			if rep.SLO == nil {
+				rep.SLO = &slo.Result{}
+			}
+			rep.SLO.Merge(*sh.SLO)
 		}
 		for _, ph := range sh.Phases {
 			a, ok := accs[ph.Name]
@@ -337,5 +353,8 @@ func MergeShards(shards []Shard) (*Report, error) {
 		rep.AttackClient = &ac
 	}
 	rep.Obs = obsAcc
+	if rep.SLO != nil {
+		rep.SLO.Finalize()
+	}
 	return rep, nil
 }

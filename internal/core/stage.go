@@ -1,0 +1,56 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WithStageTiming returns the latency-attribution layer: the wall
+// time of every Authorize/AuthorizeBatch through the inner stack is
+// accrued against obs.StageBatchAuth on the task's current clock.
+// Mount it outermost so the measured span covers the whole pipeline —
+// delegation rewriting, cache probes, rule evaluation, and audit
+// recording alike.
+//
+// Invariant 9: timing observation never changes a verdict or a batch
+// count. The layer returns the inner stack's decisions untouched; the
+// clock only ever sees durations. A nil clock func yields a
+// pass-through layer, and a func that resolves to nil costs one
+// branch per call (StageClock.Add is nil-safe and allocation-free).
+func WithStageTiming(clock func() *obs.StageClock) Layer {
+	return func(inner Monitor) Monitor {
+		if clock == nil {
+			return inner
+		}
+		return &stageTimingLayer{inner: inner, clock: clock}
+	}
+}
+
+// stageTimingLayer accrues pipeline wall time on the task's clock.
+type stageTimingLayer struct {
+	inner Monitor
+	clock func() *obs.StageClock
+}
+
+var (
+	_ Monitor         = (*stageTimingLayer)(nil)
+	_ BatchAuthorizer = (*stageTimingLayer)(nil)
+)
+
+// Authorize implements Monitor.
+func (m *stageTimingLayer) Authorize(p Context, op Op, o Context) Decision {
+	start := time.Now()
+	d := m.inner.Authorize(p, op, o)
+	m.clock().Add(obs.StageBatchAuth, time.Since(start))
+	return d
+}
+
+// AuthorizeBatch implements BatchAuthorizer: the region's decisions
+// pass through byte-identical; only the elapsed time is observed.
+func (m *stageTimingLayer) AuthorizeBatch(p Context, op Op, objects []Context) []Decision {
+	start := time.Now()
+	out := AuthorizeBatch(m.inner, p, op, objects)
+	m.clock().Add(obs.StageBatchAuth, time.Since(start))
+	return out
+}

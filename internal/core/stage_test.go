@@ -1,0 +1,65 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStageTimingNeverChangesDecisions pins invariant 9 at the layer
+// level: the same query stream through a timed and an untimed stack
+// yields byte-identical audit sequences, and batched regions keep
+// their exact decision counts.
+func TestStageTimingNeverChangesDecisions(t *testing.T) {
+	plainAudit := &AuditLog{}
+	plain := Compose(&ERM{}, WithCache(NewDecisionCache()), WithAudit(plainAudit))
+
+	clock := obs.NewStageClock()
+	timedAudit := &AuditLog{}
+	timed := Compose(&ERM{}, WithCache(NewDecisionCache()), WithAudit(timedAudit),
+		WithStageTiming(func() *obs.StageClock { return clock }))
+
+	driveMonitor(plain)
+	driveMonitor(timed)
+
+	plainSeq, timedSeq := plainAudit.All(), timedAudit.All()
+	if len(plainSeq) == 0 {
+		t.Fatal("untimed stack recorded nothing; stream broken")
+	}
+	if !reflect.DeepEqual(plainSeq, timedSeq) {
+		t.Fatalf("timing changed the decision sequence:\n untimed: %v\n timed: %v", plainSeq, timedSeq)
+	}
+	if clock.Nanos(obs.StageBatchAuth) <= 0 {
+		t.Fatal("timed stack accrued no batch_auth time")
+	}
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if s != obs.StageBatchAuth && clock.Nanos(s) != 0 {
+			t.Fatalf("pipeline layer accrued time on foreign stage %s", s)
+		}
+	}
+
+	// Batch counts are part of the invariant: the timed layer must
+	// return the inner region verbatim.
+	p, _, batchOp, region := pipeQueries()
+	out := AuthorizeBatch(timed, p, batchOp, region)
+	if len(out) != len(region) {
+		t.Fatalf("timed batch returned %d decisions, want %d", len(out), len(region))
+	}
+}
+
+// TestStageTimingNilClock pins the pass-through and the nil-resolve
+// paths: a nil clock func composes to the base monitor, and a func
+// that resolves to nil still authorizes correctly.
+func TestStageTimingNilClock(t *testing.T) {
+	base := &ERM{}
+	if m := Compose(base, WithStageTiming(nil)); m != Monitor(base) {
+		t.Fatalf("nil clock func must compose to the base monitor, got %T", m)
+	}
+	m := Compose(base, WithStageTiming(func() *obs.StageClock { return nil }))
+	p, singles, _, _ := pipeQueries()
+	d := m.Authorize(p, singles[0].op, singles[0].o)
+	if !d.Allowed {
+		t.Fatalf("nil-resolving clock broke authorization: %v", d)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/browser"
@@ -43,6 +44,14 @@ type Config struct {
 	Uncached bool
 	// QueueDepth is the task queue capacity (default 4×Sessions).
 	QueueDepth int
+	// Stages, when non-nil, enables latency attribution: every task
+	// runs with a per-session obs.StageClock installed on its browser,
+	// and finished clocks fold into the set's per-stage histograms.
+	// Timing never changes decisions (invariant 9).
+	Stages *obs.StageSet
+	// Slow, when non-nil, retains the slowest tasks per phase (see
+	// SetPhase) as trace-ID-keyed exemplars. Requires Stages.
+	Slow *obs.SlowRing
 }
 
 // Session is one concurrent browsing session: an execution slot with
@@ -66,6 +75,11 @@ type Session struct {
 	done   uint64
 	errs   []error
 	mu     sync.Mutex
+
+	// clock is the session's reusable stage clock (nil when the pool
+	// runs without latency attribution). One task runs on a session at
+	// a time, so resetting between tasks is race-free.
+	clock *obs.StageClock
 }
 
 // record logs one task execution on this session. Only the session's
@@ -102,6 +116,10 @@ type Pool struct {
 	// ResetStats, so Stats reports per-phase deltas of the batched
 	// authorization counters.
 	batchBase core.BatchStats
+	// phase labels the workload currently running, for the slow-ring's
+	// per-phase exemplar retention. Swapped via SetPhase between
+	// benchmark phases; read per task completion.
+	phase atomic.Pointer[string]
 }
 
 // ErrClosed reports a submit to a closed pool.
@@ -135,11 +153,49 @@ func NewPool(cfg Config) (*Pool, error) {
 		opts := cfg.Options
 		opts.Cache = p.cache
 		s := &Session{ID: i, Browser: browser.New(cfg.Transport, opts)}
+		if cfg.Stages != nil {
+			s.clock = obs.NewStageClock()
+		}
 		p.sessions = append(p.sessions, s)
 		p.workers.Add(1)
 		go p.work(s)
 	}
 	return p, nil
+}
+
+// SetPhase labels the workload about to run; the slow-ring retains
+// exemplars per phase label.
+func (p *Pool) SetPhase(name string) { p.phase.Store(&name) }
+
+// Phase returns the current workload label ("" before SetPhase).
+func (p *Pool) Phase() string {
+	if s := p.phase.Load(); s != nil {
+		return *s
+	}
+	return ""
+}
+
+// runTask executes one task on a session with its full observability
+// harness: a fresh trace, the session's stage clock (when attribution
+// is on), wall-clock recording, and — for timed pools — the clock
+// folded into the per-stage histograms and the task offered to the
+// slow-ring as an exemplar keyed by its trace ID.
+func (p *Pool) runTask(s *Session, t Task) {
+	s.Browser.SetTrace(obs.NewTrace())
+	if s.clock != nil {
+		s.clock.Reset()
+		s.Browser.SetStageClock(s.clock)
+	}
+	start := time.Now()
+	err := t(s)
+	d := time.Since(start)
+	s.record(d, err)
+	if s.clock != nil {
+		s.Browser.SetStageClock(nil)
+		p.cfg.Stages.Record(s.clock)
+		p.cfg.Slow.Record(p.Phase(), s.Browser.Trace().ID(), d, s.clock.Snapshot())
+	}
+	s.Browser.SetTrace(nil)
 }
 
 // work is one session's loop: pull a task, mint its trace, run it,
@@ -149,11 +205,7 @@ func NewPool(cfg Config) (*Pool, error) {
 func (p *Pool) work(s *Session) {
 	defer p.workers.Done()
 	for task := range p.tasks {
-		s.Browser.SetTrace(obs.NewTrace())
-		start := time.Now()
-		err := task(s)
-		s.record(time.Since(start), err)
-		s.Browser.SetTrace(nil)
+		p.runTask(s, task)
 		p.pending.Done()
 	}
 }
@@ -178,6 +230,28 @@ func (p *Pool) Submit(t Task) error {
 	return nil
 }
 
+// TrySubmit enqueues a task only if the queue has room, never
+// blocking. Open-loop load generation uses it: an arrival that can't
+// be admitted is a drop (overload evidence), not backpressure —
+// blocking the arrival process would silently turn the open loop
+// closed. Returns false when the queue is full.
+func (p *Pool) TrySubmit(t Task) (bool, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false, ErrClosed
+	}
+	p.pending.Add(1)
+	p.mu.Unlock()
+	select {
+	case p.tasks <- t:
+		return true, nil
+	default:
+		p.pending.Done()
+		return false, nil
+	}
+}
+
 // Wait blocks until every submitted task has finished. The pool stays
 // usable; more work may be submitted afterwards.
 func (p *Pool) Wait() {
@@ -194,11 +268,7 @@ func (p *Pool) Each(t Task) {
 		wg.Add(1)
 		go func(s *Session) {
 			defer wg.Done()
-			s.Browser.SetTrace(obs.NewTrace())
-			start := time.Now()
-			err := t(s)
-			s.record(time.Since(start), err)
-			s.Browser.SetTrace(nil)
+			p.runTask(s, t)
 		}(s)
 	}
 	wg.Wait()

@@ -163,6 +163,18 @@ type Config struct {
 	// admin /tracez endpoint. The driver shares it with the browser
 	// sessions (browser.Options.DecisionRing); a nil ring 404s /tracez.
 	Ring *obs.DecisionRing
+	// Stages, when non-nil, enables gateway-side latency attribution:
+	// per-request queue-wait, handler, and transport-translation spans
+	// fold into the set's escudo_stage_seconds histograms. Share the
+	// set with the load driver so browser-side stages (batch_auth,
+	// script_vm, render) land in the same /varz families.
+	Stages *obs.StageSet
+	// Slow, when non-nil, is the tail-exemplar ring served at the admin
+	// /slowz endpoint. The gateway records its slowest requests under
+	// the "gateway" phase (keyed by the X-Escudo-Trace ID); the driver
+	// shares the ring so engine-side phases land beside them. A nil
+	// ring 404s /slowz.
+	Slow *obs.SlowRing
 	// Policies, when non-nil, is the control-plane store holding the
 	// fleet's per-origin policy documents. nil gets a private store.
 	// Mount seeds it from OriginConfig.Policy; /policyz serves it
@@ -186,6 +198,11 @@ type vhost struct {
 	stop    chan struct{}
 	served  *obs.Counter
 	dropped *obs.Counter
+	// latency is the origin's request-latency histogram
+	// (escudo_origin_latency_seconds{origin=...}), exposed on /varz as
+	// p50/p99 summaries — the noisy-neighbor probe's per-origin tail,
+	// observable live without a BENCH run.
+	latency *obs.Hist
 }
 
 // vhostTable is one immutable generation of the mount table, read
@@ -217,15 +234,23 @@ func (t *vhostTable) clone() *vhostTable {
 	return next
 }
 
-// job carries one translated request to an origin worker.
+// job carries one translated request to an origin worker. enq stamps
+// the enqueue instant when stage timing is on (zero otherwise), so the
+// worker can attribute queue-wait.
 type job struct {
 	req  *web.Request
 	done chan jobResult
+	enq  time.Time
 }
 
+// jobResult carries the origin's answer back, plus the worker-side
+// stage spans (zero when stage timing is off) so the requester can
+// record the request's full breakdown.
 type jobResult struct {
-	resp *web.Response
-	err  error
+	resp    *web.Response
+	err     error
+	wait    time.Duration
+	handler time.Duration
 }
 
 // Stats counts gateway traffic.
@@ -399,6 +424,7 @@ func (g *Gateway) MountOpts(o origin.Origin, cfg OriginConfig) error {
 		stop:    make(chan struct{}),
 		served:  g.reg.Counter("escudo_origin_served_total", obs.L("origin", o.String())),
 		dropped: g.reg.Counter("escudo_origin_dropped_total", obs.L("origin", o.String())),
+		latency: g.reg.Histogram("escudo_origin_latency_seconds", obs.L("origin", o.String())),
 	}
 	next := g.table.Load().clone()
 	next.byOrigin[o] = vh
@@ -565,11 +591,22 @@ func (g *Gateway) Stats() Stats {
 // when the origin is unmounted; g.quit ends every pool at shutdown.
 func (g *Gateway) work(vh *vhost) {
 	defer g.workers.Done()
+	timed := g.cfg.Stages != nil
 	for {
 		select {
 		case j := <-vh.jobs:
-			resp, err := g.inner.RoundTrip(j.req)
-			j.done <- jobResult{resp: resp, err: err}
+			var res jobResult
+			if timed && !j.enq.IsZero() {
+				res.wait = time.Since(j.enq)
+				hStart := time.Now()
+				res.resp, res.err = g.inner.RoundTrip(j.req)
+				res.handler = time.Since(hStart)
+				g.cfg.Stages.Observe(obs.StageQueueWait, res.wait)
+				g.cfg.Stages.Observe(obs.StageHandler, res.handler)
+			} else {
+				res.resp, res.err = g.inner.RoundTrip(j.req)
+			}
+			j.done <- res
 		case <-vh.stop:
 			return
 		case <-g.quit:
@@ -726,6 +763,8 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			g.serveVarz(w)
 		case "/tracez":
 			g.serveTracez(w, r)
+		case "/slowz":
+			g.serveSlowz(w, r)
 		case "/policyz":
 			g.servePolicyz(w, r)
 		case "/policyz/reload":
@@ -745,6 +784,11 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // serveOrigin is the mounted-origin path: policy delivery, cache
 // probe, bounded enqueue, worker round trip, response translation.
 func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost) {
+	// arrival anchors the per-origin latency histogram (always on — the
+	// per-origin tail must be observable without a BENCH run) and, with
+	// stage timing configured, the request's slow-ring exemplar.
+	arrival := time.Now()
+	timed := g.cfg.Stages != nil
 	// Wire delivery of the origin's policy document — read from the
 	// control-plane store, so a live reload is what PolicyPath serves
 	// from the instant the swap lands. The document is data — the
@@ -756,10 +800,15 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 			g.servePolicyDoc(w, p)
 			vh.served.Add(1)
 			g.served.Add(1)
+			vh.latency.Observe(time.Since(arrival))
 			return
 		}
 	}
 	req := translate(r, vh.origin)
+	var trans time.Duration
+	if timed {
+		trans = time.Since(arrival)
+	}
 
 	// GET-form submissions (non-empty Form) bypass the cache entirely:
 	// they must reach the server and its request log like any other
@@ -779,11 +828,13 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 				w.WriteHeader(http.StatusNotModified)
 				vh.served.Add(1)
 				g.served.Add(1)
+				vh.latency.Observe(time.Since(arrival))
 				releaseRequest(req)
 				return
 			}
 			vh.served.Add(1)
 			g.writeCachedPage(w, page)
+			vh.latency.Observe(time.Since(arrival))
 			releaseRequest(req)
 			return
 		}
@@ -791,6 +842,10 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 
 	j := jobPool.Get().(*job)
 	j.req = req
+	j.enq = time.Time{}
+	if timed {
+		j.enq = time.Now()
+	}
 	select {
 	case vh.jobs <- j:
 	default:
@@ -846,7 +901,24 @@ func (g *Gateway) serveOrigin(w http.ResponseWriter, r *http.Request, vh *vhost)
 		g.cache.misses.Add(1)
 	}
 	vh.served.Add(1)
+	wStart := time.Now()
 	g.writeResponse(w, res.resp, etag, "")
+	total := time.Since(arrival)
+	vh.latency.Observe(total)
+	if timed {
+		// Translation is the gateway's own bookkeeping around the
+		// round trip: request translation on the way in plus response
+		// writing on the way out.
+		trans += time.Since(wStart)
+		g.cfg.Stages.Observe(obs.StageTranslate, trans)
+		if req.TraceID != "" {
+			var stages [obs.NumStages]int64
+			stages[obs.StageQueueWait] = int64(res.wait)
+			stages[obs.StageHandler] = int64(res.handler)
+			stages[obs.StageTranslate] = int64(trans)
+			g.cfg.Slow.Record("gateway", req.TraceID, total, stages)
+		}
+	}
 	releaseRequest(req)
 }
 
@@ -971,13 +1043,24 @@ type vhostJSON struct {
 	Dropped  uint64 `json:"dropped_503"`
 }
 
+// stageJSON is one stage's latency summary in /metricsz (the JSON
+// companion to the escudo_stage_seconds /varz family).
+type stageJSON struct {
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	Count uint64  `json:"count"`
+}
+
 // metricszJSON is the /metricsz document: gateway counters, per-origin
 // queue state, and whatever the configured StatsFunc reports (the load
 // driver wires engine.Pool.Stats here).
 type metricszJSON struct {
 	Gateway Stats       `json:"gateway"`
 	Origins []vhostJSON `json:"origins"`
-	Engine  any         `json:"engine,omitempty"`
+	// Stages carries per-stage latency summaries keyed by stage name
+	// when the deployment wired a StageSet.
+	Stages map[string]stageJSON `json:"stages,omitempty"`
+	Engine any                  `json:"engine,omitempty"`
 	// Client carries the co-resident ClientTransport's stats
 	// (connection reuse) when the driver wired ClientStatsFunc.
 	Client  any       `json:"client,omitempty"`
@@ -1000,6 +1083,20 @@ func (g *Gateway) serveMetricsz(w http.ResponseWriter) {
 		})
 	}
 	sort.Slice(doc.Origins, func(a, b int) bool { return doc.Origins[a].Origin < doc.Origins[b].Origin })
+	if g.cfg.Stages != nil {
+		doc.Stages = make(map[string]stageJSON, int(obs.NumStages))
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			h := g.cfg.Stages.Hist(st).Snapshot()
+			if h.Total() == 0 {
+				continue
+			}
+			doc.Stages[st.String()] = stageJSON{
+				P50Ms: float64(h.Quantile(50).Nanoseconds()) / 1e6,
+				P99Ms: float64(h.Quantile(99).Nanoseconds()) / 1e6,
+				Count: h.Total(),
+			}
+		}
+	}
 	if g.cfg.StatsFunc != nil {
 		doc.Engine = g.cfg.StatsFunc()
 	}
@@ -1056,6 +1153,36 @@ func (g *Gateway) serveTracez(w http.ResponseWriter, r *http.Request) {
 		Retained: g.cfg.Ring.Len(),
 		Matched:  len(events),
 		Events:   events,
+	})
+}
+
+// slowzJSON is the /slowz document: the retained tail exemplars,
+// slowest first, each with its trace ID and per-stage breakdown.
+type slowzJSON struct {
+	// Phases lists the phase labels with retained exemplars; Size is
+	// the per-phase retention (slowest-N).
+	Phases    []string           `json:"phases"`
+	Size      int                `json:"size"`
+	Exemplars []obs.SlowExemplar `json:"exemplars"`
+}
+
+// serveSlowz answers tail-exemplar queries: the slowest retained
+// tasks per phase (?phase=<name> filters to one), each joinable
+// against /tracez by trace ID. It shares the admin host's isolation
+// and 404s when the deployment wired no slow-ring, exactly like
+// /tracez without a decision ring.
+func (g *Gateway) serveSlowz(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Slow == nil {
+		http.NotFound(w, r)
+		return
+	}
+	phase := r.URL.Query().Get("phase")
+	phases := g.cfg.Slow.Phases()
+	sort.Strings(phases)
+	writeJSON(w, slowzJSON{
+		Phases:    phases,
+		Size:      g.cfg.Slow.Size(),
+		Exemplars: g.cfg.Slow.Snapshot(phase),
 	})
 }
 

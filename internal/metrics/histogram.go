@@ -79,6 +79,24 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.Counts[i]++
 }
 
+// Sub returns h minus an earlier snapshot o: the observations that
+// arrived between the two. Buckets never go negative — a bucket where
+// o somehow exceeds h clamps to zero — so a stale "before" snapshot
+// degrades to overcounting nothing rather than underflowing.
+func (h Histogram) Sub(o Histogram) Histogram {
+	out := Histogram{Counts: make([]uint64, len(h.Counts))}
+	for i, c := range h.Counts {
+		prev := uint64(0)
+		if i < len(o.Counts) {
+			prev = o.Counts[i]
+		}
+		if c > prev {
+			out.Counts[i] = c - prev
+		}
+	}
+	return out
+}
+
 // Merge adds o's counts into h.
 func (h *Histogram) Merge(o Histogram) {
 	if len(o.Counts) > len(h.Counts) {

@@ -101,3 +101,75 @@ func TestHistogramEmpty(t *testing.T) {
 		t.Fatalf("empty histogram: total %d, p50 %v", h.Total(), h.Quantile(50))
 	}
 }
+
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Microsecond)
+	before := h
+	before.Counts = append([]uint64(nil), h.Counts...)
+	h.Observe(20 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	d := h.Sub(before)
+	if d.Total() != 2 {
+		t.Fatalf("delta total %d, want 2", d.Total())
+	}
+	if q := d.Quantile(50); q < 15*time.Millisecond {
+		t.Fatalf("delta p50 %v includes pre-snapshot observations", q)
+	}
+	// Subtracting a larger snapshot clamps instead of underflowing.
+	if got := before.Sub(h).Total(); got != 0 {
+		t.Fatalf("reverse delta total %d, want 0", got)
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins Quantile's behavior on
+// degenerate inputs: an empty histogram must report 0 at every
+// percentile (never a bucket-edge artifact), a single observation is
+// every percentile, and merging empties — in either direction, or
+// with explicit all-zero counts as a JSON round trip can produce —
+// must not fabricate observations.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	single := Histogram{}
+	single.Observe(100 * time.Microsecond)
+
+	mergedEmptyIntoEmpty := Histogram{}
+	mergedEmptyIntoEmpty.Merge(Histogram{})
+
+	zeroCounts := Histogram{Counts: []uint64{0, 0, 0, 0}}
+
+	emptyIntoZeroCounts := Histogram{Counts: []uint64{0, 0}}
+	emptyIntoZeroCounts.Merge(Histogram{})
+
+	singleViaMerge := Histogram{}
+	singleViaMerge.Merge(single)
+	singleViaMerge.Merge(Histogram{})
+
+	cases := []struct {
+		name string
+		h    Histogram
+		p    float64
+		want time.Duration
+	}{
+		{"empty p0", Histogram{}, 0, 0},
+		{"empty p50", Histogram{}, 50, 0},
+		{"empty p99", Histogram{}, 99, 0},
+		{"empty p100", Histogram{}, 100, 0},
+		{"zero counts p99", zeroCounts, 99, 0},
+		{"merged empty into empty p99", mergedEmptyIntoEmpty, 99, 0},
+		{"merged empty into zero counts p50", emptyIntoZeroCounts, 50, 0},
+		{"single observation p0", single, 0, single.Quantile(50)},
+		{"single observation p50", single, 50, single.Quantile(99)},
+		{"single via merge p99", singleViaMerge, 99, single.Quantile(99)},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.p); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+	// A single observation reports the same (nonzero) bucket edge at
+	// every percentile.
+	if single.Quantile(50) == 0 || single.Quantile(0) != single.Quantile(100) {
+		t.Fatalf("single observation quantiles diverge: p0=%v p50=%v p100=%v",
+			single.Quantile(0), single.Quantile(50), single.Quantile(100))
+	}
+}

@@ -65,6 +65,95 @@ type SamplerStats struct {
 	// GCPauseTotalMs and NumGC are deltas since the sampler started.
 	GCPauseTotalMs float64 `json:"gc_pause_total_ms"`
 	NumGC          uint32  `json:"num_gc"`
+	// HeapSeries, GoroutineSeries, and HeapSysSeries are the retained
+	// time series behind the summary: bounded to maxRetainedSamples
+	// points by stride-doubling downsampling, spaced SeriesStrideMs
+	// apart. They are what the leak verdict regresses over, and what a
+	// human plots when the verdict fires. Omitted after a fleet merge —
+	// per-process shapes don't sum pointwise.
+	HeapSeries      []int64 `json:"heap_series,omitempty"`
+	GoroutineSeries []int64 `json:"goroutine_series,omitempty"`
+	HeapSysSeries   []int64 `json:"heap_sys_series,omitempty"`
+	SeriesStrideMs  float64 `json:"series_stride_ms,omitempty"`
+	// Drift is the linear-drift leak verdict computed from HeapSeries
+	// at Stop (see ComputeDrift).
+	Drift *DriftReport `json:"drift,omitempty"`
+}
+
+// maxRetainedSamples bounds the retained series: past it every other
+// point is dropped and the stride doubles, so an arbitrarily long
+// soak keeps a constant-memory, evenly spaced series.
+const maxRetainedSamples = 240
+
+// DriftReport is the linear-drift leak verdict: a least-squares line
+// through the retained heap series. A genuine leak grows the heap
+// roughly linearly through GC oscillation; the verdict therefore
+// requires BOTH a positive slope whose projected growth over the
+// window is a substantial fraction of the mean heap AND a meaningful
+// absolute growth — so GC noise on a small heap can't fire it, and a
+// slow steady leak on a big heap can't hide in the relative term.
+type DriftReport struct {
+	// SlopeBytesPerSec is the fitted heap growth rate.
+	SlopeBytesPerSec float64 `json:"slope_bytes_per_sec"`
+	// GrowthFraction is the projected growth over the observed window
+	// divided by the mean heap — the relative-drift term.
+	GrowthFraction float64 `json:"growth_fraction"`
+	// WindowSec is the time span the fit covered.
+	WindowSec float64 `json:"window_sec"`
+	// Points is how many series points went into the fit.
+	Points int `json:"points"`
+	// Suspected is the verdict: true when the fitted drift looks like
+	// a leak. CI gates on false.
+	Suspected bool `json:"leak_suspected"`
+}
+
+// Drift-verdict thresholds: the projected growth over the window must
+// exceed a quarter of the mean heap AND 8 MiB before the verdict
+// fires, and the fit needs enough points and span to mean anything.
+const (
+	driftMinPoints      = 8
+	driftMinWindowSec   = 5.0
+	driftMinFraction    = 0.25
+	driftMinGrowthBytes = 8 << 20
+)
+
+// ComputeDrift fits a least-squares line through HeapSeries and
+// returns the verdict, or nil when the series is too short to judge.
+func (s *SamplerStats) ComputeDrift() *DriftReport {
+	n := len(s.HeapSeries)
+	if n < driftMinPoints || s.SeriesStrideMs <= 0 {
+		return nil
+	}
+	window := s.SeriesStrideMs / 1e3 * float64(n-1)
+	if window < driftMinWindowSec {
+		return nil
+	}
+	// Least squares with x in seconds from the first point.
+	var sumX, sumY, sumXY, sumXX, mean float64
+	for i, y := range s.HeapSeries {
+		x := float64(i) * s.SeriesStrideMs / 1e3
+		fy := float64(y)
+		sumX += x
+		sumY += fy
+		sumXY += x * fy
+		sumXX += x * x
+	}
+	fn := float64(n)
+	mean = sumY / fn
+	denom := fn*sumXX - sumX*sumX
+	if denom == 0 || mean <= 0 {
+		return nil
+	}
+	slope := (fn*sumXY - sumX*sumY) / denom
+	growth := slope * window
+	d := &DriftReport{
+		SlopeBytesPerSec: slope,
+		GrowthFraction:   growth / mean,
+		WindowSec:        window,
+		Points:           n,
+	}
+	d.Suspected = growth > driftMinGrowthBytes && d.GrowthFraction > driftMinFraction
+	return d
 }
 
 // Merge folds another process's sampler stats in (cluster shard
@@ -82,6 +171,24 @@ func (s *SamplerStats) Merge(o SamplerStats) {
 	s.HeapSysBytes += o.HeapSysBytes
 	s.GCPauseTotalMs += o.GCPauseTotalMs
 	s.NumGC += o.NumGC
+	// Per-process series don't align pointwise across the fleet; the
+	// merged view keeps only the fitted drift (slopes sum — each worker
+	// leaks its own bytes/sec) and ORs the verdict, so one leaking
+	// worker fails the fleet gate.
+	if o.Drift != nil {
+		if s.Drift == nil {
+			s.Drift = &DriftReport{}
+		}
+		s.Drift.SlopeBytesPerSec += o.Drift.SlopeBytesPerSec
+		s.Drift.GrowthFraction += o.Drift.GrowthFraction
+		if o.Drift.WindowSec > s.Drift.WindowSec {
+			s.Drift.WindowSec = o.Drift.WindowSec
+		}
+		s.Drift.Points += o.Drift.Points
+		s.Drift.Suspected = s.Drift.Suspected || o.Drift.Suspected
+	}
+	s.HeapSeries, s.GoroutineSeries, s.HeapSysSeries = nil, nil, nil
+	s.SeriesStrideMs = 0
 }
 
 // Sampler periodically samples runtime health — goroutine count, heap
@@ -96,6 +203,12 @@ type Sampler struct {
 	started   bool
 	baseGC    uint32
 	basePause uint64
+	// strideTicks/tick implement the stride-doubling downsampler: only
+	// every strideTicks-th sample is retained in the series, and when
+	// the series fills, every other retained point is dropped and the
+	// stride doubles.
+	strideTicks int
+	tick        int
 
 	stop chan struct{}
 	done chan struct{}
@@ -122,6 +235,8 @@ func NewSampler(reg *Registry, interval time.Duration) *Sampler {
 	}
 	s.stats.IntervalMs = float64(interval.Nanoseconds()) / 1e6
 	s.stats.HeapMonotonic = true
+	s.stats.SeriesStrideMs = s.stats.IntervalMs
+	s.strideTicks = 1
 	if reg != nil {
 		s.gGoroutines = reg.Gauge("escudo_goroutines")
 		s.gHeapAlloc = reg.Gauge("escudo_heap_alloc_bytes")
@@ -178,7 +293,21 @@ func (s *Sampler) Stop() SamplerStats {
 		<-s.done
 	}
 	s.Sample()
+	s.mu.Lock()
+	s.stats.Drift = s.stats.ComputeDrift()
+	s.mu.Unlock()
 	return s.Stats()
+}
+
+// halveSeries drops every other point in place (keeping even indices,
+// so the first point survives) — one stride-doubling step.
+func halveSeries(v []int64) []int64 {
+	n := 0
+	for i := 0; i < len(v); i += 2 {
+		v[n] = v[i]
+		n++
+	}
+	return v[:n]
 }
 
 // Sample takes one observation now. Phase boundaries call it so the
@@ -201,6 +330,19 @@ func (s *Sampler) Sample() {
 	s.stats.HeapSysBytes = int64(m.Sys)
 	s.stats.GCPauseTotalMs = float64(m.PauseTotalNs-s.basePause) / 1e6
 	s.stats.NumGC = m.NumGC - s.baseGC
+	if s.tick%s.strideTicks == 0 {
+		s.stats.HeapSeries = append(s.stats.HeapSeries, int64(m.HeapAlloc))
+		s.stats.GoroutineSeries = append(s.stats.GoroutineSeries, goroutines)
+		s.stats.HeapSysSeries = append(s.stats.HeapSysSeries, int64(m.Sys))
+		if len(s.stats.HeapSeries) > maxRetainedSamples {
+			s.stats.HeapSeries = halveSeries(s.stats.HeapSeries)
+			s.stats.GoroutineSeries = halveSeries(s.stats.GoroutineSeries)
+			s.stats.HeapSysSeries = halveSeries(s.stats.HeapSysSeries)
+			s.strideTicks *= 2
+			s.stats.SeriesStrideMs *= 2
+		}
+	}
+	s.tick++
 	s.mu.Unlock()
 
 	if s.gGoroutines != nil {
@@ -221,9 +363,18 @@ func (s *Sampler) Mark() {
 	s.mu.Unlock()
 }
 
-// Stats snapshots the summary so far.
+// Stats snapshots the summary so far. The retained series are copied
+// so the snapshot can't be mutated by later sampling.
 func (s *Sampler) Stats() SamplerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	out := s.stats
+	out.HeapSeries = append([]int64(nil), s.stats.HeapSeries...)
+	out.GoroutineSeries = append([]int64(nil), s.stats.GoroutineSeries...)
+	out.HeapSysSeries = append([]int64(nil), s.stats.HeapSysSeries...)
+	if s.stats.Drift != nil {
+		d := *s.stats.Drift
+		out.Drift = &d
+	}
+	return out
 }

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/raceflag"
+)
+
+// TestStageClockAccumulates pins the clock's basic arithmetic: adds
+// accrue per stage, Total sums, Reset zeroes in place.
+func TestStageClockAccumulates(t *testing.T) {
+	c := NewStageClock()
+	c.Add(StageBatchAuth, 2*time.Millisecond)
+	c.Add(StageBatchAuth, 3*time.Millisecond)
+	c.Add(StageRender, 1*time.Millisecond)
+	if got := c.Nanos(StageBatchAuth); got != int64(5*time.Millisecond) {
+		t.Fatalf("batch_auth nanos = %d, want %d", got, 5*time.Millisecond)
+	}
+	if got := c.Total(); got != 6*time.Millisecond {
+		t.Fatalf("total = %v, want 6ms", got)
+	}
+	snap := c.Snapshot()
+	if snap[StageRender] != int64(time.Millisecond) {
+		t.Fatalf("snapshot render = %d, want %d", snap[StageRender], time.Millisecond)
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatalf("total after reset = %v, want 0", c.Total())
+	}
+}
+
+// TestStageClockNilSafe pins the branch-free call-site contract: every
+// method on a nil clock is a no-op, so disabled timing costs nothing
+// at the call sites.
+func TestStageClockNilSafe(t *testing.T) {
+	var c *StageClock
+	c.Add(StageHandler, time.Second)
+	if c.Nanos(StageHandler) != 0 || c.Total() != 0 {
+		t.Fatal("nil clock accumulated time")
+	}
+	c.Reset()
+	_ = c.Snapshot()
+}
+
+// TestStageClockAddAllocs gates the record path: an Add on a warm
+// clock must not allocate — it sits inside Authorize/AuthorizeBatch
+// and the gateway's per-request path.
+func TestStageClockAddAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	c := NewStageClock()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(StageBatchAuth, 123*time.Microsecond)
+		c.Add(StageScriptVM, 45*time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("StageClock.Add allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestStageSetRecordAllocs gates the fold path: folding a warm clock
+// into a warm StageSet is zero-alloc (the underlying histograms grow
+// their bucket slices once).
+func TestStageSetRecordAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	reg := NewRegistry()
+	set := NewStageSet(reg)
+	c := NewStageClock()
+	for i := Stage(0); i < NumStages; i++ {
+		c.Add(i, time.Duration(i+1)*time.Millisecond)
+	}
+	// Warm every histogram across its range once.
+	set.Record(c)
+	for i := Stage(0); i < NumStages; i++ {
+		set.Observe(i, 5*time.Hour)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		set.Record(c)
+	})
+	if allocs != 0 {
+		t.Fatalf("StageSet.Record allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestStageSetExposition pins the /varz shape: per-stage summaries as
+// escudo_stage_seconds{stage=...,quantile=...} plus a _count line.
+func TestStageSetExposition(t *testing.T) {
+	reg := NewRegistry()
+	set := NewStageSet(reg)
+	set.Observe(StageRender, 2*time.Millisecond)
+	set.Observe(StageBatchAuth, 1*time.Millisecond)
+	text := reg.Expose()
+	for _, want := range []string{
+		`escudo_stage_seconds{stage="render",quantile="0.99"}`,
+		`escudo_stage_seconds_count{stage="batch_auth"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSlowRingRetainsSlowest pins the exemplar policy: per phase, the
+// ring keeps exactly the N slowest tasks, snapshot is slowest-first,
+// and the per-stage breakdown survives the trip.
+func TestSlowRingRetainsSlowest(t *testing.T) {
+	r := NewSlowRing(3)
+	var stages [NumStages]int64
+	stages[StageScriptVM] = 7
+	for i := 1; i <= 10; i++ {
+		r.Record("figure4", fmt.Sprintf("trace-%d", i), time.Duration(i)*time.Millisecond, stages)
+	}
+	got := r.Snapshot("figure4")
+	if len(got) != 3 {
+		t.Fatalf("retained %d exemplars, want 3", len(got))
+	}
+	for i, wantMs := range []int64{10, 9, 8} {
+		if got[i].TotalNs != wantMs*int64(time.Millisecond) {
+			t.Fatalf("exemplar %d total = %dns, want %dms", i, got[i].TotalNs, wantMs)
+		}
+	}
+	if got[0].TraceID != "trace-10" || got[0].Phase != "figure4" {
+		t.Fatalf("slowest exemplar = %+v, want trace-10/figure4", got[0])
+	}
+	if got[0].Stages["script_vm"] != 7 {
+		t.Fatalf("stage breakdown lost: %v", got[0].Stages)
+	}
+	if floor := r.Floor("figure4"); floor != 8*time.Millisecond {
+		t.Fatalf("floor = %v, want 8ms", floor)
+	}
+}
+
+// TestSlowRingPhasesIsolated pins that phases don't share a budget:
+// a noisy phase can't evict another phase's exemplars, and the merged
+// snapshot interleaves slowest-first.
+func TestSlowRingPhasesIsolated(t *testing.T) {
+	r := NewSlowRing(2)
+	var stages [NumStages]int64
+	for i := 1; i <= 5; i++ {
+		r.Record("loud", fmt.Sprintf("l-%d", i), time.Duration(i)*time.Second, stages)
+	}
+	r.Record("quiet", "q-1", time.Millisecond, stages)
+	if got := r.Snapshot("quiet"); len(got) != 1 || got[0].TraceID != "q-1" {
+		t.Fatalf("quiet phase = %+v, want the one q-1 exemplar", got)
+	}
+	all := r.Snapshot("")
+	if len(all) != 3 {
+		t.Fatalf("merged snapshot has %d exemplars, want 3", len(all))
+	}
+	if all[0].TraceID != "l-5" || all[len(all)-1].TraceID != "q-1" {
+		t.Fatalf("merged snapshot not slowest-first: %+v", all)
+	}
+	if len(r.Phases()) != 2 {
+		t.Fatalf("phases = %v, want 2", r.Phases())
+	}
+}
+
+// TestSlowRingRejectsUntraceable pins the joinability contract: an
+// exemplar without a trace ID cannot be resolved via /tracez, and an
+// exemplar without a phase label cannot be selected by any ?phase=
+// filter (un-phased warmup pools are deliberately unmeasured), so
+// the ring refuses both.
+func TestSlowRingRejectsUntraceable(t *testing.T) {
+	r := NewSlowRing(2)
+	var stages [NumStages]int64
+	r.Record("p", "", time.Hour, stages)
+	if got := r.Snapshot("p"); len(got) != 0 {
+		t.Fatalf("ring retained a traceless exemplar: %+v", got)
+	}
+	r.Record("", "warmup-trace", time.Hour, stages)
+	if got := r.Snapshot(""); len(got) != 0 {
+		t.Fatalf("ring retained a phaseless exemplar: %+v", got)
+	}
+}
+
+// TestSlowRingRejectAllocs gates the warm-path reject: once the ring
+// is full, offering a faster task allocates nothing.
+func TestSlowRingRejectAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	r := NewSlowRing(4)
+	var stages [NumStages]int64
+	for i := 0; i < 4; i++ {
+		r.Record("p", fmt.Sprintf("t-%d", i), time.Second, stages)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record("p", "fast", time.Microsecond, stages)
+	})
+	if allocs != 0 {
+		t.Fatalf("SlowRing reject path allocates %.1f times per run, want 0", allocs)
+	}
+}
